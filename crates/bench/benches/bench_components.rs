@@ -1,0 +1,38 @@
+//! Criterion benches: individual microarchitectural components.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dse_rng::Xoshiro256;
+use dse_sim::branch::Gshare;
+use dse_sim::cache::Cache;
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seed_from(1);
+    let addrs: Vec<u64> = (0..10_000).map(|_| rng.next_range(1 << 20)).collect();
+    c.bench_function("cache/32KB-4way/10k-accesses", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(32 * 1024, 32, 4);
+            for &a in &addrs {
+                black_box(cache.access(a));
+            }
+        })
+    });
+}
+
+fn bench_gshare(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seed_from(2);
+    let events: Vec<(u64, bool)> = (0..10_000)
+        .map(|_| (0x40_0000 + rng.next_range(4096) * 4, rng.next_bool(0.7)))
+        .collect();
+    c.bench_function("gshare/16K/10k-updates", |b| {
+        b.iter(|| {
+            let mut g = Gshare::new(16 * 1024);
+            for &(pc, taken) in &events {
+                black_box(g.update(pc, taken));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache, bench_gshare);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches: ML substrate (ANN training/inference, OLS,
+//! clustering).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dse_ml::{cluster, LinearRegression, Mlp, MlpConfig};
+use dse_rng::Xoshiro256;
+use std::hint::black_box;
+
+fn data(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = Xoshiro256::seed_from(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.next_f64()).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x.iter().sum::<f64>() + x[0] * x[1])
+        .collect();
+    (xs, ys)
+}
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp");
+    group.sample_size(10);
+    let (xs, ys) = data(512, 13, 1);
+    group.bench_function("train/512x13/200ep", |b| {
+        b.iter(|| Mlp::train(black_box(&xs), &ys, &MlpConfig::default()))
+    });
+    let net = Mlp::train(&xs, &ys, &MlpConfig::default());
+    group.bench_function("predict/1000", |b| {
+        b.iter(|| {
+            for x in xs.iter().cycle().take(1000) {
+                black_box(net.predict(x));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_linreg(c: &mut Criterion) {
+    let (xs, ys) = data(32, 25, 2);
+    c.bench_function("linreg/fit/32x25", |b| {
+        b.iter(|| LinearRegression::fit(black_box(&xs), &ys, true))
+    });
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let (xs, _) = data(26, 100, 3);
+    let labels: Vec<String> = (0..26).map(|i| format!("p{i}")).collect();
+    c.bench_function("cluster/average-linkage/26x100", |b| {
+        b.iter(|| {
+            let d = cluster::distance_matrix(black_box(&xs));
+            cluster::Dendrogram::average_linkage(&labels, &d)
+        })
+    });
+}
+
+criterion_group!(benches, bench_mlp, bench_linreg, bench_cluster);
+criterion_main!(benches);

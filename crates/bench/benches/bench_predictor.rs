@@ -1,0 +1,56 @@
+//! Criterion benches: end-to-end predictor costs (offline training,
+//! response fitting, full-space querying).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dse_core::arch_centric::OfflineModel;
+use dse_core::dataset::{DatasetSpec, SuiteDataset};
+use dse_ml::MlpConfig;
+use dse_sim::Metric;
+use std::hint::black_box;
+
+fn bench_predictor(c: &mut Criterion) {
+    let profiles: Vec<_> = dse_workload::suites::spec2000()
+        .into_iter()
+        .take(6)
+        .collect();
+    let ds = SuiteDataset::generate(
+        &profiles,
+        &DatasetSpec {
+            n_configs: 120,
+            ..DatasetSpec::tiny()
+        },
+    );
+    let train: Vec<usize> = (0..5).collect();
+    let mut group = c.benchmark_group("predictor");
+    group.sample_size(10);
+    group.bench_function("offline-train/5progs/T=80", |b| {
+        b.iter(|| {
+            OfflineModel::train(
+                black_box(&ds),
+                &train,
+                Metric::Cycles,
+                80,
+                &MlpConfig::default(),
+                1,
+            )
+        })
+    });
+    let offline = OfflineModel::train(&ds, &train, Metric::Cycles, 80, &MlpConfig::default(), 1);
+    let idxs: Vec<usize> = (0..32).collect();
+    let vals: Vec<f64> = idxs
+        .iter()
+        .map(|&i| ds.benchmarks[5].metrics[i].cycles)
+        .collect();
+    group.bench_function("fit-responses/R=32", |b| {
+        b.iter(|| offline.fit_responses(black_box(&ds), &idxs, &vals))
+    });
+    let predictor = offline.fit_responses(&ds, &idxs, &vals);
+    let features = ds.features();
+    group.bench_function("predict-space/120", |b| {
+        b.iter(|| predictor.predict_batch(black_box(&features)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictor);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches: simulator throughput on representative workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dse_sim::{simulate, SimOptions};
+use dse_space::Config;
+use dse_workload::{suites, TraceGenerator};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let opts = SimOptions { warmup: 2_000 };
+    for name in ["gzip", "art", "sha"] {
+        let profile = suites::all_benchmarks()
+            .into_iter()
+            .find(|p| p.name == name)
+            .unwrap();
+        let trace = TraceGenerator::new(&profile).generate(20_000);
+        group.bench_function(format!("baseline/{name}/20k"), |b| {
+            b.iter(|| simulate(black_box(&Config::baseline()), &trace, opts))
+        });
+    }
+    let gzip = suites::spec2000().into_iter().find(|p| p.name == "gzip").unwrap();
+    let trace = TraceGenerator::new(&gzip).generate(20_000);
+    let tiny = Config {
+        width: 2, rob: 32, iq: 8, lsq: 8, rf: 40, rf_read: 2, rf_write: 1,
+        bpred_k: 1, btb_k: 1, max_branches: 8, icache_kb: 8, dcache_kb: 8, l2_kb: 256,
+    };
+    group.bench_function("tiny-config/gzip/20k", |b| {
+        b.iter(|| simulate(black_box(&tiny), &trace, opts))
+    });
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let gcc = dse_workload::suites::spec2000()
+        .into_iter()
+        .find(|p| p.name == "gcc")
+        .unwrap();
+    let generator = TraceGenerator::new(&gcc);
+    c.bench_function("trace-gen/gcc/20k", |b| {
+        b.iter(|| generator.generate(black_box(20_000)))
+    });
+}
+
+criterion_group!(benches, bench_simulator, bench_trace_generation);
+criterion_main!(benches);

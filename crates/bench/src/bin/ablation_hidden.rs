@@ -1,0 +1,34 @@
+//! Ablation: hidden-layer width of the program-specific ANNs around the
+//! paper's choice of 10 neurons.
+
+use dse_core::xval::{arch_centric_accuracy, EvalConfig};
+use dse_ml::MlpConfig;
+use dse_sim::Metric;
+use dse_workload::Suite;
+
+fn main() {
+    let ds = dse_bench::full_dataset();
+    let mut rows = Vec::new();
+    for hidden in [2usize, 5, 10, 20, 40] {
+        let cfg = EvalConfig {
+            t: 512.min(ds.n_configs() / 2),
+            repeats: dse_bench::repeats().min(5),
+            mlp: MlpConfig {
+                hidden,
+                ..MlpConfig::default()
+            },
+            ..EvalConfig::default()
+        };
+        let p = arch_centric_accuracy(&ds, Suite::SpecCpu2000, Metric::Cycles, 32, &cfg);
+        rows.push(vec![
+            hidden.to_string(),
+            format!("{:.1}", p.rmae.mean),
+            format!("{:.3}", p.corr.mean),
+        ]);
+    }
+    dse_bench::print_table(
+        "Ablation: hidden-layer width (cycles, T=512, R=32)",
+        &["hidden", "rmae%", "corr"],
+        &rows,
+    );
+}

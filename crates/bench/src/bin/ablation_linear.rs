@@ -1,0 +1,74 @@
+//! Ablation: replace the per-program ANNs with per-program *linear*
+//! models. The paper's §5 premise is that individual program spaces are
+//! non-linear while the cross-program relation is linear; if that holds,
+//! this ablation must lose accuracy.
+
+use dse_core::xval::Summary;
+use dse_ml::stats::{correlation, rmae};
+use dse_ml::LinearRegression;
+use dse_rng::Xoshiro256;
+use dse_sim::Metric;
+use dse_workload::Suite;
+
+fn main() {
+    let ds = dse_bench::full_dataset();
+    let metric = Metric::Cycles;
+    let t = 512.min(ds.n_configs() / 2);
+    let repeats = dse_bench::repeats().min(5);
+    let features = ds.features();
+    let rows: Vec<usize> = (0..ds.benchmarks.len())
+        .filter(|&i| ds.benchmarks[i].suite == Suite::SpecCpu2000)
+        .collect();
+
+    let mut errs = Vec::new();
+    let mut corrs = Vec::new();
+    for k in 0..repeats {
+        // Per-program linear surrogates instead of ANNs.
+        let mut root = Xoshiro256::seed_from(0x11AB + k as u64);
+        let surrogates: Vec<LinearRegression> = rows
+            .iter()
+            .map(|&r| {
+                let idx = root.sample_indices(ds.n_configs(), t);
+                let xs: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
+                let ys: Vec<f64> = idx.iter().map(|&i| ds.benchmarks[r].metrics[i].get(metric)).collect();
+                LinearRegression::fit(&xs, &ys, true)
+            })
+            .collect();
+        for (ti, &target) in rows.iter().enumerate() {
+            let mut rng = Xoshiro256::seed_from(0x11CD + (k as u64) * 131 + target as u64);
+            let idxs = rng.sample_indices(ds.n_configs(), 32);
+            let vals: Vec<f64> = idxs.iter().map(|&i| ds.benchmarks[target].metrics[i].get(metric)).collect();
+            // Combine the other programs' actual responses linearly, then
+            // predict through the linear surrogates.
+            let xs: Vec<Vec<f64>> = idxs
+                .iter()
+                .map(|&i| {
+                    rows.iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != ti)
+                        .map(|(_, &r)| ds.benchmarks[r].metrics[i].get(metric))
+                        .collect()
+                })
+                .collect();
+            let reg = LinearRegression::fit(&xs, &vals, true);
+            let preds: Vec<f64> = (0..ds.n_configs())
+                .map(|i| {
+                    let per: Vec<f64> = rows
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != ti)
+                        .map(|(j, _)| surrogates[j].predict(&features[i]))
+                        .collect();
+                    reg.predict(&per)
+                })
+                .collect();
+            let actual = ds.benchmarks[target].values(metric);
+            errs.push(rmae(&preds, &actual));
+            corrs.push(correlation(&preds, &actual));
+        }
+    }
+    let e = Summary::of(&errs);
+    let c = Summary::of(&corrs);
+    println!("linear surrogates : rmae {:.1}% ± {:.1}, corr {:.3}", e.mean, e.std, c.mean);
+    println!("(compare with the ANN-based numbers from fig11/fig13 at R=32)");
+}

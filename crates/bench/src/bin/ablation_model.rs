@@ -1,0 +1,92 @@
+//! Ablation: choice of program-specific surrogate model — the paper's MLP
+//! vs the RBF network it cites as an alternative (Joseph et al.) vs a
+//! plain linear model — each trained on T samples of each SPEC program
+//! and tested on the remainder.
+
+use dse_core::xval::Summary;
+use dse_ml::stats::{correlation, rmae};
+use dse_ml::{LinearRegression, Mlp, MlpConfig, RbfConfig, RbfNetwork};
+use dse_rng::Xoshiro256;
+use dse_sim::Metric;
+use dse_workload::Suite;
+
+fn main() {
+    let ds = dse_bench::full_dataset();
+    let metric = Metric::Cycles;
+    let repeats = dse_bench::repeats().min(5);
+    let features = ds.features();
+    let rows: Vec<usize> = (0..ds.benchmarks.len())
+        .filter(|&i| ds.benchmarks[i].suite == Suite::SpecCpu2000)
+        .collect();
+
+    let mut table = Vec::new();
+    for t in [32usize, 256] {
+        // (name, train+predict closure)
+        type Model = Box<dyn Fn(&[Vec<f64>], &[f64], u64) -> Box<dyn Fn(&[f64]) -> f64>>;
+        let models: Vec<(&str, Model)> = vec![
+            (
+                "MLP (paper)",
+                Box::new(|xs: &[Vec<f64>], ys: &[f64], seed: u64| {
+                    let net = Mlp::train(xs, ys, &MlpConfig { seed, ..MlpConfig::default() });
+                    Box::new(move |x: &[f64]| net.predict(x)) as Box<dyn Fn(&[f64]) -> f64>
+                }),
+            ),
+            (
+                "RBF",
+                Box::new(|xs: &[Vec<f64>], ys: &[f64], seed: u64| {
+                    let net = RbfNetwork::train(xs, ys, &RbfConfig { seed, ..RbfConfig::default() });
+                    Box::new(move |x: &[f64]| net.predict(x)) as Box<dyn Fn(&[f64]) -> f64>
+                }),
+            ),
+            (
+                "linear",
+                Box::new(|xs: &[Vec<f64>], ys: &[f64], _seed: u64| {
+                    let m = LinearRegression::fit(xs, ys, true);
+                    Box::new(move |x: &[f64]| m.predict(x)) as Box<dyn Fn(&[f64]) -> f64>
+                }),
+            ),
+        ];
+        for (name, train) in &models {
+            let mut errs = Vec::new();
+            let mut corrs = Vec::new();
+            for k in 0..repeats {
+                for &row in &rows {
+                    let mut rng = Xoshiro256::seed_from(0x30D0 + (k as u64) * 997 + row as u64);
+                    let idx = rng.sample_indices(ds.n_configs(), t);
+                    let bench = &ds.benchmarks[row];
+                    let xs: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
+                    let ys: Vec<f64> = idx.iter().map(|&i| bench.metrics[i].get(metric)).collect();
+                    let predict = train(&xs, &ys, rng.next_u64());
+                    let mut mask = vec![false; ds.n_configs()];
+                    for &i in &idx {
+                        mask[i] = true;
+                    }
+                    let mut preds = Vec::new();
+                    let mut actual = Vec::new();
+                    for i in 0..ds.n_configs() {
+                        if !mask[i] {
+                            preds.push(predict(&features[i]));
+                            actual.push(bench.metrics[i].get(metric));
+                        }
+                    }
+                    errs.push(rmae(&preds, &actual));
+                    corrs.push(correlation(&preds, &actual));
+                }
+            }
+            let e = Summary::of(&errs);
+            let c = Summary::of(&corrs);
+            table.push(vec![
+                t.to_string(),
+                name.to_string(),
+                format!("{:.1}", e.mean),
+                format!("{:.1}", e.std),
+                format!("{:.3}", c.mean),
+            ]);
+        }
+    }
+    dse_bench::print_table(
+        "Ablation: program-specific surrogate model (cycles)",
+        &["T", "model", "rmae%", "±", "corr"],
+        &table,
+    );
+}

@@ -1,0 +1,59 @@
+//! Fig 1 (motivation): the energy design space of `applu`, predicted by a
+//! program-specific model and by the architecture-centric model, both
+//! given the same 32 simulations of applu.
+
+use dse_core::arch_centric::OfflineModel;
+use dse_core::program_specific::ProgramSpecificPredictor;
+use dse_ml::stats::{correlation, rmae};
+use dse_ml::MlpConfig;
+use dse_rng::Xoshiro256;
+use dse_sim::Metric;
+use dse_workload::Suite;
+
+fn main() {
+    let ds = dse_bench::full_dataset();
+    let metric = Metric::Energy;
+    let target_row = ds.benchmark_index("applu").expect("applu in dataset");
+    let features = ds.features();
+    let mut rng = Xoshiro256::seed_from(0xF1);
+    let response_idxs = rng.sample_indices(ds.n_configs(), 32);
+    let values: Vec<f64> = response_idxs
+        .iter()
+        .map(|&i| ds.benchmarks[target_row].metrics[i].get(metric))
+        .collect();
+
+    // Program-specific model: the 32 simulations are its training set.
+    let tf: Vec<Vec<f64>> = response_idxs.iter().map(|&i| features[i].clone()).collect();
+    let ps = ProgramSpecificPredictor::train("applu", metric, &tf, &values, &MlpConfig::default());
+
+    // Architecture-centric: offline on every other SPEC program, the same
+    // 32 simulations as responses.
+    let train_rows: Vec<usize> = (0..ds.benchmarks.len())
+        .filter(|&i| i != target_row && ds.benchmarks[i].suite == Suite::SpecCpu2000)
+        .collect();
+    let offline = OfflineModel::train(&ds, &train_rows, metric, 512.min(ds.n_configs()), &MlpConfig::default(), 0xF1);
+    let ac = offline.fit_responses(&ds, &response_idxs, &values);
+
+    // Order configurations by increasing actual energy, as in the figure.
+    let actual: Vec<f64> = ds.benchmarks[target_row].values(metric);
+    let mut order: Vec<usize> = (0..ds.n_configs()).collect();
+    order.sort_by(|&a, &b| actual[a].partial_cmp(&actual[b]).unwrap());
+
+    println!("# applu energy space, configurations sorted by actual energy");
+    println!("# rank  actual_nJ  program_specific  arch_centric");
+    let step = (order.len() / 60).max(1);
+    for (rank, &i) in order.iter().enumerate() {
+        if rank % step == 0 {
+            println!(
+                "{rank:5}  {:.4e}  {:.4e}  {:.4e}",
+                actual[i],
+                ps.predict(&features[i]),
+                ac.predict(&features[i])
+            );
+        }
+    }
+    let ps_all: Vec<f64> = features.iter().map(|f| ps.predict(f)).collect();
+    let ac_all: Vec<f64> = features.iter().map(|f| ac.predict(f)).collect();
+    println!("\nprogram-specific : rmae {:6.1}%  corr {:.3}", rmae(&ps_all, &actual), correlation(&ps_all, &actual));
+    println!("arch-centric     : rmae {:6.1}%  corr {:.3}", rmae(&ac_all, &actual), correlation(&ac_all, &actual));
+}

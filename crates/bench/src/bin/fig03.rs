@@ -1,0 +1,6 @@
+//! Fig 3: how often each parameter value appears in the best and worst 1%
+//! of configurations for **energy**, accumulated over SPEC benchmarks.
+
+fn main() {
+    dse_bench::extremes_report(dse_sim::Metric::Energy);
+}

@@ -1,0 +1,31 @@
+//! Fig 4: per-program design-space characteristics — min, quartiles,
+//! median, max and the baseline value, for all four metrics.
+
+use dse_core::analysis::characterise;
+use dse_sim::Metric;
+
+fn main() {
+    let ds = dse_bench::full_dataset();
+    for metric in Metric::ALL {
+        let rows: Vec<Vec<String>> = characterise(&ds, metric)
+            .into_iter()
+            .map(|c| {
+                vec![
+                    c.program,
+                    format!("{:.3e}", c.summary.min),
+                    format!("{:.3e}", c.summary.q25),
+                    format!("{:.3e}", c.summary.median),
+                    format!("{:.3e}", c.summary.q75),
+                    format!("{:.3e}", c.summary.max),
+                    format!("{:.3e}", c.baseline),
+                    format!("{:.1}", c.summary.max / c.summary.min),
+                ]
+            })
+            .collect();
+        dse_bench::print_table(
+            &format!("Fig 4: {metric} characteristics"),
+            &["program", "min", "q25", "median", "q75", "max", "baseline", "max/min"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Fig 5: hierarchical clustering (average linkage, Euclidean distance on
+//! baseline-normalised spaces) of the SPEC programs, per metric.
+
+use dse_core::analysis::similarity;
+use dse_core::dataset::SuiteDataset;
+use dse_sim::Metric;
+use dse_workload::Suite;
+
+fn main() {
+    let full = dse_bench::full_dataset();
+    // Restrict to SPEC as in the figure.
+    let spec = SuiteDataset {
+        spec: full.spec,
+        configs: full.configs.clone(),
+        benchmarks: full
+            .benchmarks
+            .iter()
+            .filter(|b| b.suite == Suite::SpecCpu2000)
+            .cloned()
+            .collect(),
+    };
+    for metric in Metric::ALL {
+        let dg = similarity(&spec, metric);
+        println!("\n== Fig 5: {metric} dendrogram ==");
+        print!("{}", dg.render());
+        let mut joins: Vec<(String, f64)> = (0..spec.benchmarks.len())
+            .map(|i| (spec.benchmarks[i].name.clone(), dg.join_height(i)))
+            .collect();
+        joins.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        println!("most isolated programs (join height):");
+        for (name, h) in joins.iter().take(5) {
+            println!("  {name:12} {h:.3}");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Fig 9: accuracy of the program-specific predictors as the number of
+//! training simulations T grows; the paper picks T = 512.
+
+use dse_core::xval::{sweep_t, EvalConfig};
+use dse_sim::Metric;
+use dse_workload::Suite;
+
+fn main() {
+    let ds = dse_bench::full_dataset();
+    let cfg = EvalConfig {
+        repeats: dse_bench::repeats().min(10),
+        ..EvalConfig::default()
+    };
+    let ts: Vec<usize> = [8, 16, 32, 64, 128, 256, 512]
+        .into_iter()
+        .filter(|&t| t <= ds.n_configs() / 2)
+        .collect();
+    for metric in Metric::ALL {
+        let pts = sweep_t(&ds, Suite::SpecCpu2000, metric, &ts, &cfg);
+        let rows: Vec<Vec<String>> = pts
+            .iter()
+            .map(|p| {
+                vec![
+                    p.x.to_string(),
+                    format!("{:.1}", p.rmae.mean),
+                    format!("{:.1}", p.rmae.std),
+                    format!("{:.3}", p.corr.mean),
+                    format!("{:.3}", p.corr.std),
+                ]
+            })
+            .collect();
+        dse_bench::print_table(
+            &format!("Fig 9: program-specific accuracy vs T ({metric})"),
+            &["T", "rmae%", "±", "corr", "±"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Fig 10: accuracy of the architecture-centric model as the number of
+//! responses R grows; the paper picks R = 32.
+
+use dse_core::xval::{sweep_r, EvalConfig};
+use dse_sim::Metric;
+use dse_workload::Suite;
+
+fn main() {
+    let ds = dse_bench::full_dataset();
+    let cfg = EvalConfig {
+        t: 512.min(ds.n_configs() / 2),
+        repeats: dse_bench::repeats().min(10),
+        ..EvalConfig::default()
+    };
+    let rs = [2usize, 4, 8, 16, 32, 64, 128];
+    for metric in Metric::ALL {
+        let pts = sweep_r(&ds, Suite::SpecCpu2000, metric, &rs, &cfg);
+        let rows: Vec<Vec<String>> = pts
+            .iter()
+            .map(|p| {
+                vec![
+                    p.x.to_string(),
+                    format!("{:.1}", p.rmae.mean),
+                    format!("{:.1}", p.rmae.std),
+                    format!("{:.3}", p.corr.mean),
+                    format!("{:.3}", p.corr.std),
+                ]
+            })
+            .collect();
+        dse_bench::print_table(
+            &format!("Fig 10: architecture-centric accuracy vs R ({metric})"),
+            &["R", "rmae%", "±", "corr", "±"],
+            &rows,
+        );
+    }
+}

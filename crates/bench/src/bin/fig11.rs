@@ -1,0 +1,46 @@
+//! Fig 11: per-program training and testing error of the
+//! architecture-centric model under leave-one-out cross-validation on
+//! SPEC CPU 2000 (T = 512, R = 32).
+
+use dse_core::xval::{loo, EvalConfig};
+use dse_sim::Metric;
+use dse_workload::Suite;
+
+fn main() {
+    let ds = dse_bench::full_dataset();
+    let cfg = EvalConfig {
+        t: 512.min(ds.n_configs() / 2),
+        repeats: dse_bench::repeats(),
+        ..EvalConfig::default()
+    };
+    for metric in Metric::ALL {
+        let evals = loo(&ds, Suite::SpecCpu2000, metric, &cfg);
+        let mut rows: Vec<Vec<String>> = evals
+            .iter()
+            .map(|e| {
+                vec![
+                    e.program.clone(),
+                    format!("{:.1}", e.train_rmae.mean),
+                    format!("{:.1}", e.test_rmae.mean),
+                    format!("{:.1}", e.test_rmae.std),
+                    format!("{:.3}", e.corr.mean),
+                ]
+            })
+            .collect();
+        let avg_train: f64 = evals.iter().map(|e| e.train_rmae.mean).sum::<f64>() / evals.len() as f64;
+        let avg_test: f64 = evals.iter().map(|e| e.test_rmae.mean).sum::<f64>() / evals.len() as f64;
+        let avg_corr: f64 = evals.iter().map(|e| e.corr.mean).sum::<f64>() / evals.len() as f64;
+        rows.push(vec![
+            "AVERAGE".into(),
+            format!("{avg_train:.1}"),
+            format!("{avg_test:.1}"),
+            String::new(),
+            format!("{avg_corr:.3}"),
+        ]);
+        dse_bench::print_table(
+            &format!("Fig 11: SPEC leave-one-out ({metric})"),
+            &["program", "train%", "test%", "±", "corr"],
+            &rows,
+        );
+    }
+}

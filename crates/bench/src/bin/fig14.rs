@@ -1,0 +1,37 @@
+//! Fig 14: architecture-centric accuracy versus the number of offline
+//! training programs (random subsets, R = 32). The paper reports a
+//! plateau around 15 programs and corr > 0.85 with just 5.
+
+use dse_core::xval::{sweep_train_programs, EvalConfig};
+use dse_sim::Metric;
+use dse_workload::Suite;
+
+fn main() {
+    let ds = dse_bench::full_dataset();
+    let cfg = EvalConfig {
+        t: 512.min(ds.n_configs() / 2),
+        repeats: dse_bench::repeats().min(10),
+        ..EvalConfig::default()
+    };
+    let ns = [1usize, 2, 3, 5, 8, 12, 15, 20, 25];
+    for metric in Metric::ALL {
+        let pts = sweep_train_programs(&ds, Suite::SpecCpu2000, metric, &ns, &cfg);
+        let rows: Vec<Vec<String>> = pts
+            .iter()
+            .map(|p| {
+                vec![
+                    p.x.to_string(),
+                    format!("{:.1}", p.rmae.mean),
+                    format!("{:.1}", p.rmae.std),
+                    format!("{:.3}", p.corr.mean),
+                    format!("{:.3}", p.corr.std),
+                ]
+            })
+            .collect();
+        dse_bench::print_table(
+            &format!("Fig 14: accuracy vs offline training programs ({metric})"),
+            &["N", "rmae%", "±", "corr", "±"],
+            &rows,
+        );
+    }
+}

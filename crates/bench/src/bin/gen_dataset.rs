@@ -1,0 +1,14 @@
+//! Generates (or verifies the cache of) the full experimental dataset:
+//! 45 benchmarks × 3,000 shared configurations. Run this first; every
+//! figure binary reuses the cache.
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let ds = dse_bench::full_dataset();
+    println!(
+        "dataset ready: {} benchmarks x {} configs in {:.1}s",
+        ds.benchmarks.len(),
+        ds.n_configs(),
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,33 @@
+//! Table 1: the varied design-space parameters, their ranges and counts,
+//! the raw space size, and the measured legal fraction (§3.1).
+
+use dse_rng::Xoshiro256;
+use dse_space::{estimate_legal_fraction, raw_space_size, Config, PARAMS};
+
+fn main() {
+    let rows: Vec<Vec<String>> = PARAMS
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.to_string(),
+                d.unit.to_string(),
+                format!("{}..{}", d.values[0], d.values.last().unwrap()),
+                d.len().to_string(),
+            ]
+        })
+        .collect();
+    dse_bench::print_table("Table 1: varied parameters", &["parameter", "unit", "range", "values"], &rows);
+    println!("\nraw design points : {}", raw_space_size());
+    let mut rng = Xoshiro256::seed_from(1);
+    let frac = estimate_legal_fraction(&mut rng, 300_000);
+    println!("legal fraction    : {frac:.3} (paper: 18/63 = 0.286)");
+    println!(
+        "legal design points (est.): {:.1} billion (paper: ~18 billion)",
+        raw_space_size() as f64 * frac / 1e9
+    );
+    println!("baseline          : {}", Config::baseline());
+    println!(
+        "baseline paper vector: {:?}",
+        Config::baseline().to_paper_vector()
+    );
+}

@@ -1,0 +1,155 @@
+//! Shared infrastructure for the experiment binaries (one per paper table
+//! and figure) and the Criterion performance benches.
+//!
+//! Experiment binaries live in `src/bin/` (`table1`, `fig01` … `fig14`,
+//! `ablation_*`) and all draw on the same cached dataset: 45 benchmarks
+//! (SPEC CPU 2000 + MiBench stand-ins) × 3,000 shared configurations,
+//! generated on first use under `target/dse-datasets/` (override with the
+//! `DSE_DATA_DIR` environment variable). Reduced scale for smoke runs can
+//! be requested with `DSE_QUICK=1`.
+
+use dse_core::dataset::{DatasetSpec, SuiteDataset};
+use std::path::PathBuf;
+
+/// Directory holding cached datasets.
+pub fn data_dir() -> PathBuf {
+    std::env::var_os("DSE_DATA_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/dse-datasets"))
+}
+
+/// Whether quick (reduced-scale) mode was requested via `DSE_QUICK=1`.
+pub fn quick_mode() -> bool {
+    std::env::var_os("DSE_QUICK").is_some_and(|v| v == "1")
+}
+
+/// The dataset spec used by the experiments: the paper's 3,000-sample
+/// protocol, or a reduced spec in quick mode.
+pub fn experiment_spec() -> DatasetSpec {
+    if quick_mode() {
+        DatasetSpec {
+            n_configs: 300,
+            ..DatasetSpec::default()
+        }
+    } else {
+        DatasetSpec::default()
+    }
+}
+
+/// Loads (or generates and caches) the full 45-benchmark dataset.
+///
+/// # Panics
+///
+/// Panics if the cache directory cannot be created or written.
+pub fn full_dataset() -> SuiteDataset {
+    let profiles = dse_workload::suites::all_benchmarks();
+    SuiteDataset::load_or_generate(&profiles, &experiment_spec(), &data_dir())
+        .expect("dataset cache must be readable and writable")
+}
+
+/// Number of experiment repetitions (the paper's 20, or 5 in quick mode).
+pub fn repeats() -> usize {
+    if quick_mode() {
+        5
+    } else {
+        20
+    }
+}
+
+/// Formats one numeric cell compactly.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e5 || v.abs() < 1e-2 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Prints an aligned text table to stdout.
+///
+/// # Panics
+///
+/// Panics if a row's width differs from the header's.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", joined.join("  "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Shared report for Figs 2 and 3: parameter-value frequencies in the
+/// best and worst 1 % of configurations for one metric, over SPEC.
+pub fn extremes_report(metric: dse_sim::Metric) {
+    use dse_core::analysis::{dominant_value, extremes, Extreme};
+    use dse_core::dataset::SuiteDataset;
+    use dse_space::{Param, PARAMS};
+
+    let full = full_dataset();
+    let spec = SuiteDataset {
+        spec: full.spec,
+        configs: full.configs.clone(),
+        benchmarks: full
+            .benchmarks
+            .iter()
+            .filter(|b| b.suite == dse_workload::Suite::SpecCpu2000)
+            .cloned()
+            .collect(),
+    };
+    // The six parameters shown in the paper's figures.
+    let shown = [
+        Param::Width,
+        Param::Rob,
+        Param::Rf,
+        Param::RfRead,
+        Param::L2,
+        Param::Bpred,
+    ];
+    for (label, end) in [("best", Extreme::Best), ("worst", Extreme::Worst)] {
+        let freqs = extremes(&spec, metric, end, 0.01);
+        for p in shown {
+            let def = &PARAMS[p as usize];
+            let f = &freqs[p as usize];
+            let total: usize = f.iter().sum();
+            let rows: Vec<Vec<String>> = def
+                .values
+                .iter()
+                .zip(f)
+                .map(|(v, &c)| {
+                    vec![
+                        v.to_string(),
+                        c.to_string(),
+                        format!("{:.1}%", 100.0 * c as f64 / total as f64),
+                    ]
+                })
+                .collect();
+            print_table(
+                &format!("{metric} {label} 1%: {} ({})", def.name, def.unit),
+                &["value", "count", "share"],
+                &rows,
+            );
+        }
+        println!("\ndominant values in the {label} 1% ({metric}):");
+        for p in Param::ALL {
+            let (v, share) = dominant_value(&freqs, p);
+            println!("  {:12} {v:>6}  ({:.0}% of selections)", p.to_string(), share * 100.0);
+        }
+    }
+}

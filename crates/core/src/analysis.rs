@@ -1,0 +1,235 @@
+//! Design-space characterisation (§3.4 and §4 of the paper).
+//!
+//! * [`extremes`] — how often each parameter value appears in the best and
+//!   worst 1 % of configurations (Figs 2 and 3);
+//! * [`characterise`] — per-program five-number summaries plus the
+//!   baseline (Fig 4);
+//! * [`similarity`] — hierarchical clustering of programs by the Euclidean
+//!   distance between their baseline-normalised spaces (Fig 5).
+
+use crate::dataset::SuiteDataset;
+use dse_ml::cluster::{distance_matrix, Dendrogram};
+use dse_ml::stats::FiveNumber;
+use dse_sim::Metric;
+use dse_space::{Param, PARAMS};
+
+/// Frequency of each value of each parameter within a set of
+/// configurations (one inner vector per parameter, aligned with
+/// [`ParamDef::values`](dse_space::ParamDef)).
+pub type ParamFrequencies = Vec<Vec<usize>>;
+
+/// Which end of the metric distribution to select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Extreme {
+    /// The lowest-metric configurations (best: fewest cycles, least
+    /// energy, ...).
+    Best,
+    /// The highest-metric configurations (worst).
+    Worst,
+}
+
+/// Counts how often each parameter value occurs in the `fraction` best or
+/// worst configurations of each benchmark, accumulated over all
+/// benchmarks — the paper's Figs 2 and 3 with `fraction = 0.01`.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1]` or the dataset is empty.
+pub fn extremes(
+    ds: &SuiteDataset,
+    metric: Metric,
+    extreme: Extreme,
+    fraction: f64,
+) -> ParamFrequencies {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction outside (0, 1]");
+    assert!(!ds.benchmarks.is_empty(), "empty dataset");
+    let take = ((ds.n_configs() as f64 * fraction).ceil() as usize).max(1);
+    let mut freqs: ParamFrequencies = PARAMS.iter().map(|d| vec![0; d.values.len()]).collect();
+
+    for bench in &ds.benchmarks {
+        let mut order: Vec<usize> = (0..ds.n_configs()).collect();
+        order.sort_by(|&a, &b| {
+            let (va, vb) = (bench.metrics[a].get(metric), bench.metrics[b].get(metric));
+            va.partial_cmp(&vb).expect("metrics are finite")
+        });
+        let slice: Vec<usize> = match extreme {
+            Extreme::Best => order[..take].to_vec(),
+            Extreme::Worst => order[order.len() - take..].to_vec(),
+        };
+        for idx in slice {
+            let indices = ds.configs[idx].to_indices();
+            for (p, &vi) in indices.iter().enumerate() {
+                freqs[p][vi] += 1;
+            }
+        }
+    }
+    freqs
+}
+
+/// The dominant value of one parameter within a frequency table, with its
+/// share of the total.
+pub fn dominant_value(freqs: &ParamFrequencies, param: Param) -> (u64, f64) {
+    let f = &freqs[param as usize];
+    let total: usize = f.iter().sum();
+    let (best_idx, &count) = f
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .expect("parameters have at least one value");
+    (
+        PARAMS[param as usize].values[best_idx],
+        if total > 0 {
+            count as f64 / total as f64
+        } else {
+            0.0
+        },
+    )
+}
+
+/// Per-program characterisation of the space (Fig 4): the five-number
+/// summary of one metric plus the baseline configuration's value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramCharacter {
+    /// Program name.
+    pub program: String,
+    /// min / 25 % / median / 75 % / max over the sampled space.
+    pub summary: FiveNumber,
+    /// The baseline configuration's metric value.
+    pub baseline: f64,
+}
+
+/// Characterises every benchmark of the dataset for one metric.
+pub fn characterise(ds: &SuiteDataset, metric: Metric) -> Vec<ProgramCharacter> {
+    ds.benchmarks
+        .iter()
+        .map(|b| ProgramCharacter {
+            program: b.name.clone(),
+            summary: FiveNumber::of(&b.values(metric)),
+            baseline: b.baseline.get(metric),
+        })
+        .collect()
+}
+
+/// Program-similarity clustering (Fig 5): each program is a point in
+/// R^{n_configs} of baseline-normalised metric values; programs are
+/// clustered by Euclidean distance with average linkage — the paper's
+/// `hclust` protocol, including the baseline normalisation footnote.
+pub fn similarity(ds: &SuiteDataset, metric: Metric) -> Dendrogram {
+    let rows: Vec<Vec<f64>> = ds
+        .benchmarks
+        .iter()
+        .map(|b| b.normalized_values(metric))
+        .collect();
+    let labels: Vec<String> = ds.benchmarks.iter().map(|b| b.name.clone()).collect();
+    Dendrogram::average_linkage(&labels, &distance_matrix(&rows))
+}
+
+/// Pairwise Euclidean distance between two named programs' normalised
+/// spaces (useful for tests and reports).
+///
+/// # Panics
+///
+/// Panics if either name is absent.
+pub fn program_distance(ds: &SuiteDataset, metric: Metric, a: &str, b: &str) -> f64 {
+    let ia = ds.benchmark_index(a).expect("program a present");
+    let ib = ds.benchmark_index(b).expect("program b present");
+    dse_ml::stats::euclidean(
+        &ds.benchmarks[ia].normalized_values(metric),
+        &ds.benchmarks[ib].normalized_values(metric),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetSpec;
+
+    fn dataset() -> SuiteDataset {
+        let profiles: Vec<_> = dse_workload::suites::spec2000()
+            .into_iter()
+            .filter(|p| ["gzip", "parser", "art", "mcf", "sixtrack"].contains(&p.name))
+            .collect();
+        let spec = DatasetSpec {
+            n_configs: 100,
+            ..DatasetSpec::tiny()
+        };
+        SuiteDataset::generate(&profiles, &spec)
+    }
+
+    #[test]
+    fn extremes_counts_sum_to_take_times_benchmarks() {
+        let ds = dataset();
+        let f = extremes(&ds, Metric::Cycles, Extreme::Best, 0.05);
+        let take = 5; // ceil(100 * 0.05)
+        for pf in &f {
+            assert_eq!(pf.iter().sum::<usize>(), take * ds.benchmarks.len());
+        }
+    }
+
+    #[test]
+    fn best_energy_prefers_narrow_machines() {
+        let ds = dataset();
+        let best = extremes(&ds, Metric::Energy, Extreme::Best, 0.05);
+        let worst = extremes(&ds, Metric::Energy, Extreme::Worst, 0.05);
+        // Width index 0 = 2-wide. Low-energy configs should be narrower
+        // than high-energy ones on average.
+        let avg_width = |f: &ParamFrequencies| {
+            let wf = &f[Param::Width as usize];
+            let total: usize = wf.iter().sum();
+            wf.iter()
+                .enumerate()
+                .map(|(i, &c)| PARAMS[0].values[i] as f64 * c as f64)
+                .sum::<f64>()
+                / total as f64
+        };
+        assert!(
+            avg_width(&best) < avg_width(&worst),
+            "best {} worst {}",
+            avg_width(&best),
+            avg_width(&worst)
+        );
+    }
+
+    #[test]
+    fn dominant_value_returns_a_legal_value() {
+        let ds = dataset();
+        let f = extremes(&ds, Metric::Cycles, Extreme::Worst, 0.05);
+        let (v, share) = dominant_value(&f, Param::Rf);
+        assert!(PARAMS[Param::Rf as usize].values.contains(&v));
+        assert!(share > 0.0 && share <= 1.0);
+    }
+
+    #[test]
+    fn characterise_orders_quartiles() {
+        let ds = dataset();
+        for c in characterise(&ds, Metric::Ed) {
+            assert!(c.summary.min <= c.summary.median);
+            assert!(c.summary.median <= c.summary.max);
+            assert!(c.baseline > 0.0);
+        }
+    }
+
+    #[test]
+    fn art_and_mcf_are_isolated_in_the_dendrogram() {
+        let ds = dataset();
+        let dg = similarity(&ds, Metric::Cycles);
+        let idx = |n: &str| ds.benchmark_index(n).unwrap();
+        let art = dg.join_height(idx("art"));
+        let gzip = dg.join_height(idx("gzip"));
+        let parser = dg.join_height(idx("parser"));
+        assert!(
+            art > gzip && art > parser,
+            "art ({art}) should join later than gzip ({gzip}) / parser ({parser})"
+        );
+    }
+
+    #[test]
+    fn program_distance_is_symmetric_and_zero_on_self() {
+        let ds = dataset();
+        let d1 = program_distance(&ds, Metric::Energy, "gzip", "art");
+        let d2 = program_distance(&ds, Metric::Energy, "art", "gzip");
+        assert_eq!(d1, d2);
+        assert_eq!(program_distance(&ds, Metric::Energy, "gzip", "gzip"), 0.0);
+        assert!(d1 > 0.0);
+    }
+}

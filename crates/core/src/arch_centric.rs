@@ -1,0 +1,374 @@
+//! The architecture-centric predictor (§5 of the paper).
+//!
+//! Offline, one program-specific ANN is trained per training program
+//! (`T` simulations each). Online, a new program is characterised by just
+//! `R` simulated "responses": a linear regressor is fitted that expresses
+//! the new program's space as a weighted sum of the training programs'
+//! spaces (equation 5). The regressor's design matrix uses the training
+//! programs' *actual* simulated values at the response configurations —
+//! available without new simulations because every benchmark was simulated
+//! on the same shared sample (§5.3.1) — while predictions for unseen
+//! configurations flow through the ANNs (Fig 6).
+
+use crate::dataset::SuiteDataset;
+use crate::program_specific::ProgramSpecificPredictor;
+use dse_ml::{LinearRegression, MlpConfig};
+use dse_rng::Xoshiro256;
+use dse_sim::Metric;
+use rayon::prelude::*;
+
+/// Where the linear regressor's design matrix comes from when fitting the
+/// response weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResponseSource {
+    /// The training programs' actual simulated values at the response
+    /// configurations (the paper's method — no extra simulation needed).
+    #[default]
+    Actual,
+    /// The ANNs' predictions at the response configurations (ablation:
+    /// quantifies the cost of the ANN approximation).
+    Predicted,
+}
+
+/// The offline half of the model: `N` trained program-specific ANNs.
+#[derive(Debug, Clone)]
+pub struct OfflineModel {
+    metric: Metric,
+    /// Indices into the dataset's benchmark list.
+    train_rows: Vec<usize>,
+    models: Vec<ProgramSpecificPredictor>,
+}
+
+impl OfflineModel {
+    /// Trains one ANN per training program, each on `t` configurations
+    /// sampled uniformly (without replacement) from the shared sample.
+    ///
+    /// `seed` controls both the per-program training-set sampling and the
+    /// ANN initialisations, so a whole experiment repeat is reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_rows` is empty, contains an out-of-range index, or
+    /// `t` exceeds the number of shared configurations.
+    pub fn train(
+        ds: &SuiteDataset,
+        train_rows: &[usize],
+        metric: Metric,
+        t: usize,
+        mlp_cfg: &MlpConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(!train_rows.is_empty(), "need at least one training program");
+        assert!(
+            t >= 2 && t <= ds.n_configs(),
+            "t = {t} outside [2, {}]",
+            ds.n_configs()
+        );
+        for &r in train_rows {
+            assert!(r < ds.benchmarks.len(), "train row {r} out of range");
+        }
+        let features = ds.features();
+        let root = Xoshiro256::seed_from(seed);
+        let models: Vec<ProgramSpecificPredictor> = train_rows
+            .par_iter()
+            .enumerate()
+            .map(|(k, &row)| {
+                let bench = &ds.benchmarks[row];
+                let mut rng = root.child(k as u64 + 1);
+                let idx = rng.sample_indices(ds.n_configs(), t);
+                let tf: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
+                let tv: Vec<f64> = idx.iter().map(|&i| bench.metrics[i].get(metric)).collect();
+                let cfg = MlpConfig {
+                    seed: rng.next_u64(),
+                    ..*mlp_cfg
+                };
+                ProgramSpecificPredictor::train(&bench.name, metric, &tf, &tv, &cfg)
+            })
+            .collect();
+        Self {
+            metric,
+            train_rows: train_rows.to_vec(),
+            models,
+        }
+    }
+
+    /// Assembles an ensemble from already-trained per-program models.
+    ///
+    /// The evaluation harness trains one model per benchmark per repeat
+    /// and reuses them across leave-one-out folds (a model for program
+    /// `j` does not depend on which program is left out), which is an
+    /// exact 26× saving over retraining per fold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row and model lists differ in length or are empty,
+    /// or a model predicts a different metric.
+    pub fn from_parts(
+        metric: Metric,
+        train_rows: Vec<usize>,
+        models: Vec<ProgramSpecificPredictor>,
+    ) -> Self {
+        assert_eq!(train_rows.len(), models.len(), "rows/models mismatch");
+        assert!(!models.is_empty(), "need at least one model");
+        assert!(
+            models.iter().all(|m| m.metric() == metric),
+            "all models must predict the ensemble metric"
+        );
+        Self {
+            metric,
+            train_rows,
+            models,
+        }
+    }
+
+    /// Trains one program-specific model per benchmark row — the shared
+    /// pool consumed by [`OfflineModel::from_parts`].
+    pub fn train_model_pool(
+        ds: &SuiteDataset,
+        metric: Metric,
+        t: usize,
+        mlp_cfg: &MlpConfig,
+        seed: u64,
+    ) -> Vec<ProgramSpecificPredictor> {
+        let all: Vec<usize> = (0..ds.benchmarks.len()).collect();
+        Self::train(ds, &all, metric, t, mlp_cfg, seed).models
+    }
+
+    /// The metric this ensemble models.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Number of training programs.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the ensemble is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The per-program models.
+    pub fn models(&self) -> &[ProgramSpecificPredictor] {
+        &self.models
+    }
+
+    /// Fits the linear combination from `R` responses of a new program
+    /// using the paper's method (actual training-program values as the
+    /// design matrix).
+    ///
+    /// `response_idxs` index the shared configurations; `response_values`
+    /// are the new program's simulated metric at those configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index and value lists differ in length or are empty.
+    pub fn fit_responses(
+        &self,
+        ds: &SuiteDataset,
+        response_idxs: &[usize],
+        response_values: &[f64],
+    ) -> ArchCentricPredictor {
+        self.fit_responses_with(ds, response_idxs, response_values, ResponseSource::Actual)
+    }
+
+    /// Like [`OfflineModel::fit_responses`], selecting the design-matrix
+    /// source explicitly.
+    ///
+    /// # Panics
+    ///
+    /// See [`OfflineModel::fit_responses`].
+    pub fn fit_responses_with(
+        &self,
+        ds: &SuiteDataset,
+        response_idxs: &[usize],
+        response_values: &[f64],
+        source: ResponseSource,
+    ) -> ArchCentricPredictor {
+        assert_eq!(
+            response_idxs.len(),
+            response_values.len(),
+            "responses and values must align"
+        );
+        assert!(!response_idxs.is_empty(), "need at least one response");
+        let features = ds.features();
+        let xs: Vec<Vec<f64>> = response_idxs
+            .iter()
+            .map(|&cfg_idx| {
+                assert!(cfg_idx < ds.n_configs(), "response index out of range");
+                match source {
+                    ResponseSource::Actual => self
+                        .train_rows
+                        .iter()
+                        .map(|&row| ds.benchmarks[row].metrics[cfg_idx].get(self.metric))
+                        .collect(),
+                    ResponseSource::Predicted => self
+                        .models
+                        .iter()
+                        .map(|m| m.predict(&features[cfg_idx]))
+                        .collect(),
+                }
+            })
+            .collect();
+        let reg = LinearRegression::fit(&xs, response_values, true);
+        ArchCentricPredictor {
+            offline: self.clone(),
+            reg,
+        }
+    }
+
+    /// Training error proxy: fits the responses and reports the rmae of
+    /// the fitted model on the responses themselves (the paper uses this
+    /// to flag programs unlike anything in the training set, §7.2).
+    pub fn training_error(
+        &self,
+        ds: &SuiteDataset,
+        response_idxs: &[usize],
+        response_values: &[f64],
+    ) -> f64 {
+        let predictor = self.fit_responses(ds, response_idxs, response_values);
+        let features = ds.features();
+        let preds: Vec<f64> = response_idxs
+            .iter()
+            .map(|&i| predictor.predict(&features[i]))
+            .collect();
+        dse_ml::stats::rmae(&preds, response_values)
+    }
+}
+
+/// The complete architecture-centric predictor: offline ANNs + fitted
+/// response weights. Predicts the target metric of the *new* program for
+/// any configuration in the design space.
+#[derive(Debug, Clone)]
+pub struct ArchCentricPredictor {
+    offline: OfflineModel,
+    reg: LinearRegression,
+}
+
+impl ArchCentricPredictor {
+    /// Predicts the new program's metric for a configuration feature
+    /// vector (Fig 6: configuration → per-program ANNs → linear
+    /// combination).
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let per_program: Vec<f64> = self
+            .offline
+            .models
+            .iter()
+            .map(|m| m.predict(features))
+            .collect();
+        self.reg.predict(&per_program)
+    }
+
+    /// Predicts a batch.
+    pub fn predict_batch(&self, features: &[Vec<f64>]) -> Vec<f64> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// The fitted per-program combination weights (β₁…β_N).
+    pub fn weights(&self) -> &[f64] {
+        self.reg.weights()
+    }
+
+    /// The fitted intercept (β₀).
+    pub fn intercept(&self) -> f64 {
+        self.reg.intercept()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetSpec, SuiteDataset};
+    use dse_ml::stats::{correlation, rmae};
+
+    fn small_dataset(n_benchmarks: usize, n_configs: usize) -> SuiteDataset {
+        let profiles: Vec<_> = dse_workload::suites::spec2000()
+            .into_iter()
+            .take(n_benchmarks)
+            .collect();
+        let spec = DatasetSpec {
+            n_configs,
+            ..DatasetSpec::tiny()
+        };
+        SuiteDataset::generate(&profiles, &spec)
+    }
+
+    #[test]
+    fn offline_model_trains_one_ann_per_program() {
+        let ds = small_dataset(4, 30);
+        let m = OfflineModel::train(&ds, &[0, 1, 2], dse_sim::Metric::Cycles, 20, &MlpConfig::default(), 1);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.models()[1].program(), ds.benchmarks[1].name);
+    }
+
+    #[test]
+    fn responses_fit_and_predict_held_out_program() {
+        let ds = small_dataset(5, 80);
+        let target_row = 4;
+        let train: Vec<usize> = (0..4).collect();
+        let metric = dse_sim::Metric::Cycles;
+        let m = OfflineModel::train(&ds, &train, metric, 60, &MlpConfig::default(), 7);
+
+        let response_idxs: Vec<usize> = (0..16).collect();
+        let target = &ds.benchmarks[target_row];
+        let values: Vec<f64> = response_idxs
+            .iter()
+            .map(|&i| target.metrics[i].get(metric))
+            .collect();
+        let predictor = m.fit_responses(&ds, &response_idxs, &values);
+
+        let features = ds.features();
+        let test_idx: Vec<usize> = (16..80).collect();
+        let preds: Vec<f64> = test_idx.iter().map(|&i| predictor.predict(&features[i])).collect();
+        let actual: Vec<f64> = test_idx.iter().map(|&i| target.metrics[i].get(metric)).collect();
+        let c = correlation(&preds, &actual);
+        assert!(c > 0.3, "correlation {c} too low even for a tiny dataset");
+        assert!(rmae(&preds, &actual) < 60.0);
+    }
+
+    #[test]
+    fn predicted_source_differs_from_actual() {
+        let ds = small_dataset(4, 40);
+        let metric = dse_sim::Metric::Energy;
+        let m = OfflineModel::train(&ds, &[0, 1, 2], metric, 30, &MlpConfig::default(), 3);
+        let idxs: Vec<usize> = (0..10).collect();
+        let values: Vec<f64> = idxs
+            .iter()
+            .map(|&i| ds.benchmarks[3].metrics[i].get(metric))
+            .collect();
+        let a = m.fit_responses_with(&ds, &idxs, &values, ResponseSource::Actual);
+        let p = m.fit_responses_with(&ds, &idxs, &values, ResponseSource::Predicted);
+        // Both are valid predictors but their weights differ in general.
+        assert_ne!(a.weights(), p.weights());
+    }
+
+    #[test]
+    fn training_error_is_finite_and_nonnegative() {
+        let ds = small_dataset(4, 40);
+        let metric = dse_sim::Metric::Ed;
+        let m = OfflineModel::train(&ds, &[0, 1, 2], metric, 30, &MlpConfig::default(), 3);
+        let idxs: Vec<usize> = (0..12).collect();
+        let values: Vec<f64> = idxs
+            .iter()
+            .map(|&i| ds.benchmarks[3].metrics[i].get(metric))
+            .collect();
+        let e = m.training_error(&ds, &idxs, &values);
+        assert!(e.is_finite() && e >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one response")]
+    fn empty_responses_panic() {
+        let ds = small_dataset(3, 20);
+        let m = OfflineModel::train(&ds, &[0, 1], dse_sim::Metric::Cycles, 10, &MlpConfig::default(), 1);
+        m.fit_responses(&ds, &[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_train_row_panics() {
+        let ds = small_dataset(2, 20);
+        OfflineModel::train(&ds, &[5], dse_sim::Metric::Cycles, 10, &MlpConfig::default(), 1);
+    }
+}

@@ -1,0 +1,315 @@
+//! Simulated datasets following the paper's sampling protocol (§3.3).
+//!
+//! One set of configurations is drawn uniformly at random from the legal
+//! design space and **every benchmark is simulated on the same set** — the
+//! paper simulates the same 3,000 sampled architectures for each program,
+//! which is what lets the architecture-centric model reuse the training
+//! programs' responses without new simulations (§5.3).
+
+use dse_rng::Xoshiro256;
+use dse_sim::{simulate, Metric, Metrics, SimOptions};
+use dse_space::{sample_legal, Config};
+use dse_workload::{Profile, Suite, TraceGenerator};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Parameters of a dataset generation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Number of sampled configurations (the paper uses 3,000; the
+    /// default here is 1,000 to fit a single-core time budget — see
+    /// EXPERIMENTS.md).
+    pub n_configs: usize,
+    /// Dynamic trace length per benchmark in instructions.
+    pub trace_len: usize,
+    /// Warm-up instructions excluded from the metrics.
+    pub warmup: usize,
+    /// Seed for configuration sampling.
+    pub seed: u64,
+}
+
+impl Default for DatasetSpec {
+    fn default() -> Self {
+        Self {
+            n_configs: 1_000,
+            trace_len: 60_000,
+            warmup: 15_000,
+            seed: 0xD5E,
+        }
+    }
+}
+
+impl DatasetSpec {
+    /// The paper's full protocol: 3,000 configurations per benchmark.
+    pub fn paper() -> Self {
+        Self {
+            n_configs: 3_000,
+            trace_len: 200_000,
+            warmup: 50_000,
+            seed: 0xD5E,
+        }
+    }
+
+    /// A reduced spec for unit tests and examples: few configurations and
+    /// short traces, still exercising the full pipeline.
+    pub fn tiny() -> Self {
+        Self {
+            n_configs: 24,
+            trace_len: 12_000,
+            warmup: 2_000,
+            seed: 0xD5E,
+        }
+    }
+}
+
+/// Simulated metrics of one benchmark over the shared configurations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkData {
+    /// Benchmark name.
+    pub name: String,
+    /// Owning suite.
+    pub suite: Suite,
+    /// One [`Metrics`] per shared configuration (same order as
+    /// [`SuiteDataset::configs`]).
+    pub metrics: Vec<Metrics>,
+    /// Metrics of the paper's baseline configuration, used for
+    /// normalisation (Fig 4, Fig 5).
+    pub baseline: Metrics,
+}
+
+impl BenchmarkData {
+    /// The values of one metric across all shared configurations.
+    pub fn values(&self, metric: Metric) -> Vec<f64> {
+        self.metrics.iter().map(|m| m.get(metric)).collect()
+    }
+
+    /// The values of one metric normalised by the baseline configuration.
+    pub fn normalized_values(&self, metric: Metric) -> Vec<f64> {
+        let base = self.baseline.get(metric);
+        self.metrics.iter().map(|m| m.get(metric) / base).collect()
+    }
+}
+
+/// A full dataset: shared configurations × benchmarks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteDataset {
+    /// The generation parameters.
+    pub spec: DatasetSpec,
+    /// The shared sampled configurations.
+    pub configs: Vec<Config>,
+    /// Per-benchmark simulated metrics.
+    pub benchmarks: Vec<BenchmarkData>,
+}
+
+impl SuiteDataset {
+    /// Simulates `profiles` over a fresh uniform sample of legal
+    /// configurations (parallelised with rayon). Progress is reported on
+    /// stderr since full generation takes minutes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or the spec's warm-up is not smaller
+    /// than the trace length.
+    pub fn generate(profiles: &[Profile], spec: &DatasetSpec) -> Self {
+        assert!(!profiles.is_empty(), "need at least one profile");
+        assert!(spec.warmup < spec.trace_len, "warmup must precede trace end");
+        let mut rng = Xoshiro256::seed_from(spec.seed);
+        let configs = sample_legal(&mut rng, spec.n_configs);
+        let options = SimOptions {
+            warmup: spec.warmup,
+        };
+        let baseline_cfg = Config::baseline();
+
+        let benchmarks = profiles
+            .iter()
+            .map(|p| {
+                let trace = TraceGenerator::new(p).generate(spec.trace_len);
+                let t0 = std::time::Instant::now();
+                let metrics: Vec<Metrics> = configs
+                    .par_iter()
+                    .map(|cfg| simulate(cfg, &trace, options))
+                    .collect();
+                let baseline = simulate(&baseline_cfg, &trace, options);
+                eprintln!(
+                    "[dataset] {:12} {} configs in {:.1}s",
+                    p.name,
+                    configs.len(),
+                    t0.elapsed().as_secs_f64()
+                );
+                BenchmarkData {
+                    name: p.name.to_string(),
+                    suite: p.suite,
+                    metrics,
+                    baseline,
+                }
+            })
+            .collect();
+
+        Self {
+            spec: *spec,
+            configs,
+            benchmarks,
+        }
+    }
+
+    /// Loads the dataset from `cache_dir` if a file generated with the
+    /// same spec and benchmark set exists; otherwise generates and caches
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or serialisation error from reading/writing the
+    /// cache (generation itself is infallible).
+    pub fn load_or_generate(
+        profiles: &[Profile],
+        spec: &DatasetSpec,
+        cache_dir: &Path,
+    ) -> io::Result<Self> {
+        let key = Self::cache_key(profiles, spec);
+        let path = cache_dir.join(format!("dse-dataset-{key}.json"));
+        if path.exists() {
+            let file = std::fs::File::open(&path)?;
+            let reader = io::BufReader::new(file);
+            let ds: SuiteDataset = serde_json::from_reader(reader)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            eprintln!("[dataset] loaded cache {}", path.display());
+            return Ok(ds);
+        }
+        let ds = Self::generate(profiles, spec);
+        std::fs::create_dir_all(cache_dir)?;
+        let tmp = path.with_extension("json.tmp");
+        let file = std::fs::File::create(&tmp)?;
+        serde_json::to_writer(io::BufWriter::new(file), &ds)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::rename(&tmp, &path)?;
+        eprintln!("[dataset] cached to {}", path.display());
+        Ok(ds)
+    }
+
+    fn cache_key(profiles: &[Profile], spec: &DatasetSpec) -> String {
+        // Cheap stable fingerprint over names, seeds and the spec.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for p in profiles {
+            for b in p.name.bytes() {
+                mix(b);
+            }
+            for b in p.seed.to_le_bytes() {
+                mix(b);
+            }
+        }
+        for v in [
+            spec.n_configs as u64,
+            spec.trace_len as u64,
+            spec.warmup as u64,
+            spec.seed,
+        ] {
+            for b in v.to_le_bytes() {
+                mix(b);
+            }
+        }
+        format!("{h:016x}")
+    }
+
+    /// ML feature vectors of the shared configurations.
+    pub fn features(&self) -> Vec<Vec<f64>> {
+        self.configs
+            .iter()
+            .map(|c| c.to_features().to_vec())
+            .collect()
+    }
+
+    /// Index of a benchmark by name.
+    pub fn benchmark_index(&self, name: &str) -> Option<usize> {
+        self.benchmarks.iter().position(|b| b.name == name)
+    }
+
+    /// Number of shared configurations.
+    pub fn n_configs(&self) -> usize {
+        self.configs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_workload::suites;
+
+    fn tiny_dataset() -> SuiteDataset {
+        let profiles: Vec<Profile> = suites::spec2000().into_iter().take(3).collect();
+        SuiteDataset::generate(&profiles, &DatasetSpec::tiny())
+    }
+
+    #[test]
+    fn generate_produces_full_grid() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.configs.len(), 24);
+        assert_eq!(ds.benchmarks.len(), 3);
+        for b in &ds.benchmarks {
+            assert_eq!(b.metrics.len(), 24);
+            assert!(b.metrics.iter().all(|m| m.cycles > 0.0 && m.energy > 0.0));
+            assert!(b.baseline.cycles > 0.0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let profiles: Vec<Profile> = suites::spec2000().into_iter().take(2).collect();
+        let a = SuiteDataset::generate(&profiles, &DatasetSpec::tiny());
+        let b = SuiteDataset::generate(&profiles, &DatasetSpec::tiny());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn values_and_normalized_values_are_consistent() {
+        let ds = tiny_dataset();
+        let b = &ds.benchmarks[0];
+        let raw = b.values(Metric::Energy);
+        let norm = b.normalized_values(Metric::Energy);
+        for (r, n) in raw.iter().zip(&norm) {
+            assert!((n * b.baseline.energy - r).abs() < 1e-6 * r);
+        }
+    }
+
+    #[test]
+    fn cache_round_trips() {
+        let dir = std::env::temp_dir().join("dse-dataset-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let profiles: Vec<Profile> = suites::mibench().into_iter().take(2).collect();
+        let spec = DatasetSpec::tiny();
+        let a = SuiteDataset::load_or_generate(&profiles, &spec, &dir).unwrap();
+        let b = SuiteDataset::load_or_generate(&profiles, &spec, &dir).unwrap();
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_specs() {
+        let profiles: Vec<Profile> = suites::spec2000().into_iter().take(1).collect();
+        let a = SuiteDataset::cache_key(&profiles, &DatasetSpec::tiny());
+        let mut other = DatasetSpec::tiny();
+        other.seed += 1;
+        let b = SuiteDataset::cache_key(&profiles, &other);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn benchmark_index_finds_names() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.benchmark_index("gzip"), Some(0));
+        assert_eq!(ds.benchmark_index("nonexistent"), None);
+    }
+
+    #[test]
+    fn features_match_config_count() {
+        let ds = tiny_dataset();
+        let f = ds.features();
+        assert_eq!(f.len(), ds.n_configs());
+        assert!(f.iter().all(|row| row.len() == 13));
+    }
+}

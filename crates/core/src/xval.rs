@@ -1,0 +1,667 @@
+//! Cross-validation and sweep experiments (Figs 9–14 of the paper).
+//!
+//! All experiments follow the paper's protocol (§7.1): N-fold
+//! leave-one-out cross-validation over benchmarks, repeated `repeats`
+//! times with different random training/response samples, reporting the
+//! relative mean absolute error and the correlation coefficient on the
+//! configurations not shown to the model.
+
+use crate::arch_centric::OfflineModel;
+use crate::dataset::SuiteDataset;
+use crate::program_specific::ProgramSpecificPredictor;
+use dse_ml::stats::{correlation, mean, rmae, std_dev};
+use dse_ml::MlpConfig;
+use dse_rng::Xoshiro256;
+use dse_sim::Metric;
+use dse_workload::Suite;
+use rayon::prelude::*;
+
+/// Shared experiment parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalConfig {
+    /// Simulations per training program for the offline ANNs (paper: 512).
+    pub t: usize,
+    /// Responses from each new program (paper: 32).
+    pub r: usize,
+    /// Experiment repetitions with fresh random samples (paper: 20).
+    pub repeats: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// ANN hyper-parameters.
+    pub mlp: MlpConfig,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            t: 512,
+            r: 32,
+            repeats: 20,
+            seed: 0xE7A1,
+            mlp: MlpConfig::default(),
+        }
+    }
+}
+
+/// Mean and standard deviation over repeats (and programs, where noted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Mean value.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std: f64,
+}
+
+impl Summary {
+    /// Summarises a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn of(xs: &[f64]) -> Self {
+        Self {
+            mean: mean(xs),
+            std: std_dev(xs),
+        }
+    }
+}
+
+/// Per-program evaluation result (Figs 11 and 12).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramEval {
+    /// Program name.
+    pub program: String,
+    /// Error of the fitted model on its own responses (the paper's
+    /// "training error", used to flag unusual programs).
+    pub train_rmae: Summary,
+    /// Error on the unseen remainder of the space ("actual"/testing
+    /// error).
+    pub test_rmae: Summary,
+    /// Correlation coefficient on the unseen remainder.
+    pub corr: Summary,
+}
+
+/// One point of a sweep (Figs 9, 10, 14).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Swept quantity (T, R, or the number of training programs).
+    pub x: usize,
+    /// rmae over programs × repeats.
+    pub rmae: Summary,
+    /// Correlation over programs × repeats.
+    pub corr: Summary,
+}
+
+/// One row of the model comparison (Fig 13).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareRow {
+    /// Simulations of the new program given to both models.
+    pub sims: usize,
+    /// Program-specific predictor rmae.
+    pub ps_rmae: Summary,
+    /// Program-specific predictor correlation.
+    pub ps_corr: Summary,
+    /// Architecture-centric predictor rmae.
+    pub ac_rmae: Summary,
+    /// Architecture-centric predictor correlation.
+    pub ac_corr: Summary,
+}
+
+fn repeat_seed(root: u64, tag: u64, repeat: usize) -> u64 {
+    let rng = Xoshiro256::seed_from(root ^ tag.wrapping_mul(0x9E37_79B9));
+    rng.child(repeat as u64).next_u64()
+}
+
+/// Evaluates one fitted predictor on held-out configurations.
+fn evaluate(
+    predictor: &crate::arch_centric::ArchCentricPredictor,
+    ds: &SuiteDataset,
+    features: &[Vec<f64>],
+    target_row: usize,
+    metric: Metric,
+    response_idxs: &[usize],
+) -> (f64, f64, f64) {
+    let in_response = {
+        let mut mask = vec![false; ds.n_configs()];
+        for &i in response_idxs {
+            mask[i] = true;
+        }
+        mask
+    };
+    let target = &ds.benchmarks[target_row];
+    let mut preds = Vec::with_capacity(ds.n_configs());
+    let mut actual = Vec::with_capacity(ds.n_configs());
+    let mut train_preds = Vec::with_capacity(response_idxs.len());
+    let mut train_actual = Vec::with_capacity(response_idxs.len());
+    for i in 0..ds.n_configs() {
+        let p = predictor.predict(&features[i]);
+        let a = target.metrics[i].get(metric);
+        if in_response[i] {
+            train_preds.push(p);
+            train_actual.push(a);
+        } else {
+            preds.push(p);
+            actual.push(a);
+        }
+    }
+    (
+        rmae(&train_preds, &train_actual),
+        rmae(&preds, &actual),
+        correlation(&preds, &actual),
+    )
+}
+
+/// Trains per-repeat pools of program-specific models (one per benchmark)
+/// that leave-one-out folds share.
+fn model_pools(
+    ds: &SuiteDataset,
+    metric: Metric,
+    cfg: &EvalConfig,
+) -> Vec<Vec<ProgramSpecificPredictor>> {
+    (0..cfg.repeats)
+        .map(|k| {
+            OfflineModel::train_model_pool(
+                ds,
+                metric,
+                cfg.t,
+                &cfg.mlp,
+                repeat_seed(cfg.seed, 0x0FF1,  k),
+            )
+        })
+        .collect()
+}
+
+/// Leave-one-out evaluation of the architecture-centric model over every
+/// benchmark of `suite` within `ds` (Fig 11 when run on SPEC).
+///
+/// # Panics
+///
+/// Panics if `ds` holds fewer than two benchmarks of `suite`.
+pub fn loo(ds: &SuiteDataset, suite: Suite, metric: Metric, cfg: &EvalConfig) -> Vec<ProgramEval> {
+    let rows: Vec<usize> = (0..ds.benchmarks.len())
+        .filter(|&i| ds.benchmarks[i].suite == suite)
+        .collect();
+    assert!(rows.len() >= 2, "need at least two benchmarks in the suite");
+    let pools = model_pools(ds, metric, cfg);
+    loo_with_pools(ds, &rows, metric, cfg, &pools)
+}
+
+/// Leave-one-out body over explicit rows, reusing pre-trained per-repeat
+/// model pools (sweeps call this once per point without retraining).
+fn loo_with_pools(
+    ds: &SuiteDataset,
+    rows: &[usize],
+    metric: Metric,
+    cfg: &EvalConfig,
+    pools: &[Vec<ProgramSpecificPredictor>],
+) -> Vec<ProgramEval> {
+    let features = ds.features();
+    rows.par_iter()
+        .map(|&target_row| {
+            let mut train_errs = Vec::with_capacity(cfg.repeats);
+            let mut test_errs = Vec::with_capacity(cfg.repeats);
+            let mut corrs = Vec::with_capacity(cfg.repeats);
+            for (k, pool) in pools.iter().enumerate() {
+                let train_rows: Vec<usize> =
+                    rows.iter().copied().filter(|&r| r != target_row).collect();
+                let models: Vec<ProgramSpecificPredictor> = train_rows
+                    .iter()
+                    .map(|&r| pool[r].clone())
+                    .collect();
+                let offline = OfflineModel::from_parts(metric, train_rows, models);
+                let mut rng = Xoshiro256::seed_from(repeat_seed(
+                    cfg.seed,
+                    0x1003 + target_row as u64,
+                    k,
+                ));
+                let response_idxs = rng.sample_indices(ds.n_configs(), cfg.r);
+                let values: Vec<f64> = response_idxs
+                    .iter()
+                    .map(|&i| ds.benchmarks[target_row].metrics[i].get(metric))
+                    .collect();
+                let predictor = offline.fit_responses(ds, &response_idxs, &values);
+                let (tr, te, c) =
+                    evaluate(&predictor, ds, &features, target_row, metric, &response_idxs);
+                train_errs.push(tr);
+                test_errs.push(te);
+                corrs.push(c);
+            }
+            ProgramEval {
+                program: ds.benchmarks[target_row].name.clone(),
+                train_rmae: Summary::of(&train_errs),
+                test_rmae: Summary::of(&test_errs),
+                corr: Summary::of(&corrs),
+            }
+        })
+        .collect()
+}
+
+/// Cross-suite evaluation: train on every benchmark of `train_suite`,
+/// predict each benchmark of `test_suite` (Fig 12: SPEC → MiBench).
+///
+/// # Panics
+///
+/// Panics if either suite is absent from `ds`.
+pub fn cross_suite(
+    ds: &SuiteDataset,
+    train_suite: Suite,
+    test_suite: Suite,
+    metric: Metric,
+    cfg: &EvalConfig,
+) -> Vec<ProgramEval> {
+    let train_rows: Vec<usize> = (0..ds.benchmarks.len())
+        .filter(|&i| ds.benchmarks[i].suite == train_suite)
+        .collect();
+    let test_rows: Vec<usize> = (0..ds.benchmarks.len())
+        .filter(|&i| ds.benchmarks[i].suite == test_suite)
+        .collect();
+    assert!(!train_rows.is_empty(), "training suite absent from dataset");
+    assert!(!test_rows.is_empty(), "test suite absent from dataset");
+    let features = ds.features();
+
+    // Offline ensembles depend only on the repeat, not the test program.
+    let offlines: Vec<OfflineModel> = (0..cfg.repeats)
+        .map(|k| {
+            OfflineModel::train(
+                ds,
+                &train_rows,
+                metric,
+                cfg.t,
+                &cfg.mlp,
+                repeat_seed(cfg.seed, 0xC805, k),
+            )
+        })
+        .collect();
+
+    test_rows
+        .par_iter()
+        .map(|&target_row| {
+            let mut train_errs = Vec::new();
+            let mut test_errs = Vec::new();
+            let mut corrs = Vec::new();
+            for (k, offline) in offlines.iter().enumerate() {
+                let mut rng = Xoshiro256::seed_from(repeat_seed(
+                    cfg.seed,
+                    0x2003 + target_row as u64,
+                    k,
+                ));
+                let response_idxs = rng.sample_indices(ds.n_configs(), cfg.r);
+                let values: Vec<f64> = response_idxs
+                    .iter()
+                    .map(|&i| ds.benchmarks[target_row].metrics[i].get(metric))
+                    .collect();
+                let predictor = offline.fit_responses(ds, &response_idxs, &values);
+                let (tr, te, c) =
+                    evaluate(&predictor, ds, &features, target_row, metric, &response_idxs);
+                train_errs.push(tr);
+                test_errs.push(te);
+                corrs.push(c);
+            }
+            ProgramEval {
+                program: ds.benchmarks[target_row].name.clone(),
+                train_rmae: Summary::of(&train_errs),
+                test_rmae: Summary::of(&test_errs),
+                corr: Summary::of(&corrs),
+            }
+        })
+        .collect()
+}
+
+/// Evaluates a *program-specific* predictor trained on `t` samples of
+/// each program and tested on the rest, averaged over programs × repeats
+/// (Fig 9, and the program-specific side of Fig 13).
+pub fn program_specific_accuracy(
+    ds: &SuiteDataset,
+    suite: Suite,
+    metric: Metric,
+    t: usize,
+    cfg: &EvalConfig,
+) -> SweepPoint {
+    let rows: Vec<usize> = (0..ds.benchmarks.len())
+        .filter(|&i| ds.benchmarks[i].suite == suite)
+        .collect();
+    let features = ds.features();
+    let jobs: Vec<(usize, usize)> = rows
+        .iter()
+        .flat_map(|&r| (0..cfg.repeats).map(move |k| (r, k)))
+        .collect();
+    let results: Vec<(f64, f64)> = jobs
+        .par_iter()
+        .map(|&(row, k)| {
+            let mut rng =
+                Xoshiro256::seed_from(repeat_seed(cfg.seed, 0x9001 + row as u64, k));
+            let idx = rng.sample_indices(ds.n_configs(), t.min(ds.n_configs()));
+            let bench = &ds.benchmarks[row];
+            let tf: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
+            let tv: Vec<f64> = idx.iter().map(|&i| bench.metrics[i].get(metric)).collect();
+            let mlp = MlpConfig {
+                seed: rng.next_u64(),
+                ..cfg.mlp
+            };
+            let p = ProgramSpecificPredictor::train(&bench.name, metric, &tf, &tv, &mlp);
+            let mut mask = vec![false; ds.n_configs()];
+            for &i in &idx {
+                mask[i] = true;
+            }
+            let mut preds = Vec::new();
+            let mut actual = Vec::new();
+            for i in 0..ds.n_configs() {
+                if !mask[i] {
+                    preds.push(p.predict(&features[i]));
+                    actual.push(bench.metrics[i].get(metric));
+                }
+            }
+            (rmae(&preds, &actual), correlation(&preds, &actual))
+        })
+        .collect();
+    let errs: Vec<f64> = results.iter().map(|r| r.0).collect();
+    let corrs: Vec<f64> = results.iter().map(|r| r.1).collect();
+    SweepPoint {
+        x: t,
+        rmae: Summary::of(&errs),
+        corr: Summary::of(&corrs),
+    }
+}
+
+/// Sweeps the number of training simulations T for the program-specific
+/// predictors (Fig 9).
+pub fn sweep_t(
+    ds: &SuiteDataset,
+    suite: Suite,
+    metric: Metric,
+    ts: &[usize],
+    cfg: &EvalConfig,
+) -> Vec<SweepPoint> {
+    ts.iter()
+        .map(|&t| program_specific_accuracy(ds, suite, metric, t, cfg))
+        .collect()
+}
+
+/// Architecture-centric accuracy at one response count, averaged over
+/// leave-one-out programs × repeats (one point of Fig 10 / Fig 13).
+pub fn arch_centric_accuracy(
+    ds: &SuiteDataset,
+    suite: Suite,
+    metric: Metric,
+    r: usize,
+    cfg: &EvalConfig,
+) -> SweepPoint {
+    let pools = model_pools(ds, metric, cfg);
+    arch_point(ds, suite, metric, r, cfg, &pools)
+}
+
+fn arch_point(
+    ds: &SuiteDataset,
+    suite: Suite,
+    metric: Metric,
+    r: usize,
+    cfg: &EvalConfig,
+    pools: &[Vec<ProgramSpecificPredictor>],
+) -> SweepPoint {
+    let rows: Vec<usize> = (0..ds.benchmarks.len())
+        .filter(|&i| ds.benchmarks[i].suite == suite)
+        .collect();
+    let evals = loo_with_pools(
+        ds,
+        &rows,
+        metric,
+        &EvalConfig {
+            r,
+            ..cfg.clone()
+        },
+        pools,
+    );
+    let errs: Vec<f64> = evals.iter().map(|e| e.test_rmae.mean).collect();
+    let corrs: Vec<f64> = evals.iter().map(|e| e.corr.mean).collect();
+    SweepPoint {
+        x: r,
+        rmae: Summary::of(&errs),
+        corr: Summary::of(&corrs),
+    }
+}
+
+/// Sweeps the number of responses R for the architecture-centric model
+/// (Fig 10). The offline ensembles are trained once and shared across
+/// every point of the sweep (they do not depend on R).
+pub fn sweep_r(
+    ds: &SuiteDataset,
+    suite: Suite,
+    metric: Metric,
+    rs: &[usize],
+    cfg: &EvalConfig,
+) -> Vec<SweepPoint> {
+    let pools = model_pools(ds, metric, cfg);
+    rs.iter()
+        .map(|&r| arch_point(ds, suite, metric, r, cfg, &pools))
+        .collect()
+}
+
+/// Head-to-head comparison at equal simulation budgets (Fig 13). The
+/// architecture-centric offline ensembles are shared across budgets.
+pub fn compare(
+    ds: &SuiteDataset,
+    suite: Suite,
+    metric: Metric,
+    sims: &[usize],
+    cfg: &EvalConfig,
+) -> Vec<CompareRow> {
+    let pools = model_pools(ds, metric, cfg);
+    sims.iter()
+        .map(|&s| {
+            let ps = program_specific_accuracy(ds, suite, metric, s, cfg);
+            let ac = arch_point(ds, suite, metric, s, cfg, &pools);
+            CompareRow {
+                sims: s,
+                ps_rmae: ps.rmae,
+                ps_corr: ps.corr,
+                ac_rmae: ac.rmae,
+                ac_corr: ac.corr,
+            }
+        })
+        .collect()
+}
+
+/// Accuracy versus the number of offline training programs (Fig 14):
+/// for each left-out program, `n` training programs are drawn at random
+/// from the remainder.
+pub fn sweep_train_programs(
+    ds: &SuiteDataset,
+    suite: Suite,
+    metric: Metric,
+    ns: &[usize],
+    cfg: &EvalConfig,
+) -> Vec<SweepPoint> {
+    let rows: Vec<usize> = (0..ds.benchmarks.len())
+        .filter(|&i| ds.benchmarks[i].suite == suite)
+        .collect();
+    let pools = model_pools(ds, metric, cfg);
+    let features = ds.features();
+
+    ns.iter()
+        .map(|&n| {
+            assert!(
+                n >= 1 && n < rows.len(),
+                "training-set size {n} outside [1, {})",
+                rows.len()
+            );
+            let jobs: Vec<(usize, usize)> = rows
+                .iter()
+                .flat_map(|&r| (0..cfg.repeats).map(move |k| (r, k)))
+                .collect();
+            let results: Vec<(f64, f64)> = jobs
+                .par_iter()
+                .map(|&(target_row, k)| {
+                    let mut rng = Xoshiro256::seed_from(repeat_seed(
+                        cfg.seed,
+                        0x1400 + target_row as u64 + ((n as u64) << 8),
+                        k,
+                    ));
+                    let others: Vec<usize> = rows
+                        .iter()
+                        .copied()
+                        .filter(|&r| r != target_row)
+                        .collect();
+                    let chosen = rng.sample_indices(others.len(), n);
+                    let train_rows: Vec<usize> = chosen.iter().map(|&i| others[i]).collect();
+                    let models: Vec<ProgramSpecificPredictor> = train_rows
+                        .iter()
+                        .map(|&r| pools[k][r].clone())
+                        .collect();
+                    let offline = OfflineModel::from_parts(metric, train_rows, models);
+                    let response_idxs = rng.sample_indices(ds.n_configs(), cfg.r);
+                    let values: Vec<f64> = response_idxs
+                        .iter()
+                        .map(|&i| ds.benchmarks[target_row].metrics[i].get(metric))
+                        .collect();
+                    let predictor = offline.fit_responses(ds, &response_idxs, &values);
+                    let (_, te, c) = evaluate(
+                        &predictor,
+                        ds,
+                        &features,
+                        target_row,
+                        metric,
+                        &response_idxs,
+                    );
+                    (te, c)
+                })
+                .collect();
+            let errs: Vec<f64> = results.iter().map(|r| r.0).collect();
+            let corrs: Vec<f64> = results.iter().map(|r| r.1).collect();
+            SweepPoint {
+                x: n,
+                rmae: Summary::of(&errs),
+                corr: Summary::of(&corrs),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetSpec, SuiteDataset};
+
+    fn tiny_cfg() -> EvalConfig {
+        EvalConfig {
+            t: 30,
+            r: 10,
+            repeats: 2,
+            seed: 5,
+            mlp: MlpConfig {
+                epochs: 60,
+                ..MlpConfig::default()
+            },
+        }
+    }
+
+    fn mixed_dataset() -> SuiteDataset {
+        let mut profiles: Vec<_> = dse_workload::suites::spec2000()
+            .into_iter()
+            .take(4)
+            .collect();
+        profiles.extend(dse_workload::suites::mibench().into_iter().take(2));
+        let spec = DatasetSpec {
+            n_configs: 60,
+            ..DatasetSpec::tiny()
+        };
+        SuiteDataset::generate(&profiles, &spec)
+    }
+
+    #[test]
+    fn loo_reports_every_program() {
+        let ds = mixed_dataset();
+        let evals = loo(&ds, Suite::SpecCpu2000, Metric::Cycles, &tiny_cfg());
+        assert_eq!(evals.len(), 4);
+        for e in &evals {
+            assert!(e.test_rmae.mean.is_finite());
+            assert!(e.corr.mean >= -1.0 && e.corr.mean <= 1.0);
+        }
+    }
+
+    #[test]
+    fn loo_is_deterministic() {
+        let ds = mixed_dataset();
+        let a = loo(&ds, Suite::SpecCpu2000, Metric::Energy, &tiny_cfg());
+        let b = loo(&ds, Suite::SpecCpu2000, Metric::Energy, &tiny_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_suite_tests_only_target_suite() {
+        let ds = mixed_dataset();
+        let evals = cross_suite(
+            &ds,
+            Suite::SpecCpu2000,
+            Suite::MiBench,
+            Metric::Cycles,
+            &tiny_cfg(),
+        );
+        assert_eq!(evals.len(), 2);
+        let names: Vec<&str> = evals.iter().map(|e| e.program.as_str()).collect();
+        assert!(names.contains(&"basicmath"));
+    }
+
+    #[test]
+    fn sweep_t_improves_with_more_data() {
+        let ds = mixed_dataset();
+        let pts = sweep_t(
+            &ds,
+            Suite::SpecCpu2000,
+            Metric::Cycles,
+            &[6, 48],
+            &tiny_cfg(),
+        );
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[1].rmae.mean < pts[0].rmae.mean,
+            "48 samples ({}) should beat 6 ({})",
+            pts[1].rmae.mean,
+            pts[0].rmae.mean
+        );
+    }
+
+    #[test]
+    fn compare_produces_rows_for_each_budget() {
+        let ds = mixed_dataset();
+        let rows = compare(
+            &ds,
+            Suite::SpecCpu2000,
+            Metric::Cycles,
+            &[8, 16],
+            &tiny_cfg(),
+        );
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.ps_rmae.mean.is_finite());
+            assert!(r.ac_rmae.mean.is_finite());
+        }
+    }
+
+    #[test]
+    fn sweep_train_programs_accepts_valid_sizes() {
+        let ds = mixed_dataset();
+        let pts = sweep_train_programs(
+            &ds,
+            Suite::SpecCpu2000,
+            Metric::Cycles,
+            &[1, 3],
+            &tiny_cfg(),
+        );
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.rmae.mean.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn sweep_train_programs_rejects_too_many() {
+        let ds = mixed_dataset();
+        sweep_train_programs(&ds, Suite::SpecCpu2000, Metric::Cycles, &[4], &tiny_cfg());
+    }
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+    }
+}

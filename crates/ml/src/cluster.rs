@@ -1,0 +1,346 @@
+//! Agglomerative hierarchical clustering with average linkage (§4.2).
+//!
+//! Reproduces the behaviour of R's `hclust(..., method = "average")` used
+//! by the paper to build the program-similarity dendrograms of Fig 5:
+//! repeatedly merge the two clusters with the smallest average pairwise
+//! distance, recording the merge height.
+
+/// One merge step of the dendrogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    /// First merged cluster: a leaf index (`Leaf`) or an earlier merge
+    /// (`Node`, by merge index).
+    pub left: ClusterId,
+    /// Second merged cluster.
+    pub right: ClusterId,
+    /// Average inter-cluster distance at which the merge happened (the
+    /// y-axis height in Fig 5).
+    pub height: f64,
+}
+
+/// Identifier of a cluster during agglomeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterId {
+    /// An original observation.
+    Leaf(usize),
+    /// The result of a previous merge (index into the merge list).
+    Node(usize),
+}
+
+/// A complete agglomerative clustering of `n` observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    labels: Vec<String>,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Clusters observations given a symmetric distance matrix, using
+    /// average linkage (UPGMA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two observations are given, the label count
+    /// differs from the matrix size, or the matrix is not square.
+    pub fn average_linkage(labels: &[String], distances: &[Vec<f64>]) -> Self {
+        let n = labels.len();
+        assert!(n >= 2, "need at least two observations");
+        assert_eq!(distances.len(), n, "distance matrix must be n×n");
+        for row in distances {
+            assert_eq!(row.len(), n, "distance matrix must be n×n");
+        }
+
+        // Active clusters: id, member count, and current distances.
+        #[derive(Clone)]
+        struct Active {
+            id: ClusterId,
+            size: usize,
+        }
+        let mut active: Vec<Active> = (0..n)
+            .map(|i| Active {
+                id: ClusterId::Leaf(i),
+                size: 1,
+            })
+            .collect();
+        let mut dist: Vec<Vec<f64>> = distances.to_vec();
+        let mut merges = Vec::with_capacity(n - 1);
+
+        while active.len() > 1 {
+            // Find the closest pair.
+            let (mut bi, mut bj, mut best) = (0, 1, f64::INFINITY);
+            for i in 0..active.len() {
+                for j in (i + 1)..active.len() {
+                    if dist[i][j] < best {
+                        best = dist[i][j];
+                        bi = i;
+                        bj = j;
+                    }
+                }
+            }
+            // Average-linkage update (Lance–Williams): the distance from
+            // the merged cluster to any other is the size-weighted mean.
+            let (si, sj) = (active[bi].size as f64, active[bj].size as f64);
+            let merged_id = ClusterId::Node(merges.len());
+            merges.push(Merge {
+                left: active[bi].id,
+                right: active[bj].id,
+                height: best,
+            });
+
+            let mut new_dist_row = Vec::with_capacity(active.len() - 1);
+            for k in 0..active.len() {
+                if k == bi || k == bj {
+                    continue;
+                }
+                new_dist_row.push((si * dist[bi][k] + sj * dist[bj][k]) / (si + sj));
+            }
+
+            // Remove bj first (larger index), then bi.
+            let merged = Active {
+                id: merged_id,
+                size: active[bi].size + active[bj].size,
+            };
+            active.remove(bj);
+            active.remove(bi);
+            for row in dist.iter_mut() {
+                row.remove(bj);
+                row.remove(bi);
+            }
+            dist.remove(bj);
+            dist.remove(bi);
+
+            // Append merged cluster.
+            active.push(merged);
+            for (row, &d) in dist.iter_mut().zip(&new_dist_row) {
+                row.push(d);
+            }
+            let mut last = new_dist_row;
+            last.push(0.0);
+            dist.push(last);
+        }
+
+        Self {
+            labels: labels.to_vec(),
+            merges,
+        }
+    }
+
+    /// The merge sequence, in increasing-height order of execution.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Observation labels.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Cuts the tree at `height`, returning the resulting clusters as sets
+    /// of leaf indices (merges with `height > cut` are undone).
+    pub fn cut(&self, height: f64) -> Vec<Vec<usize>> {
+        // Union-find over leaves, applying merges up to the cut height.
+        let n = self.labels.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        // A node's representative leaf.
+        let mut node_leaf: Vec<usize> = Vec::with_capacity(self.merges.len());
+        for m in &self.merges {
+            let leaf_of = |id: ClusterId, node_leaf: &[usize]| match id {
+                ClusterId::Leaf(i) => i,
+                ClusterId::Node(k) => node_leaf[k],
+            };
+            let a = leaf_of(m.left, &node_leaf);
+            let b = leaf_of(m.right, &node_leaf);
+            node_leaf.push(a);
+            if m.height <= height {
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                parent[ra] = rb;
+            }
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            groups.entry(r).or_default().push(i);
+        }
+        groups.into_values().collect()
+    }
+
+    /// Height at which a leaf first merges with anything (its isolation:
+    /// outliers like `art` have the largest value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is out of range.
+    pub fn join_height(&self, leaf: usize) -> f64 {
+        assert!(leaf < self.labels.len(), "leaf out of range");
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        for m in &self.merges {
+            let collect = |id: ClusterId, members: &[Vec<usize>]| match id {
+                ClusterId::Leaf(i) => vec![i],
+                ClusterId::Node(k) => members[k].clone(),
+            };
+            let mut all = collect(m.left, &members);
+            let right = collect(m.right, &members);
+            let involved = all.contains(&leaf) || right.contains(&leaf);
+            all.extend(right);
+            if involved && (all.len() > 1) {
+                // First merge touching the leaf.
+                let was_alone = matches!(m.left, ClusterId::Leaf(l) if l == leaf)
+                    || matches!(m.right, ClusterId::Leaf(l) if l == leaf);
+                if was_alone {
+                    return m.height;
+                }
+            }
+            members.push(all);
+        }
+        // The leaf is always merged by the final step.
+        self.merges.last().map(|m| m.height).unwrap_or(0.0)
+    }
+
+    /// Renders the dendrogram as indented text, children sorted by height.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(last) = self.merges.len().checked_sub(1) {
+            self.render_node(ClusterId::Node(last), 0, &mut out);
+        } else {
+            out.push_str(&self.labels[0]);
+        }
+        out
+    }
+
+    fn render_node(&self, id: ClusterId, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match id {
+            ClusterId::Leaf(i) => {
+                out.push_str(&format!("{pad}{}\n", self.labels[i]));
+            }
+            ClusterId::Node(k) => {
+                let m = &self.merges[k];
+                out.push_str(&format!("{pad}+- h={:.4}\n", m.height));
+                self.render_node(m.left, depth + 1, out);
+                self.render_node(m.right, depth + 1, out);
+            }
+        }
+    }
+}
+
+/// Builds a Euclidean distance matrix from observation rows.
+///
+/// # Panics
+///
+/// Panics if rows have unequal widths.
+pub fn distance_matrix(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = rows.len();
+    let mut d = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = crate::stats::euclidean(&rows[i], &rows[j]);
+            d[i][j] = dist;
+            d[j][i] = dist;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn two_points_merge_once() {
+        let d = distance_matrix(&[vec![0.0], vec![3.0]]);
+        let dg = Dendrogram::average_linkage(&labels(&["a", "b"]), &d);
+        assert_eq!(dg.merges().len(), 1);
+        assert!((dg.merges()[0].height - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn close_pair_merges_before_outlier() {
+        // a and b are close; c is far away.
+        let rows = vec![vec![0.0], vec![1.0], vec![100.0]];
+        let d = distance_matrix(&rows);
+        let dg = Dendrogram::average_linkage(&labels(&["a", "b", "c"]), &d);
+        assert_eq!(dg.merges().len(), 2);
+        assert!((dg.merges()[0].height - 1.0).abs() < 1e-12);
+        // Average linkage: c merges at mean(99, 100) = 99.5.
+        assert!((dg.merges()[1].height - 99.5).abs() < 1e-12);
+        assert!(dg.join_height(2) > dg.join_height(0));
+    }
+
+    #[test]
+    fn cut_separates_clusters() {
+        let rows = vec![vec![0.0], vec![1.0], vec![50.0], vec![51.0]];
+        let d = distance_matrix(&rows);
+        let dg = Dendrogram::average_linkage(&labels(&["a", "b", "c", "d"]), &d);
+        let clusters = dg.cut(10.0);
+        assert_eq!(clusters.len(), 2);
+        let mut sizes: Vec<usize> = clusters.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn cut_at_zero_isolates_everything() {
+        let rows = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let d = distance_matrix(&rows);
+        let dg = Dendrogram::average_linkage(&labels(&["a", "b", "c"]), &d);
+        assert_eq!(dg.cut(-1.0).len(), 3);
+    }
+
+    #[test]
+    fn cut_above_max_height_gives_one_cluster() {
+        let rows = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let d = distance_matrix(&rows);
+        let dg = Dendrogram::average_linkage(&labels(&["a", "b", "c"]), &d);
+        assert_eq!(dg.cut(1e9).len(), 1);
+    }
+
+    #[test]
+    fn merge_heights_are_nondecreasing_for_euclidean_data() {
+        let mut rng = dse_rng::Xoshiro256::seed_from(5);
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|_| (0..3).map(|_| rng.next_f64() * 10.0).collect())
+            .collect();
+        let names: Vec<String> = (0..12).map(|i| format!("p{i}")).collect();
+        let d = distance_matrix(&rows);
+        let dg = Dendrogram::average_linkage(&names, &d);
+        // UPGMA on a metric space is monotone.
+        for w in dg.merges().windows(2) {
+            assert!(w[1].height >= w[0].height - 1e-9);
+        }
+    }
+
+    #[test]
+    fn outlier_has_largest_join_height() {
+        let mut rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 * 0.1]).collect();
+        rows.push(vec![500.0]); // the "art" of this dataset
+        let names: Vec<String> = (0..9).map(|i| format!("p{i}")).collect();
+        let d = distance_matrix(&rows);
+        let dg = Dendrogram::average_linkage(&names, &d);
+        let outlier = dg.join_height(8);
+        for i in 0..8 {
+            assert!(outlier > dg.join_height(i));
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_label() {
+        let rows = vec![vec![0.0], vec![1.0], vec![9.0]];
+        let d = distance_matrix(&rows);
+        let dg = Dendrogram::average_linkage(&labels(&["alpha", "beta", "gamma"]), &d);
+        let text = dg.render();
+        for l in ["alpha", "beta", "gamma"] {
+            assert!(text.contains(l), "missing {l} in:\n{text}");
+        }
+    }
+}

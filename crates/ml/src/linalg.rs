@@ -1,0 +1,311 @@
+//! Minimal dense linear algebra: exactly what the regressors need.
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use dse_ml::Matrix;
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// assert_eq!(m.get(1, 0), 3.0);
+/// assert_eq!(m.transpose().get(0, 1), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matmul");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out.data[i * rhs.cols + j] += a * rhs.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in matvec");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// `Aᵀ A` (Gram matrix), computed directly for symmetry.
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..self.cols {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    g.data[i * self.cols + j] += ri * row[j];
+                }
+            }
+        }
+        for i in 0..self.cols {
+            for j in 0..i {
+                g.data[i * self.cols + j] = g.data[j * self.cols + i];
+            }
+        }
+        g
+    }
+
+    /// Solves `self * x = b` for a symmetric positive-definite matrix via
+    /// Cholesky decomposition.
+    ///
+    /// Returns `None` if the matrix is not positive definite (within a
+    /// small tolerance) — callers typically retry with a larger ridge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b` has the wrong length.
+    pub fn solve_spd(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve_spd needs a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        // Cholesky: self = L Lᵀ.
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 1e-12 {
+                        return None;
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0f64; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[i * n + k] * y[k];
+            }
+            y[i] = sum / l[i * n + i];
+        }
+        // Back substitution: Lᵀ x = y.
+        let mut x = vec![0.0f64; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= l[k * n + i] * x[k];
+            }
+            x[i] = sum / l[i * n + i];
+        }
+        Some(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_to_rhs() {
+        let i = Matrix::identity(3);
+        let x = i.solve_spd(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_known_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 9] → x = [1.5, 2].
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let x = a.solve_spd(&[10.0, 9.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_pd_returns_none() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalue -1
+        assert_eq!(a.solve_spd(&[1.0, 1.0]), None);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        assert_eq!(a.solve_spd(&[2.0, 2.0]), None);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn gram_equals_transpose_times_self() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 10.0],
+            vec![2.0, 1.0, 0.5],
+        ]);
+        let g = a.gram();
+        let expect = a.transpose().matmul(&a);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g.get(i, j) - expect.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_rows_panic() {
+        Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn solve_spd_random_system_round_trips() {
+        // Build SPD as XᵀX + I and verify A·x ≈ b.
+        let mut rng = dse_rng::Xoshiro256::seed_from(4);
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|_| (0..6).map(|_| rng.next_f64() * 2.0 - 1.0).collect())
+            .collect();
+        let x_mat = Matrix::from_rows(&rows);
+        let mut a = x_mat.gram();
+        for i in 0..6 {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        let b: Vec<f64> = (0..6).map(|i| i as f64 + 1.0).collect();
+        let x = a.solve_spd(&b).unwrap();
+        let back = a.matvec(&x);
+        for (bi, bb) in back.iter().zip(b.iter()) {
+            assert!((bi - bb).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Multi-layer perceptron with one hidden layer (§5.2).
+//!
+//! Matches the paper's program-specific predictor: a feed-forward network
+//! with one hidden layer of (by default) 10 neurons, a tanh activation on
+//! the hidden layer, a linear output for regression, trained with
+//! mini-batch back-propagation with momentum. Inputs and targets are
+//! standardised internally, fitted on the training data.
+
+use crate::scale::Standardizer;
+use crate::stats;
+use dse_rng::Xoshiro256;
+
+/// Hyper-parameters of an [`Mlp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden-layer width (the paper uses 10).
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Initial learning rate (decays harmonically over epochs).
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Weight-initialisation and shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 10,
+            epochs: 200,
+            learning_rate: 0.02,
+            momentum: 0.9,
+            batch: 32,
+            seed: 1,
+        }
+    }
+}
+
+/// A trained feed-forward network: `input → tanh(hidden) → linear output`.
+///
+/// # Examples
+///
+/// ```
+/// use dse_ml::{Mlp, MlpConfig};
+/// // Learn y = 2 x0 - x1.
+/// let xs: Vec<Vec<f64>> = (0..64)
+///     .map(|i| vec![(i % 8) as f64, (i / 8) as f64])
+///     .collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - x[1]).collect();
+/// let net = Mlp::train(&xs, &ys, &MlpConfig::default());
+/// let err = (net.predict(&[3.0, 4.0]) - 2.0).abs();
+/// assert!(err < 0.5, "error {err}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    input_dim: usize,
+    hidden: usize,
+    /// `w1[j * input_dim + i]`: input `i` → hidden `j`.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    /// Hidden `j` → output.
+    w2: Vec<f64>,
+    b2: f64,
+    x_scale: Standardizer,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl Mlp {
+    /// Trains a network on rows `xs` with targets `ys`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` differ in length, are empty, or contain
+    /// rows of unequal width, or if the configuration has zero hidden
+    /// neurons, epochs or batch size.
+    pub fn train(xs: &[Vec<f64>], ys: &[f64], cfg: &MlpConfig) -> Self {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        assert!(!xs.is_empty(), "cannot train on no data");
+        assert!(
+            cfg.hidden > 0 && cfg.epochs > 0 && cfg.batch > 0,
+            "hidden, epochs and batch must be positive"
+        );
+        let input_dim = xs[0].len();
+        let x_scale = Standardizer::fit(xs);
+        let y_mean = stats::mean(ys);
+        let y_std = {
+            let s = stats::std_dev(ys);
+            if s > 0.0 {
+                s
+            } else {
+                1.0
+            }
+        };
+        let xn: Vec<Vec<f64>> = xs.iter().map(|x| x_scale.transform(x)).collect();
+        let yn: Vec<f64> = ys.iter().map(|y| (y - y_mean) / y_std).collect();
+
+        let mut rng = Xoshiro256::seed_from(cfg.seed);
+        let h = cfg.hidden;
+        let init = |rng: &mut Xoshiro256, fan_in: usize| {
+            let bound = 1.0 / (fan_in as f64).sqrt();
+            (rng.next_f64() * 2.0 - 1.0) * bound
+        };
+        let mut w1: Vec<f64> = (0..h * input_dim).map(|_| init(&mut rng, input_dim)).collect();
+        let mut b1 = vec![0.0; h];
+        let mut w2: Vec<f64> = (0..h).map(|_| init(&mut rng, h)).collect();
+        let mut b2 = 0.0;
+
+        // Momentum buffers.
+        let mut vw1 = vec![0.0; w1.len()];
+        let mut vb1 = vec![0.0; h];
+        let mut vw2 = vec![0.0; h];
+        let mut vb2 = 0.0;
+
+        let mut order: Vec<usize> = (0..xn.len()).collect();
+        let mut hidden_out = vec![0.0; h];
+
+        for epoch in 0..cfg.epochs {
+            let lr = cfg.learning_rate / (1.0 + 4.0 * epoch as f64 / cfg.epochs as f64);
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(cfg.batch) {
+                // Accumulate gradients over the mini-batch.
+                let mut gw1 = vec![0.0; w1.len()];
+                let mut gb1 = vec![0.0; h];
+                let mut gw2 = vec![0.0; h];
+                let mut gb2 = 0.0;
+                for &i in chunk {
+                    let x = &xn[i];
+                    // Forward.
+                    for j in 0..h {
+                        let mut a = b1[j];
+                        let row = &w1[j * input_dim..(j + 1) * input_dim];
+                        for (wji, xi) in row.iter().zip(x) {
+                            a += wji * xi;
+                        }
+                        hidden_out[j] = a.tanh();
+                    }
+                    let mut out = b2;
+                    for j in 0..h {
+                        out += w2[j] * hidden_out[j];
+                    }
+                    // Backward (squared-error loss, d = out - target).
+                    let d = out - yn[i];
+                    gb2 += d;
+                    for j in 0..h {
+                        gw2[j] += d * hidden_out[j];
+                        let dh = d * w2[j] * (1.0 - hidden_out[j] * hidden_out[j]);
+                        gb1[j] += dh;
+                        let grow = &mut gw1[j * input_dim..(j + 1) * input_dim];
+                        for (g, xi) in grow.iter_mut().zip(x) {
+                            *g += dh * xi;
+                        }
+                    }
+                }
+                let scale = lr / chunk.len() as f64;
+                for (w, (v, g)) in w1.iter_mut().zip(vw1.iter_mut().zip(&gw1)) {
+                    *v = cfg.momentum * *v - scale * g;
+                    *w += *v;
+                }
+                for (w, (v, g)) in b1.iter_mut().zip(vb1.iter_mut().zip(&gb1)) {
+                    *v = cfg.momentum * *v - scale * g;
+                    *w += *v;
+                }
+                for (w, (v, g)) in w2.iter_mut().zip(vw2.iter_mut().zip(&gw2)) {
+                    *v = cfg.momentum * *v - scale * g;
+                    *w += *v;
+                }
+                vb2 = cfg.momentum * vb2 - scale * gb2;
+                b2 += vb2;
+            }
+        }
+
+        Self {
+            input_dim,
+            hidden: h,
+            w1,
+            b1,
+            w2,
+            b2,
+            x_scale,
+            y_mean,
+            y_std,
+        }
+    }
+
+    /// Predicts the target for one input row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not match the training dimensionality.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.input_dim, "input dimension mismatch");
+        let xn = self.x_scale.transform(x);
+        let mut out = self.b2;
+        for j in 0..self.hidden {
+            let mut a = self.b1[j];
+            let row = &self.w1[j * self.input_dim..(j + 1) * self.input_dim];
+            for (w, xi) in row.iter().zip(&xn) {
+                a += w * xi;
+            }
+            out += self.w2[j] * a.tanh();
+        }
+        out * self.y_std + self.y_mean
+    }
+
+    /// Predicts a batch of rows.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Hidden-layer width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{correlation, rmae};
+
+    fn grid2(n: usize) -> Vec<Vec<f64>> {
+        let mut rng = Xoshiro256::seed_from(77);
+        (0..n)
+            .map(|_| vec![rng.next_f64() * 4.0 - 2.0, rng.next_f64() * 4.0 - 2.0])
+            .collect()
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let xs = grid2(256);
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + 5.0).collect();
+        let net = Mlp::train(&xs, &ys, &MlpConfig::default());
+        let preds = net.predict_batch(&xs);
+        assert!(correlation(&preds, &ys) > 0.99);
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        // y = x0 * x1 is not linearly representable.
+        let xs = grid2(512);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[1] + 10.0).collect();
+        let cfg = MlpConfig {
+            epochs: 500,
+            ..MlpConfig::default()
+        };
+        let net = Mlp::train(&xs, &ys, &cfg);
+        let preds = net.predict_batch(&xs);
+        assert!(
+            correlation(&preds, &ys) > 0.95,
+            "corr {}",
+            correlation(&preds, &ys)
+        );
+        assert!(rmae(&preds, &ys) < 5.0, "rmae {}", rmae(&preds, &ys));
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let xs = grid2(64);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] + x[1]).collect();
+        let a = Mlp::train(&xs, &ys, &MlpConfig::default());
+        let b = Mlp::train(&xs, &ys, &MlpConfig::default());
+        assert_eq!(a, b);
+        assert_eq!(a.predict(&[0.5, 0.5]), b.predict(&[0.5, 0.5]));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let xs = grid2(64);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] + x[1]).collect();
+        let a = Mlp::train(&xs, &ys, &MlpConfig::default());
+        let b = Mlp::train(
+            &xs,
+            &ys,
+            &MlpConfig {
+                seed: 2,
+                ..MlpConfig::default()
+            },
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn more_training_data_helps_generalisation() {
+        let f = |x: &[f64]| (x[0] * 1.5).sin() + 0.5 * x[1];
+        let test = grid2(200);
+        let test_y: Vec<f64> = test.iter().map(|x| f(x) + 100.0).collect();
+        let err_with = |n: usize| {
+            let mut rng = Xoshiro256::seed_from(n as u64);
+            let xs: Vec<Vec<f64>> = (0..n)
+                .map(|_| vec![rng.next_f64() * 4.0 - 2.0, rng.next_f64() * 4.0 - 2.0])
+                .collect();
+            let ys: Vec<f64> = xs.iter().map(|x| f(x) + 100.0).collect();
+            let net = Mlp::train(&xs, &ys, &MlpConfig::default());
+            rmae(&net.predict_batch(&test), &test_y)
+        };
+        let few = err_with(8);
+        let many = err_with(512);
+        assert!(many < few, "many {many} few {few}");
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let xs = grid2(32);
+        let ys = vec![42.0; 32];
+        let net = Mlp::train(&xs, &ys, &MlpConfig::default());
+        assert!((net.predict(&[0.0, 0.0]) - 42.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Mlp::train(&[vec![1.0]], &[1.0, 2.0], &MlpConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_input_dim_panics() {
+        let net = Mlp::train(&[vec![1.0], vec![2.0]], &[1.0, 2.0], &MlpConfig::default());
+        net.predict(&[1.0, 2.0]);
+    }
+}

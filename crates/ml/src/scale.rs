@@ -1,0 +1,122 @@
+//! Feature and target standardisation.
+
+use crate::stats;
+
+/// Per-dimension standardiser: maps each feature to zero mean and unit
+/// variance, fitted on training data. Constant dimensions map to zero.
+///
+/// # Examples
+///
+/// ```
+/// use dse_ml::Standardizer;
+/// let data = vec![vec![1.0, 10.0], vec![3.0, 10.0]];
+/// let s = Standardizer::fit(&data);
+/// let t = s.transform(&data[0]);
+/// assert!((t[0] + 1.0).abs() < 1e-12); // (1 - 2) / 1
+/// assert_eq!(t[1], 0.0); // constant column
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits on a non-empty set of equal-length rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows have unequal lengths.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit on no data");
+        let dim = rows[0].len();
+        let mut means = Vec::with_capacity(dim);
+        let mut stds = Vec::with_capacity(dim);
+        for d in 0..dim {
+            let col: Vec<f64> = rows
+                .iter()
+                .map(|r| {
+                    assert_eq!(r.len(), dim, "rows must have equal length");
+                    r[d]
+                })
+                .collect();
+            means.push(stats::mean(&col));
+            stds.push(stats::std_dev(&col));
+        }
+        Self { means, stds }
+    }
+
+    /// Dimensionality this standardiser was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardises one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong length.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.dim(), "row length mismatch");
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(x, (m, s))| if *s > 0.0 { (x - m) / s } else { 0.0 })
+            .collect()
+    }
+
+    /// Inverts the transform for one dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    pub fn inverse(&self, dim: usize, value: f64) -> f64 {
+        assert!(dim < self.dim(), "dimension out of range");
+        value * self.stds[dim] + self.means[dim]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_then_inverse_round_trips() {
+        let rows = vec![vec![1.0, -5.0], vec![2.0, 0.0], vec![6.0, 5.0]];
+        let s = Standardizer::fit(&rows);
+        for row in &rows {
+            let t = s.transform(row);
+            for (d, orig) in row.iter().enumerate() {
+                assert!((s.inverse(d, t[d]) - orig).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn transformed_data_has_zero_mean_unit_std() {
+        let mut rng = dse_rng::Xoshiro256::seed_from(3);
+        let rows: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![rng.next_f64() * 100.0, rng.next_f64() - 50.0])
+            .collect();
+        let s = Standardizer::fit(&rows);
+        let transformed: Vec<Vec<f64>> = rows.iter().map(|r| s.transform(r)).collect();
+        for d in 0..2 {
+            let col: Vec<f64> = transformed.iter().map(|r| r[d]).collect();
+            assert!(stats::mean(&col).abs() < 1e-9);
+            assert!((stats::std_dev(&col) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let rows = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let s = Standardizer::fit(&rows);
+        assert_eq!(s.transform(&[7.0]), vec![0.0]);
+        assert_eq!(s.transform(&[100.0]), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_fit_panics() {
+        Standardizer::fit(&[]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Evaluation statistics: the paper's error and correlation metrics plus
+//! descriptive statistics for the design-space characterisation.
+
+/// Relative mean absolute error in **percent** (§6.1):
+/// `mean(|prediction − actual| / |actual|) × 100`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty, or if any
+/// actual value is zero.
+///
+/// # Examples
+///
+/// ```
+/// let rmae = dse_ml::stats::rmae(&[110.0, 90.0], &[100.0, 100.0]);
+/// assert!((rmae - 10.0).abs() < 1e-12);
+/// ```
+pub fn rmae(predictions: &[f64], actuals: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), actuals.len(), "length mismatch");
+    assert!(!actuals.is_empty(), "rmae of empty slice");
+    let total: f64 = predictions
+        .iter()
+        .zip(actuals)
+        .map(|(p, a)| {
+            assert!(*a != 0.0, "actual value must be non-zero");
+            ((p - a) / a).abs()
+        })
+        .sum();
+    100.0 * total / actuals.len() as f64
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Population covariance of two equally long slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    let (mx, my) = (mean(xs), mean(ys));
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / xs.len() as f64
+}
+
+/// Pearson correlation coefficient (§6.1): `cov(X, Y) / (σ_X σ_Y)`.
+///
+/// Returns 0 when either variable is constant (no linear relation can be
+/// measured), matching the paper's "no linear relation" reading.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Examples
+///
+/// ```
+/// let c = dse_ml::stats::correlation(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]);
+/// assert!((c - 1.0).abs() < 1e-12);
+/// ```
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let (sx, sy) = (std_dev(xs), std_dev(ys));
+    if sx == 0.0 || sy == 0.0 {
+        return 0.0;
+    }
+    covariance(xs, ys) / (sx * sy)
+}
+
+/// Linear-interpolated quantile (`q` in `[0, 1]`) of a sample.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The five-number summary used by Fig 4: minimum, 25 % quartile, median,
+/// 75 % quartile and maximum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumber {
+    /// Smallest value.
+    pub min: f64,
+    /// 25 % quartile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75 % quartile.
+    pub q75: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl FiveNumber {
+    /// Computes the summary of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn of(xs: &[f64]) -> Self {
+        Self {
+            min: quantile(xs, 0.0),
+            q25: quantile(xs, 0.25),
+            median: quantile(xs, 0.5),
+            q75: quantile(xs, 0.75),
+            max: quantile(xs, 1.0),
+        }
+    }
+}
+
+/// Euclidean distance between two equally long vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn euclidean(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmae_of_perfect_prediction_is_zero() {
+        assert_eq!(rmae(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn rmae_of_double_is_hundred_percent() {
+        assert!((rmae(&[2.0, 4.0], &[1.0, 2.0]) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rmae_rejects_zero_actual() {
+        rmae(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn correlation_of_anticorrelated_is_minus_one() {
+        let c = correlation(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]);
+        assert!((c + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_constant_is_zero() {
+        assert_eq!(correlation(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn correlation_is_scale_invariant() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 7.0).collect();
+        assert!((correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_independent_noise_is_small() {
+        let mut rng = dse_rng::Xoshiro256::seed_from(1);
+        let xs: Vec<f64> = (0..10_000).map(|_| rng.next_f64()).collect();
+        let ys: Vec<f64> = (0..10_000).map(|_| rng.next_f64()).collect();
+        assert!(correlation(&xs, &ys).abs() < 0.05);
+    }
+
+    #[test]
+    fn quantiles_of_known_sample() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.25), 2.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((quantile(&xs, 0.3) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_number_is_ordered() {
+        let mut rng = dse_rng::Xoshiro256::seed_from(2);
+        let xs: Vec<f64> = (0..100).map(|_| rng.next_f64()).collect();
+        let f = FiveNumber::of(&xs);
+        assert!(f.min <= f.q25 && f.q25 <= f.median);
+        assert!(f.median <= f.q75 && f.q75 <= f.max);
+    }
+
+    #[test]
+    fn euclidean_matches_pythagoras() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_of_known_sample() {
+        // Population std of [2,4,4,4,5,5,7,9] is 2.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,282 @@
+//! Probability distributions layered over [`Xoshiro256`][crate::Xoshiro256].
+//!
+//! The synthetic workload generator uses these to shape instruction mixes,
+//! dependency distances and memory address streams.
+
+use crate::Xoshiro256;
+
+/// Samples a standard normal deviate via the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use dse_rng::{Xoshiro256, dist};
+/// let mut rng = Xoshiro256::seed_from(1);
+/// let z = dist::normal(&mut rng, 0.0, 1.0);
+/// assert!(z.is_finite());
+/// ```
+pub fn normal(rng: &mut Xoshiro256, mean: f64, std_dev: f64) -> f64 {
+    // Box–Muller; u1 is kept away from 0 so ln() is finite.
+    let u1 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    let u1 = u1.max(f64::MIN_POSITIVE);
+    let u2 = rng.next_f64();
+    let r = (-2.0 * u1.ln()).sqrt();
+    mean + std_dev * r * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a geometric distribution: number of failures before the first
+/// success with success probability `p` (support `0, 1, 2, ...`).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]`.
+pub fn geometric(rng: &mut Xoshiro256, p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1]");
+    if p >= 1.0 {
+        return 0;
+    }
+    let u = rng.next_f64().max(f64::MIN_POSITIVE);
+    (u.ln() / (1.0 - p).ln()).floor() as u64
+}
+
+/// Samples an exponential deviate with the given rate parameter.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive.
+pub fn exponential(rng: &mut Xoshiro256, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    let u = rng.next_f64().max(f64::MIN_POSITIVE);
+    -u.ln() / rate
+}
+
+/// A discrete distribution over `0..weights.len()` sampled by cumulative
+/// weight (linear scan; the tables used in this workspace are tiny).
+///
+/// # Examples
+///
+/// ```
+/// use dse_rng::{Xoshiro256, dist::Categorical};
+/// let cat = Categorical::new(&[1.0, 3.0]).unwrap();
+/// let mut rng = Xoshiro256::seed_from(2);
+/// let idx = cat.sample(&mut rng);
+/// assert!(idx < 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+/// Error returned when a [`Categorical`] cannot be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CategoricalError {
+    /// The weight list was empty.
+    Empty,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights were zero.
+    ZeroTotal,
+}
+
+impl std::fmt::Display for CategoricalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Empty => write!(f, "weight list was empty"),
+            Self::InvalidWeight => write!(f, "weight was negative or not finite"),
+            Self::ZeroTotal => write!(f, "all weights were zero"),
+        }
+    }
+}
+
+impl std::error::Error for CategoricalError {}
+
+impl Categorical {
+    /// Builds a distribution from non-negative weights (not necessarily
+    /// normalised).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, CategoricalError> {
+        if weights.is_empty() {
+            return Err(CategoricalError::Empty);
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(CategoricalError::InvalidWeight);
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(CategoricalError::ZeroTotal);
+        }
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Ok(Self { cumulative })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution has zero categories (never true for a
+    /// successfully constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws a category index.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let u = rng.next_f64();
+        // Last bucket always catches u ~ 1.0 regardless of rounding.
+        self.cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.cumulative.len() - 1)
+    }
+}
+
+/// A Zipf-like distribution over ranks `0..n` with exponent `s`,
+/// sampled by inverse transform over a precomputed CDF.
+///
+/// Used to model skewed reuse of memory regions (hot working sets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cat: Categorical,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+        Self {
+            cat: Categorical::new(&weights).expect("zipf weights are valid"),
+        }
+    }
+
+    /// Draws a rank in `0..n` (rank 0 is the most probable).
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        self.cat.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::seed_from(0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let mut r = rng();
+        let p = 0.25;
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| geometric(&mut r, p) as f64).sum::<f64>() / n as f64;
+        // E[failures before success] = (1-p)/p = 3.
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_zero() {
+        let mut r = rng();
+        assert_eq!(geometric(&mut r, 1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometric p")]
+    fn geometric_invalid_p_panics() {
+        geometric(&mut rng(), 0.0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let cat = Categorical::new(&[1.0, 2.0, 7.0]).unwrap();
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[cat.sample(&mut r)] += 1;
+        }
+        let f: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((f[0] - 0.1).abs() < 0.01);
+        assert!((f[1] - 0.2).abs() < 0.01);
+        assert!((f[2] - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn categorical_rejects_bad_input() {
+        assert_eq!(Categorical::new(&[]), Err(CategoricalError::Empty));
+        assert_eq!(
+            Categorical::new(&[1.0, -0.5]),
+            Err(CategoricalError::InvalidWeight)
+        );
+        assert_eq!(
+            Categorical::new(&[0.0, 0.0]),
+            Err(CategoricalError::ZeroTotal)
+        );
+        assert_eq!(
+            Categorical::new(&[f64::NAN]),
+            Err(CategoricalError::InvalidWeight)
+        );
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_frequent() {
+        let z = Zipf::new(16, 1.0);
+        let mut r = rng();
+        let mut counts = [0usize; 16];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[0] > counts[15]);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut r = rng();
+        let mut counts = [0usize; 4];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 0.25).abs() < 0.01, "freq {f}");
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Wattch-style event-based energy accounting.
+//!
+//! Following Wattch, each microarchitectural structure is assigned a
+//! per-access dynamic energy (derived from the Cacti-like circuit model in
+//! [`crate::timing`]) and a per-cycle leakage; the pipeline counts events
+//! and the final energy is the dot product of event counts and per-event
+//! energies plus `cycles × leakage`. This produces the paper's two key
+//! energy behaviours: dynamic energy grows with structure sizes, port
+//! counts and width, while slow configurations pay leakage for every extra
+//! cycle — so over-provisioned *and* under-provisioned machines are both
+//! energy-inefficient.
+
+use crate::timing::{MemorySpec, SramSpec};
+use dse_space::{Config, ConstantParams};
+
+/// Per-event energies (nanojoules) and per-cycle leakage for one
+/// configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Per-instruction fetch/decode energy (scales with width).
+    pub fetch_decode: f64,
+    /// I-cache access.
+    pub icache: f64,
+    /// D-cache access.
+    pub dcache: f64,
+    /// L2 access.
+    pub l2: f64,
+    /// Main-memory line transfer.
+    pub memory: f64,
+    /// Branch-predictor access.
+    pub bpred: f64,
+    /// BTB access.
+    pub btb: f64,
+    /// Rename (map-table read/write) per instruction.
+    pub rename: f64,
+    /// ROB write at dispatch / update at writeback.
+    pub rob_write: f64,
+    /// ROB read at commit.
+    pub rob_read: f64,
+    /// IQ insert at dispatch.
+    pub iq_insert: f64,
+    /// IQ wakeup/select per issued instruction (CAM broadcast over the
+    /// whole queue — grows linearly with queue size).
+    pub iq_wakeup: f64,
+    /// LSQ associative search per memory operation.
+    pub lsq_search: f64,
+    /// Register-file read per operand.
+    pub rf_read: f64,
+    /// Register-file write per result.
+    pub rf_write: f64,
+    /// Functional-unit energies: int ALU, int mul/div, FP ALU, FP mul/div.
+    pub fu: [f64; 4],
+    /// Total leakage per cycle over all structures plus clock tree.
+    pub leakage_per_cycle: f64,
+}
+
+impl EnergyModel {
+    /// Builds the model for a configuration.
+    pub fn new(cfg: &Config, cons: &ConstantParams) -> Self {
+        let mem = MemorySpec::standard();
+
+        let icache = SramSpec {
+            bytes: cfg.icache_kb as u64 * 1024,
+            read_ports: 1,
+            write_ports: 1,
+            cam: false,
+        };
+        let dcache = SramSpec {
+            bytes: cfg.dcache_kb as u64 * 1024,
+            read_ports: 2,
+            write_ports: 1,
+            cam: false,
+        };
+        let l2 = SramSpec {
+            bytes: cfg.l2_kb as u64 * 1024,
+            read_ports: 1,
+            write_ports: 1,
+            cam: false,
+        };
+        // 2-bit counters: entries / 4 bytes.
+        let bpred = SramSpec::ram((cfg.bpred_k as u64 * 1024) / 4);
+        let btb = SramSpec::ram(cfg.btb_k as u64 * 1024 * 8);
+        let rob = SramSpec {
+            bytes: cfg.rob as u64 * 16,
+            read_ports: cfg.width,
+            write_ports: cfg.width,
+            cam: false,
+        };
+        let iq = SramSpec {
+            bytes: cfg.iq as u64 * 8,
+            read_ports: cfg.width,
+            write_ports: cfg.width,
+            cam: true,
+        };
+        let lsq = SramSpec {
+            bytes: cfg.lsq as u64 * 16,
+            read_ports: 2,
+            write_ports: 2,
+            cam: true,
+        };
+        let rf = SramSpec {
+            bytes: cfg.rf as u64 * 8,
+            read_ports: cfg.rf_read,
+            write_ports: cfg.rf_write,
+            cam: false,
+        };
+
+        let w = cfg.width as f64;
+        let _ = cons; // latencies live in the pipeline; energy needs no constants
+
+        let leakage_per_cycle = icache.leakage_nj_per_cycle()
+            + dcache.leakage_nj_per_cycle()
+            + l2.leakage_nj_per_cycle()
+            + bpred.leakage_nj_per_cycle()
+            + btb.leakage_nj_per_cycle()
+            + rob.leakage_nj_per_cycle()
+            + iq.leakage_nj_per_cycle()
+            + lsq.leakage_nj_per_cycle()
+            + rf.leakage_nj_per_cycle()
+            // Clock tree + core logic: grows super-linearly with width
+            // (wider machines have more latches and longer wires).
+            + 0.02 * w.powf(1.3);
+
+        Self {
+            fetch_decode: 0.03 * w.powf(0.5),
+            icache: icache.access_energy_nj(),
+            dcache: dcache.access_energy_nj(),
+            l2: l2.access_energy_nj(),
+            memory: mem.energy_nj,
+            bpred: bpred.access_energy_nj(),
+            btb: btb.access_energy_nj(),
+            rename: 0.015 * w.powf(0.5),
+            rob_write: rob.access_energy_nj() / 4.0,
+            rob_read: rob.access_energy_nj() / 4.0,
+            iq_insert: iq.access_energy_nj() / 2.0,
+            iq_wakeup: iq.access_energy_nj(),
+            lsq_search: lsq.access_energy_nj(),
+            rf_read: rf.access_energy_nj() / 2.0,
+            rf_write: rf.access_energy_nj() / 2.0,
+            fu: [0.04, 0.12, 0.15, 0.3],
+            leakage_per_cycle,
+        }
+    }
+}
+
+/// Event counters accumulated by the pipeline; multiplied by an
+/// [`EnergyModel`] to obtain nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyCounters {
+    /// Instructions fetched.
+    pub fetched: u64,
+    /// I-cache accesses (per fetched line).
+    pub icache_accesses: u64,
+    /// D-cache accesses.
+    pub dcache_accesses: u64,
+    /// L2 accesses (from either L1).
+    pub l2_accesses: u64,
+    /// Main-memory line transfers.
+    pub memory_accesses: u64,
+    /// Branch-predictor lookups/updates.
+    pub bpred_accesses: u64,
+    /// BTB lookups/updates.
+    pub btb_accesses: u64,
+    /// Instructions renamed (dispatched).
+    pub renamed: u64,
+    /// ROB writes (dispatch + writeback).
+    pub rob_writes: u64,
+    /// ROB reads (commit).
+    pub rob_reads: u64,
+    /// IQ inserts (dispatch).
+    pub iq_inserts: u64,
+    /// Issued instructions (each pays a full-queue wakeup broadcast).
+    pub iq_wakeups: u64,
+    /// LSQ associative searches (memory-op issue).
+    pub lsq_searches: u64,
+    /// Register-file operand reads.
+    pub rf_reads: u64,
+    /// Register-file result writes.
+    pub rf_writes: u64,
+    /// Functional-unit operations by class (int ALU, int mul/div, FP ALU,
+    /// FP mul/div).
+    pub fu_ops: [u64; 4],
+    /// Elapsed cycles (pays leakage + clock).
+    pub cycles: u64,
+}
+
+impl EnergyCounters {
+    /// Total energy in nanojoules under `model`.
+    pub fn total_nj(&self, model: &EnergyModel) -> f64 {
+        let f = |count: u64, e: f64| count as f64 * e;
+        f(self.fetched, model.fetch_decode)
+            + f(self.icache_accesses, model.icache)
+            + f(self.dcache_accesses, model.dcache)
+            + f(self.l2_accesses, model.l2)
+            + f(self.memory_accesses, model.memory)
+            + f(self.bpred_accesses, model.bpred)
+            + f(self.btb_accesses, model.btb)
+            + f(self.renamed, model.rename)
+            + f(self.rob_writes, model.rob_write)
+            + f(self.rob_reads, model.rob_read)
+            + f(self.iq_inserts, model.iq_insert)
+            + f(self.iq_wakeups, model.iq_wakeup)
+            + f(self.lsq_searches, model.lsq_search)
+            + f(self.rf_reads, model.rf_read)
+            + f(self.rf_writes, model.rf_write)
+            + self
+                .fu_ops
+                .iter()
+                .zip(model.fu.iter())
+                .map(|(&c, &e)| c as f64 * e)
+                .sum::<f64>()
+            + f(self.cycles, model.leakage_per_cycle)
+    }
+
+    /// Element-wise difference (`self - earlier`), used to subtract the
+    /// warm-up phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `earlier` has any counter larger than
+    /// `self`.
+    pub fn since(&self, earlier: &EnergyCounters) -> EnergyCounters {
+        let mut fu_ops = [0u64; 4];
+        for i in 0..4 {
+            fu_ops[i] = self.fu_ops[i] - earlier.fu_ops[i];
+        }
+        EnergyCounters {
+            fetched: self.fetched - earlier.fetched,
+            icache_accesses: self.icache_accesses - earlier.icache_accesses,
+            dcache_accesses: self.dcache_accesses - earlier.dcache_accesses,
+            l2_accesses: self.l2_accesses - earlier.l2_accesses,
+            memory_accesses: self.memory_accesses - earlier.memory_accesses,
+            bpred_accesses: self.bpred_accesses - earlier.bpred_accesses,
+            btb_accesses: self.btb_accesses - earlier.btb_accesses,
+            renamed: self.renamed - earlier.renamed,
+            rob_writes: self.rob_writes - earlier.rob_writes,
+            rob_reads: self.rob_reads - earlier.rob_reads,
+            iq_inserts: self.iq_inserts - earlier.iq_inserts,
+            iq_wakeups: self.iq_wakeups - earlier.iq_wakeups,
+            lsq_searches: self.lsq_searches - earlier.lsq_searches,
+            rf_reads: self.rf_reads - earlier.rf_reads,
+            rf_writes: self.rf_writes - earlier.rf_writes,
+            fu_ops,
+            cycles: self.cycles - earlier.cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(cfg: &Config) -> EnergyModel {
+        EnergyModel::new(cfg, &ConstantParams::standard())
+    }
+
+    #[test]
+    fn wider_machine_costs_more_per_cycle_and_instr() {
+        let narrow = model(&Config {
+            width: 2,
+            rf_read: 4,
+            rf_write: 2,
+            ..Config::baseline()
+        });
+        let wide = model(&Config {
+            width: 8,
+            rf_read: 16,
+            rf_write: 8,
+            ..Config::baseline()
+        });
+        assert!(wide.fetch_decode > narrow.fetch_decode);
+        assert!(wide.leakage_per_cycle > narrow.leakage_per_cycle);
+        assert!(wide.rf_read > narrow.rf_read);
+    }
+
+    #[test]
+    fn bigger_l2_leaks_more() {
+        let small = model(&Config {
+            l2_kb: 512,
+            ..Config::baseline()
+        });
+        let big = model(&Config {
+            l2_kb: 4096,
+            ..Config::baseline()
+        });
+        assert!(big.leakage_per_cycle > small.leakage_per_cycle + 0.1);
+        assert!(big.l2 > small.l2);
+    }
+
+    #[test]
+    fn bigger_iq_costs_more_wakeup() {
+        let small = model(&Config {
+            iq: 8,
+            ..Config::baseline()
+        });
+        let big = model(&Config {
+            iq: 80,
+            ..Config::baseline()
+        });
+        assert!(big.iq_wakeup > 2.0 * small.iq_wakeup);
+    }
+
+    #[test]
+    fn memory_is_the_most_expensive_event() {
+        let m = model(&Config::baseline());
+        for e in [
+            m.icache, m.dcache, m.l2, m.bpred, m.btb, m.rf_read, m.rf_write, m.iq_wakeup,
+        ] {
+            assert!(m.memory > e, "memory {} vs {e}", m.memory);
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_linearly() {
+        let m = model(&Config::baseline());
+        let mut c = EnergyCounters::default();
+        c.fetched = 100;
+        c.cycles = 50;
+        let e1 = c.total_nj(&m);
+        c.fetched = 200;
+        c.cycles = 100;
+        let e2 = c.total_nj(&m);
+        assert!((e2 - 2.0 * e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut a = EnergyCounters::default();
+        a.fetched = 10;
+        a.fu_ops = [1, 2, 3, 4];
+        let mut b = a;
+        b.fetched = 25;
+        b.fu_ops = [2, 4, 6, 8];
+        let d = b.since(&a);
+        assert_eq!(d.fetched, 15);
+        assert_eq!(d.fu_ops, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_counters_cost_nothing() {
+        let m = model(&Config::baseline());
+        assert_eq!(EnergyCounters::default().total_nj(&m), 0.0);
+    }
+}

@@ -1,0 +1,912 @@
+//! Cycle-level out-of-order superscalar pipeline.
+//!
+//! Trace-driven: the simulator executes the committed (correct-path)
+//! instruction stream and models wrong-path work as front-end bubbles —
+//! a mispredicted branch blocks fetch until it resolves and then pays the
+//! front-end refill depth, the standard trace-driven approximation used by
+//! SimpleScalar's `sim-outorder` in trace mode.
+//!
+//! Modelled resources, each tied to a design-space parameter:
+//!
+//! * fetch of `width` instructions per cycle, stopping at taken branches,
+//!   I-cache misses and the in-flight branch limit;
+//! * rename/dispatch gated by ROB, IQ, LSQ and physical-register
+//!   availability (32 architectural registers are reserved out of `rf`);
+//! * oldest-first issue gated by operand readiness, issue width,
+//!   functional units (width-scaled per Table 2b, divides non-pipelined),
+//!   register-file read ports, and cache ports for memory operations;
+//! * writeback gated by register-file write ports;
+//! * in-order commit of `width` instructions per cycle;
+//! * a two-level cache hierarchy with latencies from the Cacti-like model
+//!   and bandwidth-limited L2/memory (overlapping misses serialise).
+
+use crate::branch::{Btb, Gshare};
+use crate::cache::{Cache, CacheOutcome};
+use crate::energy::{EnergyCounters, EnergyModel};
+use crate::timing::{MemorySpec, SramSpec};
+use dse_space::{Config, ConstantParams};
+use dse_workload::{Instr, InstrKind, Trace};
+use std::collections::VecDeque;
+
+/// Architectural registers reserved out of the physical register file.
+const ARCH_REGS: u32 = 32;
+/// Fetch-queue capacity in multiples of the width.
+const FETCH_QUEUE_WIDTHS: usize = 4;
+/// Size of the writeback-port reservation ring (must exceed the longest
+/// possible completion horizon).
+const WB_RING: usize = 1 << 15;
+
+/// Options controlling a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Instructions at the head of the trace used to warm caches and
+    /// predictors; they are simulated but excluded from the reported
+    /// metrics (the paper warms for 10 M instructions before each
+    /// SimPoint interval).
+    pub warmup: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self { warmup: 5_000 }
+    }
+}
+
+/// Raw outcome of simulating a trace on a configuration (measured portion
+/// only, i.e. after warm-up).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Measured (post-warm-up) instructions.
+    pub instructions: u64,
+    /// Cycles taken by the measured instructions.
+    pub cycles: u64,
+    /// Energy in nanojoules consumed by the measured instructions.
+    pub energy_nj: f64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// L1 I-cache miss rate over the measured portion.
+    pub l1i_miss_rate: f64,
+    /// L1 D-cache miss rate.
+    pub l1d_miss_rate: f64,
+    /// L2 miss rate (of L2 accesses).
+    pub l2_miss_rate: f64,
+    /// Branch direction misprediction rate.
+    pub bpred_miss_rate: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MissRateSnapshot {
+    l1i: (u64, u64),
+    l1d: (u64, u64),
+    l2: (u64, u64),
+    bp: (u64, u64),
+}
+
+/// The machine state for one run. Construct via [`Pipeline::new`] and call
+/// [`Pipeline::run`].
+#[derive(Debug)]
+pub struct Pipeline<'t> {
+    cfg: Config,
+    cons: ConstantParams,
+    trace: &'t [Instr],
+    options: SimOptions,
+
+    icache: Cache,
+    dcache: Cache,
+    l2: Cache,
+    gshare: Gshare,
+    btb: Btb,
+    energy_model: EnergyModel,
+    counters: EnergyCounters,
+
+    l1d_lat: u64,
+    l2_lat: u64,
+    mem: MemorySpec,
+
+    cycle: u64,
+    /// Completion (result-available) cycle per trace index; `u64::MAX`
+    /// until scheduled.
+    complete: Vec<u64>,
+    rob: VecDeque<usize>,
+    iq: Vec<usize>,
+    lsq_occ: u32,
+    phys_used: u32,
+    rename_regs: u32,
+
+    fetch_q: VecDeque<usize>,
+    next_fetch: usize,
+    fetch_stall_until: u64,
+    fetch_blocked_on: Option<usize>,
+    last_fetch_line: u64,
+    unresolved: Vec<usize>,
+
+    /// Per-FU-class `busy_until` times: int ALU, int mul/div, FP ALU,
+    /// FP mul/div.
+    fu_busy: [Vec<u64>; 4],
+
+    /// Writeback-port reservations: `(cycle_tag, used_ports)` ring.
+    wb_ring: Vec<(u64, u32)>,
+
+    l2_free_at: u64,
+    mem_free_at: u64,
+
+    committed: usize,
+    /// Set when an issue attempt failed on a structural hazard (ports,
+    /// units, width); forces a rescan next cycle.
+    structural_block: bool,
+    /// Whether anything was dispatched or completed since the last scan.
+    scan_dirty: bool,
+    /// Sorted queue of scheduled completion times not yet reached.
+    wake: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
+}
+
+impl<'t> Pipeline<'t> {
+    /// Builds a pipeline for `trace` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or shorter than the warm-up, or the
+    /// configuration is illegal.
+    pub fn new(cfg: &Config, cons: &ConstantParams, trace: &'t Trace, options: SimOptions) -> Self {
+        assert!(cfg.is_legal(), "configuration fails the legality filter");
+        assert!(!trace.is_empty(), "trace must not be empty");
+        assert!(
+            trace.len() > options.warmup,
+            "trace ({}) must be longer than the warm-up ({})",
+            trace.len(),
+            options.warmup
+        );
+        let fu_cfg = cfg.functional_units();
+        let l1d_spec = SramSpec::ram(cfg.dcache_kb as u64 * 1024);
+        let l2_spec = SramSpec::ram(cfg.l2_kb as u64 * 1024);
+        Self {
+            cfg: *cfg,
+            cons: *cons,
+            trace: &trace.instrs,
+            options,
+            icache: Cache::new(
+                cfg.icache_kb as u64 * 1024,
+                cons.l1_line_bytes,
+                cons.l1i_assoc,
+            ),
+            dcache: Cache::new(
+                cfg.dcache_kb as u64 * 1024,
+                cons.l1_line_bytes,
+                cons.l1d_assoc,
+            ),
+            l2: Cache::new(cfg.l2_kb as u64 * 1024, cons.l2_line_bytes, cons.l2_assoc),
+            gshare: Gshare::new(cfg.bpred_k as u64 * 1024),
+            btb: Btb::new(cfg.btb_k as u64 * 1024),
+            energy_model: EnergyModel::new(cfg, cons),
+            counters: EnergyCounters::default(),
+            l1d_lat: l1d_spec.latency_cycles() as u64,
+            l2_lat: l2_spec.latency_cycles() as u64,
+            mem: MemorySpec::standard(),
+            cycle: 0,
+            complete: vec![u64::MAX; trace.len()],
+            rob: VecDeque::with_capacity(cfg.rob as usize),
+            iq: Vec::with_capacity(cfg.iq as usize),
+            lsq_occ: 0,
+            phys_used: 0,
+            rename_regs: cfg.rf.saturating_sub(ARCH_REGS).max(4),
+            fetch_q: VecDeque::with_capacity(FETCH_QUEUE_WIDTHS * cfg.width as usize),
+            next_fetch: 0,
+            fetch_stall_until: 0,
+            fetch_blocked_on: None,
+            last_fetch_line: u64::MAX,
+            unresolved: Vec::with_capacity(cfg.max_branches as usize),
+            fu_busy: [
+                vec![0; fu_cfg.int_alu as usize],
+                vec![0; fu_cfg.int_mul as usize],
+                vec![0; fu_cfg.fp_alu as usize],
+                vec![0; fu_cfg.fp_mul as usize],
+            ],
+            wb_ring: vec![(u64::MAX, 0); WB_RING],
+            l2_free_at: 0,
+            mem_free_at: 0,
+            committed: 0,
+            structural_block: false,
+            scan_dirty: true,
+            wake: std::collections::BinaryHeap::new(),
+        }
+    }
+
+    /// Runs the trace to completion and returns the measured-phase result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine stops making progress (a simulator bug, not a
+    /// reachable state for legal configurations).
+    pub fn run(mut self) -> SimResult {
+        let warmup = self.options.warmup;
+        let mut warm_counters: Option<EnergyCounters> = None;
+        let mut warm_cycle = 0u64;
+        let mut warm_rates: Option<MissRateSnapshot> = None;
+        let mut last_commit_cycle = 0u64;
+
+        while self.committed < self.trace.len() {
+            self.cycle += 1;
+            self.counters.cycles += 1;
+
+            let committed_now = self.commit();
+            if committed_now > 0 {
+                last_commit_cycle = self.cycle;
+            }
+            assert!(
+                self.cycle - last_commit_cycle < 2_000_000,
+                "pipeline deadlock at cycle {} (committed {}/{}, cfg {})",
+                self.cycle,
+                self.committed,
+                self.trace.len(),
+                self.cfg
+            );
+
+            self.issue();
+            self.dispatch();
+            self.fetch();
+
+            if warm_counters.is_none() && self.committed >= warmup {
+                warm_counters = Some(self.counters);
+                warm_cycle = self.cycle;
+                warm_rates = Some(self.rates_snapshot());
+            }
+        }
+
+        let warm_counters = warm_counters.unwrap_or_default();
+        let measured = self.counters.since(&warm_counters);
+        let instructions = (self.trace.len() - warmup.min(self.trace.len())) as u64;
+        let cycles = self.cycle - warm_cycle;
+        let energy_nj = measured.total_nj(&self.energy_model);
+        let zero = MissRateSnapshot {
+            l1i: (0, 0),
+            l1d: (0, 0),
+            l2: (0, 0),
+            bp: (0, 0),
+        };
+        let w = warm_rates.unwrap_or(zero);
+        let rate = |acc: u64, miss: u64, w_acc: u64, w_miss: u64| {
+            let a = acc - w_acc;
+            if a == 0 {
+                0.0
+            } else {
+                (miss - w_miss) as f64 / a as f64
+            }
+        };
+        SimResult {
+            instructions,
+            cycles,
+            energy_nj,
+            ipc: instructions as f64 / cycles.max(1) as f64,
+            l1i_miss_rate: rate(self.icache.accesses(), self.icache.misses(), w.l1i.0, w.l1i.1),
+            l1d_miss_rate: rate(self.dcache.accesses(), self.dcache.misses(), w.l1d.0, w.l1d.1),
+            l2_miss_rate: rate(self.l2.accesses(), self.l2.misses(), w.l2.0, w.l2.1),
+            bpred_miss_rate: rate(
+                self.gshare.predictions(),
+                self.gshare.mispredictions(),
+                w.bp.0,
+                w.bp.1,
+            ),
+        }
+    }
+
+    fn rates_snapshot(&self) -> MissRateSnapshot {
+        MissRateSnapshot {
+            l1i: (self.icache.accesses(), self.icache.misses()),
+            l1d: (self.dcache.accesses(), self.dcache.misses()),
+            l2: (self.l2.accesses(), self.l2.misses()),
+            bp: (self.gshare.predictions(), self.gshare.mispredictions()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+    fn commit(&mut self) -> u32 {
+        let mut n = 0;
+        while n < self.cfg.width {
+            let Some(&idx) = self.rob.front() else { break };
+            if self.complete[idx] > self.cycle {
+                break;
+            }
+            self.rob.pop_front();
+            let ins = &self.trace[idx];
+            if ins.kind.is_mem() {
+                self.lsq_occ -= 1;
+            }
+            if ins.kind.has_dest() {
+                self.phys_used -= 1;
+            }
+            self.counters.rob_reads += 1;
+            self.committed += 1;
+            n += 1;
+        }
+        n
+    }
+
+    // ------------------------------------------------------------------
+    // Issue
+    // ------------------------------------------------------------------
+    fn issue(&mut self) {
+        // Drain expired wakeups; a scan is only worthwhile when something
+        // changed (a completion landed, a dispatch happened, or the last
+        // scan failed on a structural hazard that time alone resolves).
+        let mut woke = false;
+        while let Some(&std::cmp::Reverse(t)) = self.wake.peek() {
+            if t <= self.cycle {
+                self.wake.pop();
+                woke = true;
+            } else {
+                break;
+            }
+        }
+        if !woke && !self.scan_dirty && !self.structural_block {
+            return;
+        }
+        self.scan_dirty = false;
+        self.structural_block = false;
+
+        let mut issued = 0u32;
+        let mut reads_used = 0u32;
+        let mut mem_ports_used = 0u32;
+        let mut i = 0;
+        while i < self.iq.len() && issued < self.cfg.width {
+            let idx = self.iq[i];
+            let ins = self.trace[idx];
+
+            // Operand readiness (results forward the cycle they complete).
+            let ready = |d: u32| d == 0 || self.complete[idx - d as usize] <= self.cycle;
+            if !(ready(ins.src1) && ready(ins.src2)) {
+                i += 1;
+                continue;
+            }
+
+            // Register-file read ports.
+            let nsrc = (ins.src1 > 0) as u32 + (ins.src2 > 0) as u32;
+            if reads_used + nsrc > self.cfg.rf_read {
+                self.structural_block = true;
+                i += 1;
+                continue;
+            }
+
+            // Cache ports for memory operations.
+            if ins.kind.is_mem() && mem_ports_used >= self.cons.mem_ports {
+                self.structural_block = true;
+                i += 1;
+                continue;
+            }
+
+            // Functional unit.
+            let class = fu_class(ins.kind);
+            let Some(unit) = self.fu_busy[class]
+                .iter()
+                .position(|&b| b <= self.cycle)
+            else {
+                self.structural_block = true;
+                i += 1;
+                continue;
+            };
+
+            // --- the instruction issues ---
+            let (exec_done, unit_busy_until) = self.execute_latency(&ins);
+            self.fu_busy[class][unit] = unit_busy_until;
+            reads_used += nsrc;
+            self.counters.rf_reads += nsrc as u64;
+            self.counters.iq_wakeups += 1;
+            self.counters.fu_ops[class] += 1;
+            if ins.kind.is_mem() {
+                mem_ports_used += 1;
+                self.counters.lsq_searches += 1;
+            }
+
+            // Writeback port reservation for result-producing instructions.
+            let done = if ins.kind.has_dest() {
+                let slot = self.reserve_wb(exec_done);
+                self.counters.rf_writes += 1;
+                self.counters.rob_writes += 1;
+                slot
+            } else {
+                exec_done
+            };
+            self.complete[idx] = done;
+            self.wake.push(std::cmp::Reverse(done));
+            self.iq.remove(i);
+            issued += 1;
+            if issued == self.cfg.width {
+                self.structural_block = true; // width-limited: retry next cycle
+            }
+        }
+    }
+
+    /// Returns `(result_ready_cycle, fu_busy_until)` for an instruction
+    /// issuing this cycle.
+    fn execute_latency(&mut self, ins: &Instr) -> (u64, u64) {
+        let c = self.cycle;
+        match ins.kind {
+            InstrKind::IntAlu | InstrKind::Branch => {
+                (c + self.cons.int_alu_latency as u64, c + 1)
+            }
+            InstrKind::IntMul => (c + self.cons.int_mul_latency as u64, c + 1),
+            InstrKind::IntDiv => {
+                let l = self.cons.int_div_latency as u64;
+                (c + l, c + l) // non-pipelined
+            }
+            InstrKind::FpAlu => (c + self.cons.fp_alu_latency as u64, c + 1),
+            InstrKind::FpMul => (c + self.cons.fp_mul_latency as u64, c + 1),
+            InstrKind::FpDiv => {
+                let l = self.cons.fp_div_latency as u64;
+                (c + l, c + l) // non-pipelined
+            }
+            InstrKind::Load => {
+                let ready = self.data_access(ins.addr, c);
+                (ready, c + 1)
+            }
+            InstrKind::Store => {
+                // The store writes its buffer entry in one cycle; the cache
+                // update (and any miss traffic) happens off the critical
+                // path but still consumes hierarchy bandwidth and energy.
+                let _ = self.data_access(ins.addr, c);
+                (c + 1, c + 1)
+            }
+        }
+    }
+
+    /// Performs a data access through D-L1 → L2 → memory, returning the
+    /// absolute cycle the data is available. Bandwidth contention is
+    /// modelled by single-server queues on L2 and the memory bus.
+    fn data_access(&mut self, addr: u64, at: u64) -> u64 {
+        self.counters.dcache_accesses += 1;
+        let l1_done = at + self.l1d_lat;
+        if self.dcache.access(addr) == CacheOutcome::Hit {
+            return l1_done;
+        }
+        self.l2_access(addr, l1_done)
+    }
+
+    /// L2 access (shared by I- and D-side), returning data-ready cycle.
+    fn l2_access(&mut self, addr: u64, at: u64) -> u64 {
+        self.counters.l2_accesses += 1;
+        let start = at.max(self.l2_free_at);
+        self.l2_free_at = start + 2; // L2 accepts a new access every 2 cycles
+        let l2_done = start + self.l2_lat;
+        if self.l2.access(addr) == CacheOutcome::Hit {
+            return l2_done;
+        }
+        self.counters.memory_accesses += 1;
+        let mstart = l2_done.max(self.mem_free_at);
+        self.mem_free_at = mstart + self.mem.occupancy as u64;
+        mstart + self.mem.latency as u64
+    }
+
+    /// Reserves a register-file write port at or after `at`.
+    fn reserve_wb(&mut self, at: u64) -> u64 {
+        let ports = self.cfg.rf_write;
+        let mut t = at;
+        loop {
+            let slot = &mut self.wb_ring[(t as usize) & (WB_RING - 1)];
+            if slot.0 != t {
+                *slot = (t, 1);
+                return t;
+            }
+            if slot.1 < ports {
+                slot.1 += 1;
+                return t;
+            }
+            t += 1;
+            // The ring is vastly larger than any realistic backlog; give up
+            // gracefully rather than wrapping onto live reservations.
+            if t - at >= (WB_RING as u64) / 2 {
+                return t;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (rename)
+    // ------------------------------------------------------------------
+    fn dispatch(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.width {
+            let Some(&idx) = self.fetch_q.front() else { break };
+            let ins = self.trace[idx];
+            if self.rob.len() >= self.cfg.rob as usize
+                || self.iq.len() >= self.cfg.iq as usize
+                || (ins.kind.is_mem() && self.lsq_occ >= self.cfg.lsq)
+                || (ins.kind.has_dest() && self.phys_used >= self.rename_regs)
+            {
+                break;
+            }
+            self.fetch_q.pop_front();
+            self.rob.push_back(idx);
+            self.iq.push(idx);
+            if ins.kind.is_mem() {
+                self.lsq_occ += 1;
+            }
+            if ins.kind.has_dest() {
+                self.phys_used += 1;
+            }
+            self.counters.renamed += 1;
+            self.counters.rob_writes += 1;
+            self.counters.iq_inserts += 1;
+            self.scan_dirty = true;
+            n += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+    fn fetch(&mut self) {
+        // A mispredicted branch blocks fetch until it resolves, then the
+        // front end refills.
+        if let Some(b) = self.fetch_blocked_on {
+            if self.complete[b] != u64::MAX && self.complete[b] <= self.cycle {
+                self.fetch_stall_until = self.complete[b] + self.cons.frontend_depth as u64;
+                self.fetch_blocked_on = None;
+            } else {
+                return;
+            }
+        }
+        if self.cycle < self.fetch_stall_until {
+            return;
+        }
+        self.unresolved
+            .retain(|&b| self.complete[b] > self.cycle);
+
+        let cap = FETCH_QUEUE_WIDTHS * self.cfg.width as usize;
+        let mut fetched = 0;
+        while fetched < self.cfg.width
+            && self.fetch_q.len() < cap
+            && self.next_fetch < self.trace.len()
+        {
+            let idx = self.next_fetch;
+            let ins = self.trace[idx];
+
+            // I-cache: one access per new line.
+            let line = (ins.pc as u64) / self.cons.l1_line_bytes as u64;
+            if line != self.last_fetch_line {
+                self.counters.icache_accesses += 1;
+                let outcome = self.icache.access(ins.pc as u64);
+                self.last_fetch_line = line;
+                if outcome == CacheOutcome::Miss {
+                    let ready = self.l2_access(ins.pc as u64, self.cycle);
+                    self.fetch_stall_until = ready;
+                    return;
+                }
+            }
+
+            if ins.kind == InstrKind::Branch {
+                if self.unresolved.len() >= self.cfg.max_branches as usize {
+                    return; // in-flight branch limit
+                }
+                self.counters.bpred_accesses += 1;
+                self.counters.btb_accesses += 1;
+                let pred_taken = self.gshare.predict(ins.pc as u64);
+                let btb_target = self.btb.lookup(ins.pc as u64);
+                // A taken prediction is only useful with a correct target.
+                let correct = if ins.taken {
+                    pred_taken && btb_target == Some(ins.target)
+                } else {
+                    !pred_taken
+                };
+                self.gshare.update(ins.pc as u64, ins.taken);
+                if ins.taken {
+                    self.btb.update(ins.pc as u64, ins.target);
+                }
+                self.unresolved.push(idx);
+                self.fetch_q.push_back(idx);
+                self.counters.fetched += 1;
+                self.next_fetch += 1;
+                fetched += 1;
+                if !correct {
+                    self.fetch_blocked_on = Some(idx);
+                    return;
+                }
+                if ins.taken {
+                    // Redirect: correctly-predicted taken branches end the
+                    // fetch group.
+                    self.last_fetch_line = u64::MAX;
+                    return;
+                }
+            } else {
+                self.fetch_q.push_back(idx);
+                self.counters.fetched += 1;
+                self.next_fetch += 1;
+                fetched += 1;
+            }
+        }
+    }
+}
+
+fn fu_class(kind: InstrKind) -> usize {
+    match kind {
+        InstrKind::IntAlu | InstrKind::Branch | InstrKind::Load | InstrKind::Store => 0,
+        InstrKind::IntMul | InstrKind::IntDiv => 1,
+        InstrKind::FpAlu => 2,
+        InstrKind::FpMul | InstrKind::FpDiv => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_workload::Trace;
+
+    fn mk_trace(instrs: Vec<Instr>) -> Trace {
+        Trace {
+            name: "unit".to_string(),
+            instrs,
+        }
+    }
+
+    fn alu(pc: u32) -> Instr {
+        Instr {
+            kind: InstrKind::IntAlu,
+            src1: 0,
+            src2: 0,
+            pc,
+            addr: 0,
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// Runs with a quarter of the trace as warm-up so cold-start cache
+    /// misses do not dominate these steady-state microbenchmarks.
+    fn run(cfg: &Config, trace: &Trace) -> SimResult {
+        Pipeline::new(
+            cfg,
+            &ConstantParams::standard(),
+            trace,
+            SimOptions {
+                warmup: trace.len() / 4,
+            },
+        )
+        .run()
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_high_ipc() {
+        let trace = mk_trace((0..4000).map(|i| alu(0x40_0000 + (i % 512) * 4)).collect());
+        let cfg = Config {
+            width: 8,
+            rf_read: 16,
+            rf_write: 8,
+            ..Config::baseline()
+        };
+        let r = run(&cfg, &trace);
+        assert!(r.ipc > 4.0, "ipc {}", r.ipc);
+    }
+
+    #[test]
+    fn serial_dependency_chain_limits_ipc_to_one() {
+        let mut instrs: Vec<Instr> = (0..4000).map(|i| alu(0x40_0000 + (i % 512) * 4)).collect();
+        for ins in instrs.iter_mut().skip(1) {
+            ins.src1 = 1; // each depends on its predecessor
+        }
+        let r = run(&Config::baseline(), &mk_trace(instrs));
+        assert!(r.ipc <= 1.05, "ipc {}", r.ipc);
+        assert!(r.ipc > 0.5, "ipc {}", r.ipc);
+    }
+
+    #[test]
+    fn wider_machine_is_faster_on_parallel_code() {
+        let trace = mk_trace((0..6000).map(|i| alu(0x40_0000 + (i % 512) * 4)).collect());
+        let narrow = run(
+            &Config {
+                width: 2,
+                rf_read: 4,
+                rf_write: 2,
+                ..Config::baseline()
+            },
+            &trace,
+        );
+        let wide = run(
+            &Config {
+                width: 8,
+                rf_read: 16,
+                rf_write: 8,
+                ..Config::baseline()
+            },
+            &trace,
+        );
+        assert!(
+            wide.cycles * 2 < narrow.cycles,
+            "wide {} narrow {}",
+            wide.cycles,
+            narrow.cycles
+        );
+    }
+
+    #[test]
+    fn write_ports_throttle_completion() {
+        let trace = mk_trace((0..4000).map(|i| alu(0x40_0000 + (i % 256) * 4)).collect());
+        let few = run(
+            &Config {
+                width: 8,
+                rf_read: 16,
+                rf_write: 1,
+                ..Config::baseline()
+            },
+            &trace,
+        );
+        let many = run(
+            &Config {
+                width: 8,
+                rf_read: 16,
+                rf_write: 8,
+                ..Config::baseline()
+            },
+            &trace,
+        );
+        assert!(
+            few.cycles > many.cycles * 3,
+            "few {} many {}",
+            few.cycles,
+            many.cycles
+        );
+    }
+
+    #[test]
+    fn load_misses_cost_memory_latency() {
+        // Strided loads over 16 MB: miss in every level.
+        let instrs: Vec<Instr> = (0..2000)
+            .map(|i| Instr {
+                kind: InstrKind::Load,
+                src1: 0,
+                src2: 0,
+                pc: 0x40_0000 + (i % 64) * 4,
+                addr: 0x1000_0000 + i as u64 * 4096,
+                taken: false,
+                target: 0,
+            })
+            .collect();
+        let r = run(&Config::baseline(), &mk_trace(instrs));
+        assert!(r.l1d_miss_rate > 0.95, "l1d miss {}", r.l1d_miss_rate);
+        assert!(r.l2_miss_rate > 0.95, "l2 miss {}", r.l2_miss_rate);
+        // Bandwidth-bound: at least the bus occupancy per measured load.
+        assert!(
+            r.cycles > r.instructions * 15,
+            "cycles {} too low for memory-bound",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn cache_hits_are_fast() {
+        let instrs: Vec<Instr> = (0..4000)
+            .map(|i| Instr {
+                kind: InstrKind::Load,
+                src1: 0,
+                src2: 0,
+                pc: 0x40_0000 + (i % 64) * 4,
+                addr: 0x1000_0000 + (i as u64 % 64) * 8,
+                taken: false,
+                target: 0,
+            })
+            .collect();
+        let r = run(&Config::baseline(), &mk_trace(instrs));
+        assert!(r.l1d_miss_rate < 0.01, "l1d miss {}", r.l1d_miss_rate);
+        assert!(r.ipc > 1.0, "ipc {}", r.ipc);
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_bubbles() {
+        // Alternating taken/not-taken is learnable; random is not. Compare
+        // a predictable stream against a data-random one.
+        let mk = |random: bool| {
+            let mut rng = dse_rng::Xoshiro256::seed_from(7);
+            let instrs: Vec<Instr> = (0..6000u32)
+                .map(|i| {
+                    if i % 4 == 3 {
+                        let taken = if random {
+                            rng.next_bool(0.5)
+                        } else {
+                            true
+                        };
+                        Instr {
+                            kind: InstrKind::Branch,
+                            src1: 1,
+                            src2: 0,
+                            pc: 0x40_0000 + (i % 256) * 4,
+                            addr: 0,
+                            taken,
+                            target: 0x40_0000 + ((i + 1) % 256) * 4,
+                        }
+                    } else {
+                        alu(0x40_0000 + (i % 256) * 4)
+                    }
+                })
+                .collect();
+            mk_trace(instrs)
+        };
+        let predictable = run(&Config::baseline(), &mk(false));
+        let random = run(&Config::baseline(), &mk(true));
+        assert!(
+            random.cycles as f64 > predictable.cycles as f64 * 1.5,
+            "random {} predictable {}",
+            random.cycles,
+            predictable.cycles
+        );
+        assert!(random.bpred_miss_rate > 0.3);
+        assert!(predictable.bpred_miss_rate < 0.1);
+    }
+
+    #[test]
+    fn energy_is_positive_and_scales_with_work() {
+        // Same warm-up on both runs, so the measured (steady-state) energy
+        // must scale with the measured instruction count.
+        let mk = |n: u32| mk_trace((0..n).map(|i| alu(0x40_0000 + (i % 128) * 4)).collect());
+        let opts = SimOptions { warmup: 500 };
+        let cons = ConstantParams::standard();
+        let short = Pipeline::new(&Config::baseline(), &cons, &mk(1500), opts).run();
+        let long = Pipeline::new(&Config::baseline(), &cons, &mk(4000), opts).run();
+        assert!(short.energy_nj > 0.0);
+        let per_instr_short = short.energy_nj / short.instructions as f64;
+        let per_instr_long = long.energy_nj / long.instructions as f64;
+        let ratio = per_instr_long / per_instr_short;
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "per-instruction energy not stable: {ratio}"
+        );
+    }
+
+    #[test]
+    fn warmup_is_excluded_from_measured_instructions() {
+        let trace = mk_trace((0..3000).map(|i| alu(0x40_0000 + (i % 128) * 4)).collect());
+        let r = Pipeline::new(
+            &Config::baseline(),
+            &ConstantParams::standard(),
+            &trace,
+            SimOptions { warmup: 1000 },
+        )
+        .run();
+        assert_eq!(r.instructions, 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than the warm-up")]
+    fn warmup_longer_than_trace_panics() {
+        let trace = mk_trace(vec![alu(0x40_0000)]);
+        let _ = Pipeline::new(
+            &Config::baseline(),
+            &ConstantParams::standard(),
+            &trace,
+            SimOptions { warmup: 10 },
+        );
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let p = dse_workload::Profile::template("d", dse_workload::Suite::SpecCpu2000, 5);
+        let trace = dse_workload::TraceGenerator::new(&p).generate(8_000);
+        let a = run(&Config::baseline(), &trace);
+        let b = run(&Config::baseline(), &trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_rf_strangles_a_wide_machine() {
+        let p = dse_workload::Profile::template("rf", dse_workload::Suite::SpecCpu2000, 6);
+        let trace = dse_workload::TraceGenerator::new(&p).generate(8_000);
+        let small = run(
+            &Config {
+                rf: 40,
+                ..Config::baseline()
+            },
+            &trace,
+        );
+        let large = run(
+            &Config {
+                rf: 160,
+                ..Config::baseline()
+            },
+            &trace,
+        );
+        assert!(
+            small.cycles > large.cycles * 11 / 10,
+            "small {} large {}",
+            small.cycles,
+            large.cycles
+        );
+    }
+}

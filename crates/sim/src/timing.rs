@@ -1,0 +1,185 @@
+//! Cacti-like analytic timing and circuit model.
+//!
+//! The paper derives structure access latencies and energies from Cacti 4.0
+//! and feeds them into Wattch. We reproduce the *form* of those models: SRAM
+//! array access latency grows with capacity (roughly with the square root of
+//! the array, quantised to cycles), access energy grows sub-linearly with
+//! capacity and super-linearly with port count, and leakage grows linearly
+//! with capacity and port count. Absolute values are calibrated to
+//! early-2000s published numbers (nanojoule-scale cache accesses, ~20 nJ
+//! DRAM accesses) rather than extracted from a real Cacti run.
+
+/// Description of an SRAM-like structure for the timing/energy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramSpec {
+    /// Total capacity in bytes (tag + data approximated together).
+    pub bytes: u64,
+    /// Read ports.
+    pub read_ports: u32,
+    /// Write ports.
+    pub write_ports: u32,
+    /// Whether the structure is content-addressable (CAM) — issue queues
+    /// and LSQ search ports; CAMs cost roughly 2× the energy per access.
+    pub cam: bool,
+}
+
+impl SramSpec {
+    /// A simple single-read/single-write-port RAM of the given size.
+    pub fn ram(bytes: u64) -> Self {
+        Self {
+            bytes,
+            read_ports: 1,
+            write_ports: 1,
+            cam: false,
+        }
+    }
+
+    /// Per-access dynamic energy in nanojoules.
+    ///
+    /// Scales with `sqrt(capacity)` (bitline/wordline length) and with
+    /// `ports^1.4` (each port replicates wordlines and lengthens bitlines).
+    pub fn access_energy_nj(&self) -> f64 {
+        let ports = (self.read_ports + self.write_ports) as f64;
+        let base = 0.012 * (self.bytes as f64 / 1024.0).max(0.0625).sqrt();
+        let e = base * ports.powf(0.4);
+        if self.cam {
+            2.0 * e
+        } else {
+            e
+        }
+    }
+
+    /// Leakage power in nanojoules per cycle.
+    ///
+    /// Linear in capacity, mildly super-linear in ports.
+    pub fn leakage_nj_per_cycle(&self) -> f64 {
+        let ports = (self.read_ports + self.write_ports) as f64;
+        4.0e-5 * (self.bytes as f64 / 1024.0) * ports.powf(0.3)
+    }
+
+    /// Access latency in cycles at the fixed design frequency.
+    pub fn latency_cycles(&self) -> u32 {
+        let kb = self.bytes as f64 / 1024.0;
+        if kb <= 16.0 {
+            2
+        } else if kb <= 64.0 {
+            3
+        } else if kb <= 256.0 {
+            4
+        } else if kb <= 512.0 {
+            8
+        } else if kb <= 1024.0 {
+            10
+        } else if kb <= 2048.0 {
+            12
+        } else {
+            15
+        }
+    }
+}
+
+/// Main-memory (DRAM) constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemorySpec {
+    /// Access latency in cycles (row activation + transfer).
+    pub latency: u32,
+    /// Bus occupancy per cache-line transfer in cycles (bandwidth model:
+    /// overlapping misses serialise on this).
+    pub occupancy: u32,
+    /// Energy per line transfer in nanojoules.
+    pub energy_nj: f64,
+}
+
+impl MemorySpec {
+    /// Standard early-2000s DRAM: 200-cycle latency, 16-cycle occupancy,
+    /// ~20 nJ per line.
+    pub const fn standard() -> Self {
+        Self {
+            latency: 200,
+            occupancy: 16,
+            energy_nj: 20.0,
+        }
+    }
+}
+
+impl Default for MemorySpec {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_grows_with_capacity() {
+        let small = SramSpec::ram(8 * 1024).access_energy_nj();
+        let big = SramSpec::ram(128 * 1024).access_energy_nj();
+        assert!(big > small * 2.0, "big {big} small {small}");
+        assert!(big < small * 8.0, "sub-linear scaling expected");
+    }
+
+    #[test]
+    fn energy_grows_with_ports() {
+        let narrow = SramSpec {
+            read_ports: 2,
+            write_ports: 1,
+            ..SramSpec::ram(4096)
+        };
+        let wide = SramSpec {
+            read_ports: 16,
+            write_ports: 8,
+            ..SramSpec::ram(4096)
+        };
+        assert!(wide.access_energy_nj() > 1.5 * narrow.access_energy_nj());
+    }
+
+    #[test]
+    fn cam_doubles_energy() {
+        let ram = SramSpec::ram(2048);
+        let cam = SramSpec {
+            cam: true,
+            ..ram
+        };
+        assert!((cam.access_energy_nj() / ram.access_energy_nj() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_size() {
+        let sizes = [8u64, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+        let mut prev = 0;
+        for kb in sizes {
+            let lat = SramSpec::ram(kb * 1024).latency_cycles();
+            assert!(lat >= prev, "{kb} KB latency {lat} < {prev}");
+            prev = lat;
+        }
+    }
+
+    #[test]
+    fn l1_latencies_are_pipeline_friendly() {
+        assert_eq!(SramSpec::ram(8 * 1024).latency_cycles(), 2);
+        assert_eq!(SramSpec::ram(128 * 1024).latency_cycles(), 4);
+    }
+
+    #[test]
+    fn l2_slower_than_l1_faster_than_memory() {
+        let l2 = SramSpec::ram(2 * 1024 * 1024).latency_cycles();
+        assert!(l2 > SramSpec::ram(32 * 1024).latency_cycles());
+        assert!(l2 < MemorySpec::standard().latency);
+    }
+
+    #[test]
+    fn leakage_linear_in_capacity() {
+        let a = SramSpec::ram(64 * 1024).leakage_nj_per_cycle();
+        let b = SramSpec::ram(128 * 1024).leakage_nj_per_cycle();
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_energy_dwarfs_sram_access() {
+        let mem = MemorySpec::standard();
+        let l2 = SramSpec::ram(4 * 1024 * 1024).access_energy_nj();
+        assert!(mem.energy_nj > 3.0 * l2);
+    }
+}

@@ -1,0 +1,153 @@
+//! Constant and width-derived parameters (the paper's Table 2).
+
+/// Functional-unit mix, scaled with pipeline width (Table 2b).
+///
+/// For a 4-way machine the paper uses 4 integer ALUs, 2 integer multipliers,
+/// 2 floating-point ALUs and 1 floating-point multiplier/divider; we scale
+/// the same ratios across widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FunctionalUnits {
+    /// Integer ALUs (one per pipeline lane).
+    pub int_alu: u32,
+    /// Integer multiplier/dividers.
+    pub int_mul: u32,
+    /// Floating-point ALUs.
+    pub fp_alu: u32,
+    /// Floating-point multiplier/dividers.
+    pub fp_mul: u32,
+}
+
+impl FunctionalUnits {
+    /// The functional-unit mix for a machine of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn for_width(width: u32) -> Self {
+        assert!(width > 0, "width must be positive");
+        Self {
+            int_alu: width,
+            int_mul: (width / 2).max(1),
+            fp_alu: (width / 2).max(1),
+            fp_mul: (width / 4).max(1),
+        }
+    }
+
+    /// Total number of functional units.
+    pub fn total(&self) -> u32 {
+        self.int_alu + self.int_mul + self.fp_alu + self.fp_mul
+    }
+}
+
+/// Microarchitectural parameters held constant across the design space
+/// (Table 2a), plus latency constants used by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstantParams {
+    /// Front-end pipeline depth in cycles (fetch to rename); mispredicted
+    /// branches pay this plus the resolve depth as the restart penalty.
+    pub frontend_depth: u32,
+    /// Cache line size in bytes for both L1 caches.
+    pub l1_line_bytes: u32,
+    /// Cache line size in bytes for the L2 cache.
+    pub l2_line_bytes: u32,
+    /// L1 instruction-cache associativity.
+    pub l1i_assoc: u32,
+    /// L1 data-cache associativity.
+    pub l1d_assoc: u32,
+    /// L2 associativity.
+    pub l2_assoc: u32,
+    /// Main-memory access latency in cycles.
+    pub memory_latency: u32,
+    /// Integer ALU latency in cycles.
+    pub int_alu_latency: u32,
+    /// Integer multiply latency in cycles.
+    pub int_mul_latency: u32,
+    /// Integer divide latency in cycles.
+    pub int_div_latency: u32,
+    /// Floating-point ALU latency in cycles.
+    pub fp_alu_latency: u32,
+    /// Floating-point multiply latency in cycles.
+    pub fp_mul_latency: u32,
+    /// Floating-point divide latency in cycles.
+    pub fp_div_latency: u32,
+    /// Return-address-stack entries.
+    pub ras_entries: u32,
+    /// Cache ports available to the load/store unit per cycle.
+    pub mem_ports: u32,
+}
+
+impl ConstantParams {
+    /// The constant parameter set used throughout the reproduction
+    /// (SimpleScalar-era values).
+    pub const fn standard() -> Self {
+        Self {
+            frontend_depth: 5,
+            l1_line_bytes: 32,
+            l2_line_bytes: 64,
+            l1i_assoc: 2,
+            l1d_assoc: 4,
+            l2_assoc: 8,
+            memory_latency: 200,
+            int_alu_latency: 1,
+            int_mul_latency: 3,
+            int_div_latency: 20,
+            fp_alu_latency: 2,
+            fp_mul_latency: 4,
+            fp_div_latency: 12,
+            ras_entries: 16,
+            mem_ports: 2,
+        }
+    }
+}
+
+impl Default for ConstantParams {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_wide_matches_paper() {
+        let fu = FunctionalUnits::for_width(4);
+        assert_eq!(fu.int_alu, 4);
+        assert_eq!(fu.int_mul, 2);
+        assert_eq!(fu.fp_alu, 2);
+        assert_eq!(fu.fp_mul, 1);
+        assert_eq!(fu.total(), 9);
+    }
+
+    #[test]
+    fn narrow_machine_keeps_at_least_one_of_each() {
+        let fu = FunctionalUnits::for_width(2);
+        assert!(fu.int_mul >= 1);
+        assert!(fu.fp_mul >= 1);
+    }
+
+    #[test]
+    fn units_scale_monotonically_with_width() {
+        let mut prev = FunctionalUnits::for_width(2).total();
+        for w in [4, 6, 8] {
+            let t = FunctionalUnits::for_width(w).total();
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        FunctionalUnits::for_width(0);
+    }
+
+    #[test]
+    fn constants_are_sane() {
+        let c = ConstantParams::standard();
+        assert!(c.memory_latency > c.int_mul_latency);
+        assert!(c.l2_line_bytes >= c.l1_line_bytes);
+        assert!(c.int_div_latency > c.int_mul_latency);
+    }
+}

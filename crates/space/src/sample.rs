@@ -1,0 +1,207 @@
+//! Uniform random sampling of the design space (§3.3 of the paper).
+
+use crate::{Config, PARAMS, PARAM_COUNT};
+use dse_rng::Xoshiro256;
+
+/// Draws one configuration uniformly from the *raw* (unfiltered) space.
+pub fn sample_raw(rng: &mut Xoshiro256) -> Config {
+    let mut idx = [0usize; PARAM_COUNT];
+    for (slot, def) in idx.iter_mut().zip(PARAMS.iter()) {
+        *slot = rng.next_index(def.values.len());
+    }
+    Config::from_indices(&idx)
+}
+
+/// Draws `n` configurations uniformly from the *legal* space by rejection
+/// sampling (uniform over raw points, keep legal ones), exactly the paper's
+/// uniform-random-sampling protocol over the filtered space.
+///
+/// Duplicate configurations are possible and kept, as with any uniform
+/// sample of an 18-billion-point space they are vanishingly rare.
+pub fn sample_legal(rng: &mut Xoshiro256, n: usize) -> Vec<Config> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let cfg = sample_raw(rng);
+        if cfg.is_legal() {
+            out.push(cfg);
+        }
+    }
+    out
+}
+
+/// Estimates the legal fraction of the raw space by Monte-Carlo sampling.
+///
+/// With the filter set in [`Config::is_legal`] this is ~0.30, i.e. roughly
+/// 19 billion of the 62.7 billion raw points — matching the paper's
+/// reduction from 63 to 18 billion.
+pub fn estimate_legal_fraction(rng: &mut Xoshiro256, samples: usize) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    let legal = (0..samples).filter(|_| sample_raw(rng).is_legal()).count();
+    legal as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sample_legal_returns_requested_count() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let v = sample_legal(&mut rng, 500);
+        assert_eq!(v.len(), 500);
+        assert!(v.iter().all(Config::is_legal));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = sample_legal(&mut Xoshiro256::seed_from(42), 50);
+        let b = sample_legal(&mut Xoshiro256::seed_from(42), 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_samples() {
+        let a = sample_legal(&mut Xoshiro256::seed_from(1), 50);
+        let b = sample_legal(&mut Xoshiro256::seed_from(2), 50);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn legal_fraction_matches_paper_reduction() {
+        let mut rng = Xoshiro256::seed_from(7);
+        let f = estimate_legal_fraction(&mut rng, 200_000);
+        // 18/63 = 0.286; our filter set lands in the same band.
+        assert!(
+            (0.24..0.36).contains(&f),
+            "legal fraction {f} outside the paper's band"
+        );
+    }
+
+    #[test]
+    fn raw_samples_cover_extreme_values() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let mut saw_min_width = false;
+        let mut saw_max_width = false;
+        for _ in 0..2000 {
+            let c = sample_raw(&mut rng);
+            saw_min_width |= c.width == 2;
+            saw_max_width |= c.width == 8;
+        }
+        assert!(saw_min_width && saw_max_width);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sampled_configs_round_trip_indices(seed in 0u64..1000) {
+            let mut rng = Xoshiro256::seed_from(seed);
+            let cfg = sample_raw(&mut rng);
+            let idx = cfg.to_indices();
+            prop_assert_eq!(Config::from_indices(&idx), cfg);
+        }
+
+        #[test]
+        fn prop_legal_samples_satisfy_every_filter(seed in 0u64..300) {
+            let mut rng = Xoshiro256::seed_from(seed);
+            for cfg in sample_legal(&mut rng, 20) {
+                prop_assert!(cfg.iq <= cfg.rob);
+                prop_assert!(cfg.lsq <= cfg.rob);
+                prop_assert!(cfg.rf >= cfg.iq);
+                prop_assert!(cfg.rf_read <= 2 * cfg.width);
+                prop_assert!(cfg.rf_write <= cfg.width);
+                prop_assert!(cfg.l2_kb >= 4 * cfg.icache_kb.max(cfg.dcache_kb));
+            }
+        }
+
+        #[test]
+        fn prop_paper_vector_round_trips(seed in 0u64..300) {
+            let mut rng = Xoshiro256::seed_from(seed);
+            let cfg = sample_raw(&mut rng);
+            let v = cfg.to_paper_vector();
+            prop_assert_eq!(Config::from_paper_vector(&v), cfg);
+        }
+    }
+}
+
+/// All legal one-step neighbours of a configuration: each parameter moved
+/// one position up or down its value list, keeping everything else fixed.
+///
+/// Useful for local search over the design space once a predictor makes
+/// point evaluations cheap.
+///
+/// # Examples
+///
+/// ```
+/// use dse_space::{neighbors, Config};
+/// let n = neighbors(&Config::baseline());
+/// assert!(!n.is_empty());
+/// assert!(n.iter().all(Config::is_legal));
+/// ```
+pub fn neighbors(cfg: &Config) -> Vec<Config> {
+    let idx = cfg.to_indices();
+    let mut out = Vec::new();
+    for (p, def) in PARAMS.iter().enumerate() {
+        for step in [-1isize, 1] {
+            let ni = idx[p] as isize + step;
+            if ni < 0 || ni as usize >= def.values.len() {
+                continue;
+            }
+            let mut nidx = idx;
+            nidx[p] = ni as usize;
+            let n = Config::from_indices(&nidx);
+            if n.is_legal() {
+                out.push(n);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod neighbor_tests {
+    use super::*;
+
+    #[test]
+    fn neighbors_differ_in_exactly_one_parameter() {
+        let base = Config::baseline();
+        for n in neighbors(&base) {
+            let a = base.to_indices();
+            let b = n.to_indices();
+            let diffs = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
+            assert_eq!(diffs, 1, "{n} differs in {diffs} parameters");
+        }
+    }
+
+    #[test]
+    fn extreme_corner_has_fewer_neighbors() {
+        let tiny = Config {
+            width: 2,
+            rob: 32,
+            iq: 8,
+            lsq: 8,
+            rf: 40,
+            rf_read: 2,
+            rf_write: 1,
+            bpred_k: 1,
+            btb_k: 1,
+            max_branches: 8,
+            icache_kb: 8,
+            dcache_kb: 8,
+            l2_kb: 256,
+        };
+        assert!(tiny.is_legal());
+        // Every parameter is at its minimum, so only upward moves exist,
+        // and some of those are blocked by the legality filter.
+        let n = neighbors(&tiny);
+        assert!(n.len() <= 13);
+        assert!(!n.is_empty());
+        assert!(n.iter().all(Config::is_legal));
+    }
+
+    #[test]
+    fn neighbors_are_unique() {
+        let n = neighbors(&Config::baseline());
+        let set: std::collections::HashSet<_> = n.iter().collect();
+        assert_eq!(set.len(), n.len());
+    }
+}

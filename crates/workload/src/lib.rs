@@ -1,0 +1,48 @@
+//! Synthetic workload substrate standing in for SPEC CPU 2000 and MiBench.
+//!
+//! The paper evaluates on SPEC CPU 2000 (reference inputs, SimPoint phases of
+//! 10 M instructions) and MiBench (small inputs, run to completion). Neither
+//! suite can be redistributed, and running them requires the original
+//! binaries, inputs and a full ISA-level simulator. Following the
+//! substitution rule in `DESIGN.md`, this crate generates **synthetic
+//! instruction traces** from per-program statistical models instead.
+//!
+//! What the paper's method actually consumes from a benchmark is the *shape
+//! of its response surface* over the 13-parameter design space. That shape
+//! is determined by a handful of trace-level properties, each of which the
+//! profile controls directly:
+//!
+//! * instruction mix (functional-unit and LSQ pressure),
+//! * register dependency distances (extractable ILP → width/ROB/IQ/RF
+//!   sensitivity),
+//! * static code footprint and branch behaviour (I-cache and predictor
+//!   sensitivity),
+//! * data footprint, locality skew and pointer-chasing (D-cache/L2/memory
+//!   sensitivity).
+//!
+//! Each named profile ([`suites::spec2000`], [`suites::mibench`]) fixes these
+//! to make the corresponding program behave like its namesake *relative to
+//! the rest of the suite* — e.g. `art` and `mcf` are strongly memory-bound
+//! outliers, `gcc` has a large code footprint, `parser` has a narrow dynamic
+//! range — which is exactly the structure the paper's clustering (Fig 5) and
+//! error analysis (Fig 11) rely on.
+//!
+//! # Examples
+//!
+//! ```
+//! use dse_workload::{suites, TraceGenerator};
+//!
+//! let profiles = suites::spec2000();
+//! let applu = profiles.iter().find(|p| p.name == "applu").unwrap();
+//! let trace = TraceGenerator::new(applu).generate(1_000);
+//! assert_eq!(trace.len(), 1_000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod profile;
+pub mod suites;
+pub mod trace;
+
+pub use profile::{BranchClass, Profile, Suite};
+pub use trace::{Instr, InstrKind, Trace, TraceGenerator};

@@ -1,0 +1,319 @@
+//! Per-program statistical profiles driving the synthetic trace generator.
+
+use serde::{Deserialize, Serialize};
+
+/// Benchmark suite a profile belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// SPEC CPU 2000 stand-ins (26 programs).
+    SpecCpu2000,
+    /// MiBench stand-ins (19 programs; ghostscript omitted as in the paper).
+    MiBench,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::SpecCpu2000 => write!(f, "SPEC CPU 2000"),
+            Suite::MiBench => write!(f, "MiBench"),
+        }
+    }
+}
+
+/// Dynamic behaviour class of a static branch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BranchClass {
+    /// Taken with a fixed probability (highly predictable when biased).
+    Biased(f64),
+    /// Loop back-edge: taken `trip - 1` times, then not taken once.
+    Loop(u32),
+    /// History-correlated: outcome follows a short repeating pattern,
+    /// predictable by a global-history predictor with enough table space.
+    Pattern(u8),
+    /// Data-dependent, effectively random with the given taken rate.
+    Random(f64),
+}
+
+/// Statistical model of one benchmark program.
+///
+/// All fields are public so that tests and ablation experiments can derive
+/// variants; use [`Profile::validate`] after hand-editing. The canonical
+/// instances live in [`crate::suites`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Program name (matches the paper's benchmark names).
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Base seed for the static program and dynamic trace (deterministic
+    /// per profile).
+    pub seed: u64,
+
+    // --- instruction mix (relative weights of non-branch instructions) ---
+    /// Integer ALU weight.
+    pub w_int_alu: f64,
+    /// Integer multiply weight.
+    pub w_int_mul: f64,
+    /// Integer divide weight.
+    pub w_int_div: f64,
+    /// Floating-point ALU weight.
+    pub w_fp_alu: f64,
+    /// Floating-point multiply weight.
+    pub w_fp_mul: f64,
+    /// Floating-point divide weight.
+    pub w_fp_div: f64,
+    /// Load weight.
+    pub w_load: f64,
+    /// Store weight.
+    pub w_store: f64,
+
+    // --- control flow ---
+    /// Mean basic-block size in instructions (the last instruction of each
+    /// block is a branch, so branch frequency ≈ 1 / block_size).
+    pub block_size: f64,
+    /// Static code footprint in KB (4 bytes per instruction).
+    pub code_kb: u32,
+    /// Fraction of branches that are strongly biased.
+    pub br_biased: f64,
+    /// Fraction of branches that are loop back-edges.
+    pub br_loop: f64,
+    /// Fraction of branches following a short repeating pattern.
+    pub br_pattern: f64,
+    /// Fraction of branches that are data-dependent (random); the remainder
+    /// after biased/loop/pattern is also treated as random.
+    pub br_random: f64,
+    /// Taken probability of biased branches (e.g. 0.97).
+    pub bias_p: f64,
+    /// Mean loop trip count for loop branches.
+    pub loop_mean: f64,
+
+    // --- data dependencies ---
+    /// Probability that each source operand slot of an instruction carries
+    /// a true dependency on an earlier instruction.
+    pub dep_p: f64,
+    /// Geometric parameter of the dependency-distance distribution; larger
+    /// values give shorter distances (longer chains, lower ILP).
+    pub dep_decay: f64,
+
+    // --- memory behaviour ---
+    /// Total data footprint in KB.
+    pub data_kb: u32,
+    /// Fraction of the footprint forming the hot working set.
+    pub hot_frac: f64,
+    /// Zipf exponent of accesses within the hot set (higher = more skewed,
+    /// friendlier to small caches).
+    pub zipf_s: f64,
+    /// Relative weight of hot-set accesses.
+    pub w_hot: f64,
+    /// Relative weight of streaming (sequential) accesses.
+    pub w_stream: f64,
+    /// Relative weight of scattered accesses over the full footprint.
+    pub w_rand: f64,
+    /// Fraction of loads whose address depends on the previous load
+    /// (pointer chasing — serialises the memory pipeline, as in `mcf`).
+    pub chase_frac: f64,
+}
+
+/// Error returned by [`Profile::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidProfileError {
+    /// Name of the offending profile.
+    pub profile: String,
+    /// Description of the violated constraint.
+    pub reason: String,
+}
+
+impl std::fmt::Display for InvalidProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid profile {}: {}", self.profile, self.reason)
+    }
+}
+
+impl std::error::Error for InvalidProfileError {}
+
+impl Profile {
+    /// Checks that all fields are within their meaningful ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), InvalidProfileError> {
+        let fail = |reason: &str| {
+            Err(InvalidProfileError {
+                profile: self.name.to_string(),
+                reason: reason.to_string(),
+            })
+        };
+        let weights = [
+            self.w_int_alu,
+            self.w_int_mul,
+            self.w_int_div,
+            self.w_fp_alu,
+            self.w_fp_mul,
+            self.w_fp_div,
+            self.w_load,
+            self.w_store,
+        ];
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return fail("instruction-mix weight negative or non-finite");
+        }
+        if weights.iter().sum::<f64>() <= 0.0 {
+            return fail("instruction mix sums to zero");
+        }
+        if !(2.0..=64.0).contains(&self.block_size) {
+            return fail("block_size outside [2, 64]");
+        }
+        if self.code_kb == 0 || self.code_kb > 4096 {
+            return fail("code_kb outside (0, 4096]");
+        }
+        let frac_fields = [
+            ("br_biased", self.br_biased),
+            ("br_loop", self.br_loop),
+            ("br_pattern", self.br_pattern),
+            ("br_random", self.br_random),
+            ("bias_p", self.bias_p),
+            ("dep_p", self.dep_p),
+            ("hot_frac", self.hot_frac),
+            ("chase_frac", self.chase_frac),
+        ];
+        for (name, v) in frac_fields {
+            if !(0.0..=1.0).contains(&v) {
+                return fail(&format!("{name} outside [0, 1]"));
+            }
+        }
+        if self.br_biased + self.br_loop + self.br_pattern + self.br_random > 1.0 + 1e-9 {
+            return fail("branch class fractions exceed 1");
+        }
+        if !(0.01..1.0).contains(&self.dep_decay) {
+            return fail("dep_decay outside [0.01, 1)");
+        }
+        if self.data_kb == 0 {
+            return fail("data_kb must be positive");
+        }
+        if self.hot_frac <= 0.0 {
+            return fail("hot_frac must be positive");
+        }
+        if !(0.0..=4.0).contains(&self.zipf_s) {
+            return fail("zipf_s outside [0, 4]");
+        }
+        if self.w_hot < 0.0 || self.w_stream < 0.0 || self.w_rand < 0.0 {
+            return fail("memory region weight negative");
+        }
+        if self.w_hot + self.w_stream + self.w_rand <= 0.0 {
+            return fail("memory region weights sum to zero");
+        }
+        if self.loop_mean < 1.0 {
+            return fail("loop_mean must be >= 1");
+        }
+        Ok(())
+    }
+
+    /// Fraction of dynamic instructions that are branches (≈ 1/block_size).
+    pub fn branch_fraction(&self) -> f64 {
+        1.0 / self.block_size
+    }
+
+    /// Fraction of non-branch instructions that are memory operations.
+    pub fn memory_fraction(&self) -> f64 {
+        let total: f64 = self.w_int_alu
+            + self.w_int_mul
+            + self.w_int_div
+            + self.w_fp_alu
+            + self.w_fp_mul
+            + self.w_fp_div
+            + self.w_load
+            + self.w_store;
+        (self.w_load + self.w_store) / total
+    }
+
+    /// A neutral mid-range profile, useful as a starting point for tests
+    /// and hand-built variants.
+    pub fn template(name: &'static str, suite: Suite, seed: u64) -> Self {
+        Self {
+            name,
+            suite,
+            seed,
+            w_int_alu: 45.0,
+            w_int_mul: 1.5,
+            w_int_div: 0.3,
+            w_fp_alu: 4.0,
+            w_fp_mul: 2.0,
+            w_fp_div: 0.4,
+            w_load: 24.0,
+            w_store: 10.0,
+            block_size: 6.0,
+            code_kb: 48,
+            br_biased: 0.6,
+            br_loop: 0.25,
+            br_pattern: 0.1,
+            br_random: 0.05,
+            bias_p: 0.97,
+            loop_mean: 12.0,
+            dep_p: 0.65,
+            dep_decay: 0.22,
+            data_kb: 256,
+            hot_frac: 0.25,
+            zipf_s: 1.5,
+            w_hot: 0.88,
+            w_stream: 0.08,
+            w_rand: 0.04,
+            chase_frac: 0.02,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_is_valid() {
+        Profile::template("t", Suite::SpecCpu2000, 1)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn validate_catches_bad_block_size() {
+        let mut p = Profile::template("t", Suite::SpecCpu2000, 1);
+        p.block_size = 1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_negative_weight() {
+        let mut p = Profile::template("t", Suite::SpecCpu2000, 1);
+        p.w_load = -1.0;
+        let err = p.validate().unwrap_err();
+        assert!(err.reason.contains("instruction-mix"));
+    }
+
+    #[test]
+    fn validate_catches_branch_fraction_overflow() {
+        let mut p = Profile::template("t", Suite::SpecCpu2000, 1);
+        p.br_biased = 0.9;
+        p.br_loop = 0.9;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_zero_data() {
+        let mut p = Profile::template("t", Suite::SpecCpu2000, 1);
+        p.data_kb = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn derived_fractions_are_consistent() {
+        let p = Profile::template("t", Suite::MiBench, 1);
+        assert!((p.branch_fraction() - 1.0 / 6.0).abs() < 1e-12);
+        let mem = p.memory_fraction();
+        assert!((0.0..1.0).contains(&mem));
+    }
+
+    #[test]
+    fn suite_display() {
+        assert_eq!(Suite::SpecCpu2000.to_string(), "SPEC CPU 2000");
+        assert_eq!(Suite::MiBench.to_string(), "MiBench");
+    }
+}

@@ -1,0 +1,659 @@
+//! The two benchmark suites used in the paper, as synthetic stand-ins.
+//!
+//! Each profile is tuned so the program behaves like its namesake *relative
+//! to the rest of the suite*: integer vs floating-point mix, code footprint
+//! (I-cache pressure), data footprint and locality (D-cache/L2/memory
+//! pressure), dependency structure (extractable ILP) and branch behaviour
+//! (predictor pressure). The absolute magnitudes are synthetic; the
+//! *relations* — which programs are outliers, which cluster together, which
+//! structures each program stresses — follow the published
+//! characterisations of SPEC CPU 2000 and MiBench.
+//!
+//! Notable deliberate choices, keyed to the paper's observations:
+//!
+//! * `art` — floating-point, working set far beyond the largest L2, low
+//!   locality: the strongest outlier in every metric (Fig 5).
+//! * `mcf` — pointer-chasing integer code with a huge sparse footprint:
+//!   the second outlier, especially for energy.
+//! * `parser` — small working set, predictable branches: the narrowest
+//!   dynamic range in the suite (Fig 4a).
+//! * `gcc`/`crafty` — large code footprints: I-cache sensitive.
+//! * `swim`/`mgrid`/`applu` — streaming FP loops with long dependency-free
+//!   runs: width/ROB/RF sensitive, bandwidth-bound at the memory side.
+//! * `tiff2rgba`, `patricia` (MiBench) — atypical profiles (streaming
+//!   store-heavy conversion; pointer-trie with erratic branches) so that,
+//!   as in Fig 12, they sit outside the SPEC behaviour hull and show the
+//!   highest training error.
+
+use crate::profile::{Profile, Suite};
+
+fn tuned(
+    name: &'static str,
+    suite: Suite,
+    seed: u64,
+    tweak: impl FnOnce(&mut Profile),
+) -> Profile {
+    let mut p = Profile::template(name, suite, seed);
+    tweak(&mut p);
+    p.validate()
+        .unwrap_or_else(|e| panic!("suite profile must validate: {e}"));
+    p
+}
+
+/// Marks a profile as floating-point dominated (SPEC CFP2000-style mix).
+fn fp_mix(p: &mut Profile) {
+    p.w_int_alu = 20.0;
+    p.w_fp_alu = 22.0;
+    p.w_fp_mul = 12.0;
+    p.w_fp_div = 1.0;
+    p.w_load = 28.0;
+    p.w_store = 10.0;
+    p.block_size = 12.0; // FP codes have long basic blocks
+    p.br_biased = 0.35;
+    p.br_loop = 0.55;
+    p.br_pattern = 0.05;
+    p.br_random = 0.05;
+    p.loop_mean = 32.0;
+}
+
+/// Sets the three memory-region weights in one call.
+fn mem_mix(p: &mut Profile, hot: f64, stream: f64, rand: f64) {
+    p.w_hot = hot;
+    p.w_stream = stream;
+    p.w_rand = rand;
+}
+
+/// The 26 SPEC CPU 2000 stand-in profiles.
+///
+/// # Examples
+///
+/// ```
+/// let suite = dse_workload::suites::spec2000();
+/// assert_eq!(suite.len(), 26);
+/// assert!(suite.iter().any(|p| p.name == "art"));
+/// ```
+pub fn spec2000() -> Vec<Profile> {
+    let s = Suite::SpecCpu2000;
+    vec![
+        // ---------------- CINT2000 ----------------
+        tuned("gzip", s, 0x1001, |p| {
+            p.data_kb = 512;
+            p.hot_frac = 0.25; // 128 KB hot: straddles the L1 range
+            p.zipf_s = 1.4;
+            mem_mix(p, 0.75, 0.2, 0.05);
+            p.dep_decay = 0.28;
+            p.block_size = 7.0;
+        }),
+        tuned("vpr", s, 0x1002, |p| {
+            p.data_kb = 2_048;
+            p.hot_frac = 0.05;
+            p.zipf_s = 1.3;
+            mem_mix(p, 0.86, 0.07, 0.07);
+            p.chase_frac = 0.1;
+            p.br_random = 0.1;
+            p.br_biased = 0.55;
+        }),
+        tuned("gcc", s, 0x1003, |p| {
+            p.code_kb = 320; // far beyond the largest I-cache
+            p.block_size = 4.5;
+            p.data_kb = 1_024;
+            p.hot_frac = 0.1;
+            p.zipf_s = 1.45;
+            mem_mix(p, 0.88, 0.07, 0.05);
+            p.br_biased = 0.55;
+            p.br_random = 0.1;
+            p.br_pattern = 0.1;
+            p.br_loop = 0.25;
+            p.dep_decay = 0.32;
+        }),
+        tuned("mcf", s, 0x1004, |p| {
+            // Pointer-chasing over a sparse multi-MB graph: memory-latency
+            // bound; the paper's second-strongest outlier.
+            p.data_kb = 24_576;
+            p.hot_frac = 0.02;
+            p.zipf_s = 0.4;
+            mem_mix(p, 0.20, 0.05, 0.75);
+            p.chase_frac = 0.45;
+            p.w_load = 32.0;
+            p.w_store = 8.0;
+            p.dep_decay = 0.4;
+            p.block_size = 5.0;
+            p.br_random = 0.15;
+            p.br_biased = 0.55;
+            p.br_loop = 0.25;
+            p.br_pattern = 0.05;
+        }),
+        tuned("crafty", s, 0x1005, |p| {
+            p.code_kb = 224;
+            p.data_kb = 256;
+            p.hot_frac = 0.25;
+            p.zipf_s = 1.55;
+            mem_mix(p, 0.93, 0.04, 0.03);
+            p.block_size = 4.0;
+            p.br_random = 0.12;
+            p.br_biased = 0.55;
+            p.br_pattern = 0.18;
+            p.br_loop = 0.15;
+            p.dep_decay = 0.24;
+        }),
+        tuned("parser", s, 0x1006, |p| {
+            // Small hot dictionary, predictable branches: the narrowest
+            // dynamic range in the suite (Fig 4a).
+            p.data_kb = 96;
+            p.hot_frac = 0.5;
+            p.zipf_s = 1.8;
+            mem_mix(p, 0.93, 0.05, 0.02);
+            p.code_kb = 40;
+            p.block_size = 5.0;
+            p.bias_p = 0.985;
+            p.br_biased = 0.7;
+            p.br_loop = 0.2;
+            p.br_pattern = 0.05;
+            p.br_random = 0.05;
+            p.dep_decay = 0.35;
+        }),
+        tuned("eon", s, 0x1007, |p| {
+            p.code_kb = 160;
+            p.w_fp_alu = 10.0;
+            p.w_fp_mul = 5.0;
+            p.data_kb = 192;
+            p.hot_frac = 0.33;
+            p.zipf_s = 1.5;
+            mem_mix(p, 0.9, 0.07, 0.03);
+            p.block_size = 6.0;
+            p.dep_decay = 0.2;
+        }),
+        tuned("perlbmk", s, 0x1008, |p| {
+            p.code_kb = 256;
+            p.block_size = 4.5;
+            p.data_kb = 512;
+            p.hot_frac = 0.12;
+            p.zipf_s = 1.5;
+            mem_mix(p, 0.9, 0.05, 0.05);
+            p.br_random = 0.1;
+            p.br_pattern = 0.15;
+            p.br_biased = 0.55;
+            p.br_loop = 0.2;
+            p.chase_frac = 0.06;
+        }),
+        tuned("gap", s, 0x1009, |p| {
+            p.data_kb = 1_536;
+            p.hot_frac = 0.08;
+            p.zipf_s = 1.45;
+            mem_mix(p, 0.82, 0.14, 0.04);
+            p.block_size = 6.5;
+            p.dep_decay = 0.24;
+        }),
+        tuned("vortex", s, 0x100A, |p| {
+            p.code_kb = 288;
+            p.data_kb = 2_048;
+            p.hot_frac = 0.05;
+            p.zipf_s = 1.4;
+            mem_mix(p, 0.87, 0.08, 0.05);
+            p.chase_frac = 0.08;
+            p.block_size = 5.5;
+            p.w_store = 14.0;
+        }),
+        tuned("bzip2", s, 0x100B, |p| {
+            p.data_kb = 3_072;
+            p.hot_frac = 0.08;
+            p.zipf_s = 1.35;
+            mem_mix(p, 0.75, 0.21, 0.04);
+            p.block_size = 7.5;
+            p.dep_decay = 0.26;
+        }),
+        tuned("twolf", s, 0x100C, |p| {
+            p.data_kb = 512;
+            p.hot_frac = 0.15;
+            p.zipf_s = 1.35;
+            mem_mix(p, 0.87, 0.05, 0.08);
+            p.chase_frac = 0.12;
+            p.block_size = 5.0;
+            p.br_random = 0.12;
+            p.br_biased = 0.53;
+        }),
+        // ---------------- CFP2000 ----------------
+        tuned("wupwise", s, 0x2001, |p| {
+            fp_mix(p);
+            p.data_kb = 2_048;
+            p.hot_frac = 0.1;
+            p.zipf_s = 1.4;
+            mem_mix(p, 0.75, 0.23, 0.02);
+            p.dep_decay = 0.1;
+        }),
+        tuned("swim", s, 0x2002, |p| {
+            // Streaming stencil over arrays far beyond the L2: memory
+            // bandwidth bound.
+            fp_mix(p);
+            p.data_kb = 16_384;
+            p.hot_frac = 0.02;
+            mem_mix(p, 0.45, 0.5, 0.05);
+            p.dep_decay = 0.07;
+            p.block_size = 16.0;
+            p.loop_mean = 64.0;
+        }),
+        tuned("mgrid", s, 0x2003, |p| {
+            fp_mix(p);
+            p.data_kb = 8_192;
+            p.hot_frac = 0.04;
+            mem_mix(p, 0.55, 0.42, 0.03);
+            p.dep_decay = 0.09;
+            p.block_size = 14.0;
+            p.loop_mean = 48.0;
+        }),
+        tuned("applu", s, 0x2004, |p| {
+            fp_mix(p);
+            p.data_kb = 6_144;
+            p.hot_frac = 0.05;
+            mem_mix(p, 0.6, 0.35, 0.05);
+            p.dep_decay = 0.1;
+            p.block_size = 13.0;
+            p.loop_mean = 40.0;
+        }),
+        tuned("mesa", s, 0x2005, |p| {
+            fp_mix(p);
+            p.code_kb = 128;
+            p.data_kb = 768;
+            p.hot_frac = 0.2;
+            p.zipf_s = 1.5;
+            mem_mix(p, 0.87, 0.11, 0.02);
+            p.block_size = 8.0;
+            p.dep_decay = 0.16;
+        }),
+        tuned("galgel", s, 0x2006, |p| {
+            // Clusters near art for cycles (Fig 5a): large FP working set,
+            // moderate locality.
+            fp_mix(p);
+            p.data_kb = 10_240;
+            p.hot_frac = 0.04;
+            p.zipf_s = 1.05;
+            mem_mix(p, 0.68, 0.19, 0.13);
+            p.dep_decay = 0.12;
+        }),
+        tuned("art", s, 0x2007, |p| {
+            // Neural-net simulation scanning ~dozens of MB with almost no
+            // reuse: every cache level misses, the strongest outlier of the
+            // whole suite in every metric.
+            fp_mix(p);
+            p.data_kb = 32_768;
+            p.hot_frac = 0.01;
+            p.zipf_s = 0.2;
+            mem_mix(p, 0.15, 0.35, 0.5);
+            p.w_load = 34.0;
+            p.dep_decay = 0.2;
+            p.block_size = 10.0;
+        }),
+        tuned("equake", s, 0x2008, |p| {
+            fp_mix(p);
+            p.data_kb = 4_096;
+            p.hot_frac = 0.08;
+            p.zipf_s = 1.25;
+            mem_mix(p, 0.74, 0.16, 0.10);
+            p.chase_frac = 0.12;
+            p.dep_decay = 0.16;
+        }),
+        tuned("facerec", s, 0x2009, |p| {
+            fp_mix(p);
+            p.data_kb = 3_072;
+            p.hot_frac = 0.1;
+            p.zipf_s = 1.45;
+            mem_mix(p, 0.78, 0.18, 0.04);
+            p.dep_decay = 0.12;
+        }),
+        tuned("ammp", s, 0x200A, |p| {
+            fp_mix(p);
+            p.data_kb = 12_288;
+            p.hot_frac = 0.03;
+            p.zipf_s = 0.85;
+            mem_mix(p, 0.63, 0.2, 0.17);
+            p.chase_frac = 0.15;
+            p.dep_decay = 0.18;
+        }),
+        tuned("lucas", s, 0x200B, |p| {
+            fp_mix(p);
+            p.data_kb = 8_192;
+            p.hot_frac = 0.05;
+            mem_mix(p, 0.6, 0.36, 0.04);
+            p.dep_decay = 0.09;
+            p.block_size = 15.0;
+        }),
+        tuned("fma3d", s, 0x200C, |p| {
+            fp_mix(p);
+            p.code_kb = 192;
+            p.data_kb = 4_096;
+            p.hot_frac = 0.07;
+            p.zipf_s = 1.35;
+            mem_mix(p, 0.78, 0.17, 0.05);
+            p.dep_decay = 0.15;
+        }),
+        tuned("sixtrack", s, 0x200D, |p| {
+            // Compute-bound particle tracking: tiny working set, huge ILP.
+            fp_mix(p);
+            p.data_kb = 128;
+            p.hot_frac = 0.25;
+            p.zipf_s = 1.7;
+            mem_mix(p, 0.95, 0.04, 0.01);
+            p.dep_decay = 0.07;
+            p.w_fp_mul = 16.0;
+            p.w_fp_div = 2.0;
+            p.block_size = 18.0;
+        }),
+        tuned("apsi", s, 0x200E, |p| {
+            fp_mix(p);
+            p.data_kb = 2_048;
+            p.hot_frac = 0.12;
+            p.zipf_s = 1.45;
+            mem_mix(p, 0.8, 0.17, 0.03);
+            p.dep_decay = 0.12;
+        }),
+    ]
+}
+
+/// The 19 MiBench stand-in profiles (ghostscript omitted, as in the paper).
+///
+/// # Examples
+///
+/// ```
+/// let suite = dse_workload::suites::mibench();
+/// assert_eq!(suite.len(), 19);
+/// assert!(!suite.iter().any(|p| p.name == "ghostscript"));
+/// ```
+pub fn mibench() -> Vec<Profile> {
+    let s = Suite::MiBench;
+    // Embedded defaults: small code and data, strongly biased branches.
+    let emb = |p: &mut Profile| {
+        p.code_kb = 16;
+        p.data_kb = 64;
+        p.hot_frac = 0.4;
+        p.zipf_s = 1.5;
+        mem_mix(p, 0.9, 0.07, 0.03);
+        p.bias_p = 0.975;
+        p.br_biased = 0.6;
+        p.br_loop = 0.3;
+        p.br_pattern = 0.05;
+        p.br_random = 0.05;
+    };
+    vec![
+        tuned("basicmath", s, 0x3001, |p| {
+            emb(p);
+            p.w_fp_alu = 14.0;
+            p.w_fp_mul = 7.0;
+            p.w_fp_div = 2.0;
+            p.block_size = 8.0;
+            p.dep_decay = 0.2;
+        }),
+        tuned("bitcount", s, 0x3002, |p| {
+            emb(p);
+            p.data_kb = 8;
+            p.w_load = 10.0;
+            p.w_store = 4.0;
+            p.w_int_alu = 70.0;
+            p.block_size = 5.0;
+            p.dep_decay = 0.4; // tight serial bit loops
+        }),
+        tuned("qsort", s, 0x3003, |p| {
+            emb(p);
+            p.data_kb = 512;
+            p.hot_frac = 0.15;
+            p.zipf_s = 1.3;
+            mem_mix(p, 0.82, 0.1, 0.08);
+            p.br_random = 0.25;
+            p.br_biased = 0.45;
+            p.br_loop = 0.25;
+            p.block_size = 5.0;
+        }),
+        tuned("susan", s, 0x3004, |p| {
+            emb(p);
+            p.data_kb = 384;
+            p.hot_frac = 0.2;
+            mem_mix(p, 0.62, 0.35, 0.03);
+            p.block_size = 9.0;
+            p.dep_decay = 0.12;
+        }),
+        tuned("jpeg", s, 0x3005, |p| {
+            emb(p);
+            p.code_kb = 48;
+            p.data_kb = 512;
+            p.hot_frac = 0.15;
+            mem_mix(p, 0.68, 0.3, 0.02);
+            p.w_int_mul = 6.0;
+            p.block_size = 8.0;
+            p.dep_decay = 0.16;
+        }),
+        tuned("lame", s, 0x3006, |p| {
+            emb(p);
+            p.code_kb = 96;
+            p.data_kb = 1_024;
+            p.hot_frac = 0.12;
+            mem_mix(p, 0.7, 0.27, 0.03);
+            p.w_fp_alu = 16.0;
+            p.w_fp_mul = 10.0;
+            p.block_size = 10.0;
+            p.dep_decay = 0.12;
+        }),
+        tuned("dijkstra", s, 0x3007, |p| {
+            emb(p);
+            p.data_kb = 256;
+            p.hot_frac = 0.25;
+            p.zipf_s = 1.4;
+            mem_mix(p, 0.87, 0.05, 0.08);
+            p.chase_frac = 0.12;
+            p.block_size = 5.5;
+        }),
+        tuned("patricia", s, 0x3008, |p| {
+            // Trie traversal: pointer-chasing with erratic branches —
+            // deliberately outside the SPEC hull (high training error in
+            // Fig 12).
+            emb(p);
+            p.data_kb = 2_048;
+            p.hot_frac = 0.03;
+            p.zipf_s = 0.5;
+            p.chase_frac = 0.4;
+            mem_mix(p, 0.35, 0.05, 0.6);
+            p.br_random = 0.3;
+            p.br_biased = 0.4;
+            p.br_loop = 0.2;
+            p.br_pattern = 0.1;
+            p.block_size = 4.0;
+        }),
+        tuned("stringsearch", s, 0x3009, |p| {
+            emb(p);
+            p.data_kb = 128;
+            p.hot_frac = 0.3;
+            mem_mix(p, 0.75, 0.22, 0.03);
+            p.block_size = 4.5;
+            p.br_pattern = 0.2;
+            p.br_biased = 0.5;
+            p.br_loop = 0.2;
+            p.br_random = 0.1;
+        }),
+        tuned("blowfish", s, 0x300A, |p| {
+            emb(p);
+            p.data_kb = 16;
+            p.hot_frac = 0.6;
+            p.zipf_s = 0.8; // S-box lookups spread over the table
+            mem_mix(p, 0.85, 0.1, 0.05);
+            p.w_int_alu = 60.0;
+            p.block_size = 12.0;
+            p.dep_decay = 0.28;
+        }),
+        tuned("rijndael", s, 0x300B, |p| {
+            emb(p);
+            p.data_kb = 24;
+            p.hot_frac = 0.5;
+            p.zipf_s = 0.7;
+            mem_mix(p, 0.8, 0.15, 0.05);
+            p.w_int_alu = 55.0;
+            p.block_size = 14.0;
+            p.dep_decay = 0.24;
+        }),
+        tuned("sha", s, 0x300C, |p| {
+            emb(p);
+            p.data_kb = 16;
+            p.w_int_alu = 65.0;
+            p.w_load = 14.0;
+            p.w_store = 6.0;
+            p.block_size = 16.0;
+            p.dep_decay = 0.35; // long dependent rotate chains
+        }),
+        tuned("crc32", s, 0x300D, |p| {
+            emb(p);
+            p.data_kb = 32;
+            mem_mix(p, 0.35, 0.6, 0.05);
+            p.block_size = 4.0;
+            p.dep_decay = 0.4;
+            p.loop_mean = 200.0;
+        }),
+        tuned("adpcm", s, 0x300E, |p| {
+            emb(p);
+            p.data_kb = 32;
+            mem_mix(p, 0.3, 0.65, 0.05);
+            p.block_size = 6.0;
+            p.dep_decay = 0.4;
+            p.br_pattern = 0.15;
+            p.br_biased = 0.5;
+            p.br_loop = 0.25;
+            p.br_random = 0.1;
+        }),
+        tuned("fft", s, 0x300F, |p| {
+            emb(p);
+            p.data_kb = 256;
+            p.hot_frac = 0.3;
+            mem_mix(p, 0.72, 0.25, 0.03);
+            p.w_fp_alu = 18.0;
+            p.w_fp_mul = 12.0;
+            p.block_size = 11.0;
+            p.dep_decay = 0.1;
+        }),
+        tuned("gsm", s, 0x3010, |p| {
+            emb(p);
+            p.data_kb = 48;
+            p.w_int_mul = 8.0;
+            mem_mix(p, 0.5, 0.45, 0.05);
+            p.block_size = 9.0;
+            p.dep_decay = 0.2;
+        }),
+        tuned("ispell", s, 0x3011, |p| {
+            emb(p);
+            p.code_kb = 64;
+            p.data_kb = 512;
+            p.hot_frac = 0.2;
+            mem_mix(p, 0.85, 0.07, 0.08);
+            p.chase_frac = 0.08;
+            p.block_size = 5.0;
+            p.br_random = 0.1;
+            p.br_biased = 0.55;
+            p.br_loop = 0.25;
+            p.br_pattern = 0.1;
+        }),
+        tuned("tiff2rgba", s, 0x3012, |p| {
+            // Pure streaming format conversion with a store-heavy mix —
+            // the other deliberate outlier (Fig 12).
+            emb(p);
+            p.data_kb = 8_192;
+            p.hot_frac = 0.01;
+            mem_mix(p, 0.06, 0.88, 0.06);
+            p.w_load = 22.0;
+            p.w_store = 20.0;
+            p.block_size = 12.0;
+            p.dep_decay = 0.1;
+            p.loop_mean = 500.0;
+        }),
+        tuned("typeset", s, 0x3013, |p| {
+            emb(p);
+            p.code_kb = 128;
+            p.data_kb = 1_024;
+            p.hot_frac = 0.12;
+            mem_mix(p, 0.82, 0.08, 0.1);
+            p.chase_frac = 0.08;
+            p.block_size = 5.0;
+            p.br_random = 0.1;
+            p.br_biased = 0.55;
+        }),
+    ]
+}
+
+/// Both suites concatenated (SPEC first), convenient for dataset generation.
+pub fn all_benchmarks() -> Vec<Profile> {
+    let mut v = spec2000();
+    v.extend(mibench());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn spec_has_26_unique_valid_profiles() {
+        let suite = spec2000();
+        assert_eq!(suite.len(), 26);
+        let names: HashSet<_> = suite.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 26);
+        for p in &suite {
+            p.validate().unwrap();
+            assert_eq!(p.suite, Suite::SpecCpu2000);
+        }
+    }
+
+    #[test]
+    fn mibench_has_19_unique_valid_profiles() {
+        let suite = mibench();
+        assert_eq!(suite.len(), 19);
+        let names: HashSet<_> = suite.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 19);
+        for p in &suite {
+            p.validate().unwrap();
+            assert_eq!(p.suite, Suite::MiBench);
+        }
+    }
+
+    #[test]
+    fn seeds_are_unique_across_suites() {
+        let seeds: Vec<u64> = all_benchmarks().iter().map(|p| p.seed).collect();
+        let set: HashSet<_> = seeds.iter().collect();
+        assert_eq!(set.len(), seeds.len());
+    }
+
+    #[test]
+    fn art_is_the_biggest_footprint() {
+        let suite = spec2000();
+        let art = suite.iter().find(|p| p.name == "art").unwrap();
+        for p in &suite {
+            if p.name != "art" {
+                assert!(art.data_kb >= p.data_kb, "{} out-foots art", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mcf_chases_pointers_hardest_in_spec() {
+        let suite = spec2000();
+        let mcf = suite.iter().find(|p| p.name == "mcf").unwrap();
+        for p in &suite {
+            if p.name != "mcf" {
+                assert!(mcf.chase_frac >= p.chase_frac);
+            }
+        }
+    }
+
+    #[test]
+    fn mibench_footprints_are_mostly_small() {
+        let small = mibench().iter().filter(|p| p.data_kb <= 1_024).count();
+        assert!(small >= 15, "only {small} small-footprint MiBench programs");
+    }
+
+    #[test]
+    fn all_benchmarks_concatenates() {
+        assert_eq!(all_benchmarks().len(), 45);
+    }
+
+    #[test]
+    fn every_profile_generates_a_trace() {
+        for p in all_benchmarks() {
+            let t = crate::TraceGenerator::new(&p).generate(200);
+            assert_eq!(t.len(), 200, "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Workload characterisation: per-program design-space statistics and the
+//! program-similarity dendrogram (the paper's §4 analysis).
+//!
+//! Run with: `cargo run --release --example characterize_workloads`
+
+use archdse::core::analysis::{characterise, similarity};
+use archdse::prelude::*;
+
+fn main() {
+    let mut profiles: Vec<Profile> = archdse::workload::suites::spec2000()
+        .into_iter()
+        .filter(|p| ["gzip", "parser", "art", "mcf", "swim", "crafty", "sixtrack"].contains(&p.name))
+        .collect();
+    profiles.sort_by_key(|p| p.name);
+    let spec = DatasetSpec {
+        n_configs: 200,
+        trace_len: 30_000,
+        warmup: 6_000,
+        seed: 5,
+    };
+    println!("simulating {} programs x {} configs...", profiles.len(), spec.n_configs);
+    let ds = SuiteDataset::generate(&profiles, &spec);
+
+    println!("\nper-program cycles across the sampled space (per 10M-instr phase):");
+    println!("{:>10}  {:>10}  {:>10}  {:>10}  {:>8}", "program", "min", "median", "max", "max/min");
+    for c in characterise(&ds, Metric::Cycles) {
+        println!(
+            "{:>10}  {:10.3e}  {:10.3e}  {:10.3e}  {:8.1}",
+            c.program, c.summary.min, c.summary.median, c.summary.max,
+            c.summary.max / c.summary.min
+        );
+    }
+
+    println!("\nprogram similarity (energy, average-linkage dendrogram):");
+    let dg = similarity(&ds, Metric::Energy);
+    print!("{}", dg.render());
+    println!("\n('art' and 'mcf' should sit on their own branches, as in Fig 5)");
+}

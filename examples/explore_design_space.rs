@@ -1,0 +1,63 @@
+//! Design-space exploration with the predictor: find low-ED ("sweet
+//! spot") configurations for a new program from 32 simulations, then
+//! check the recommendation against ground truth.
+//!
+//! This is the paper's motivating use case: the model stands in for the
+//! simulator when ranking candidate designs.
+//!
+//! Run with: `cargo run --release --example explore_design_space`
+
+use archdse::prelude::*;
+use dse_rng::Xoshiro256;
+
+fn main() {
+    let profiles: Vec<Profile> = archdse::workload::suites::spec2000()
+        .into_iter()
+        .take(8)
+        .collect();
+    let spec = DatasetSpec {
+        n_configs: 300,
+        trace_len: 30_000,
+        warmup: 6_000,
+        seed: 9,
+    };
+    println!("simulating {} programs x {} configs...", profiles.len(), spec.n_configs);
+    let ds = SuiteDataset::generate(&profiles, &spec);
+
+    // The "new" program is the last one; everything else trains offline.
+    let target = ds.benchmarks.len() - 1;
+    let train_rows: Vec<usize> = (0..target).collect();
+    let offline = OfflineModel::train(&ds, &train_rows, Metric::Ed, 200, &MlpConfig::default(), 3);
+
+    let mut rng = Xoshiro256::seed_from(1);
+    let response_idxs = rng.sample_indices(ds.n_configs(), 32);
+    let response_values: Vec<f64> = response_idxs
+        .iter()
+        .map(|&i| ds.benchmarks[target].metrics[i].ed)
+        .collect();
+    let predictor = offline.fit_responses(&ds, &response_idxs, &response_values);
+
+    // Rank the whole sampled space by predicted ED.
+    let features = ds.features();
+    let mut ranked: Vec<(usize, f64)> = (0..ds.n_configs())
+        .map(|i| (i, predictor.predict(&features[i])))
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+
+    let actual: Vec<f64> = ds.benchmarks[target].values(Metric::Ed);
+    let true_best = actual
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+
+    println!("\ntop-5 predicted ED configurations for '{}':", ds.benchmarks[target].name);
+    println!("{:>4}  {:>12}  {:>12}  config", "rank", "predicted", "actual");
+    for (rank, &(idx, pred)) in ranked.iter().take(5).enumerate() {
+        println!("{rank:>4}  {pred:12.4e}  {:12.4e}  {}", actual[idx], ds.configs[idx]);
+    }
+    let best_found = ranked[..5].iter().map(|&(i, _)| actual[i]).fold(f64::INFINITY, f64::min);
+    println!("\ntrue optimum in sample : {true_best:.4e}");
+    println!("best of predicted top-5: {best_found:.4e} ({:.1}% above optimum)",
+        100.0 * (best_found / true_best - 1.0));
+    println!("simulations spent      : 32 (instead of {})", ds.n_configs());
+}

@@ -1,0 +1,55 @@
+//! Quickstart: simulate a benchmark, train the architecture-centric
+//! predictor on a handful of programs, and predict a new program's design
+//! space from 16 responses.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use archdse::prelude::*;
+use dse_ml::stats::{correlation, rmae};
+
+fn main() {
+    // 1. Build a small dataset: 6 SPEC stand-ins on 150 shared
+    //    configurations (the paper uses 26 programs x 3,000 configs; see
+    //    the `gen_dataset` binary for the full protocol).
+    let profiles: Vec<Profile> = archdse::workload::suites::spec2000()
+        .into_iter()
+        .take(6)
+        .collect();
+    let spec = DatasetSpec {
+        n_configs: 150,
+        trace_len: 30_000,
+        warmup: 6_000,
+        seed: 42,
+    };
+    println!("simulating {} programs x {} configs...", profiles.len(), spec.n_configs);
+    let ds = SuiteDataset::generate(&profiles, &spec);
+
+    // 2. Train the offline half on the first five programs.
+    let train_rows: Vec<usize> = (0..5).collect();
+    let offline = OfflineModel::train(&ds, &train_rows, Metric::Cycles, 100, &MlpConfig::default(), 7);
+
+    // 3. "Encounter" the sixth program: simulate only 16 responses.
+    let new_program = &ds.benchmarks[5];
+    println!("predicting unseen program: {}", new_program.name);
+    let response_idxs: Vec<usize> = (0..16).collect();
+    let response_values: Vec<f64> = response_idxs
+        .iter()
+        .map(|&i| new_program.metrics[i].cycles)
+        .collect();
+    let predictor = offline.fit_responses(&ds, &response_idxs, &response_values);
+
+    // 4. Predict the rest of the space and compare against the truth.
+    let features = ds.features();
+    let preds: Vec<f64> = (16..ds.n_configs()).map(|i| predictor.predict(&features[i])).collect();
+    let actual: Vec<f64> = (16..ds.n_configs()).map(|i| new_program.metrics[i].cycles).collect();
+    println!(
+        "predicted {} unseen configurations: rmae {:.1}%, correlation {:.3}",
+        preds.len(),
+        rmae(&preds, &actual),
+        correlation(&preds, &actual)
+    );
+    println!("combination weights over training programs:");
+    for (w, row) in predictor.weights().iter().zip(&train_rows) {
+        println!("  {:10} {w:+.3}", ds.benchmarks[*row].name);
+    }
+}

@@ -1,0 +1,46 @@
+//! Direct simulator use: run one benchmark on two configurations and
+//! inspect the microarchitectural statistics.
+//!
+//! Run with: `cargo run --release --example simulate_one`
+
+use archdse::prelude::*;
+use dse_sim::simulate_detailed;
+
+fn main() {
+    let profile = archdse::workload::suites::spec2000()
+        .into_iter()
+        .find(|p| p.name == "gcc")
+        .unwrap();
+    let trace = TraceGenerator::new(&profile).generate(60_000);
+    let opts = SimOptions { warmup: 15_000 };
+
+    let big = Config {
+        width: 8,
+        rob: 160,
+        iq: 80,
+        lsq: 80,
+        rf: 160,
+        rf_read: 16,
+        rf_write: 8,
+        bpred_k: 32,
+        btb_k: 4,
+        max_branches: 32,
+        icache_kb: 128,
+        dcache_kb: 128,
+        l2_kb: 4096,
+    };
+
+    for (name, cfg) in [("baseline", Config::baseline()), ("big", big)] {
+        let (r, m) = simulate_detailed(&cfg, &trace, opts);
+        println!("== {name}: {cfg}");
+        println!("  IPC          : {:.3}", r.ipc);
+        println!("  L1I miss     : {:.2}%", 100.0 * r.l1i_miss_rate);
+        println!("  L1D miss     : {:.2}%", 100.0 * r.l1d_miss_rate);
+        println!("  L2 miss      : {:.2}%", 100.0 * r.l2_miss_rate);
+        println!("  bpred miss   : {:.2}%", 100.0 * r.bpred_miss_rate);
+        println!("  cycles/phase : {:.3e}", m.cycles);
+        println!("  energy/phase : {:.3e} nJ", m.energy);
+        println!("  ED           : {:.3e}", m.ed);
+        println!("  EDD          : {:.3e}\n", m.edd);
+    }
+}

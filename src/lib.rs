@@ -1,0 +1,61 @@
+//! # archdse
+//!
+//! A from-scratch Rust reproduction of *"Microarchitectural Design Space
+//! Exploration Using an Architecture-Centric Approach"* (Dubach, Jones,
+//! O'Boyle — MICRO 2007; journal version IEEE TC 2011).
+//!
+//! The paper's idea: instead of training a fresh predictor for every new
+//! program (hundreds of simulations each), train program-specific neural
+//! networks **once, offline**, on a set of training benchmarks — then
+//! characterise any *new* program with just **32 simulations**
+//! ("responses") by fitting a linear combination of the training programs'
+//! design spaces. The combined model predicts cycles, energy, ED or ED²
+//! anywhere in an 18-billion-point microarchitectural design space.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`rng`] | `dse-rng` | deterministic PRNG + distributions |
+//! | [`space`] | `dse-space` | the 13-parameter design space (Table 1/2) |
+//! | [`workload`] | `dse-workload` | synthetic SPEC CPU 2000 / MiBench stand-ins |
+//! | [`sim`] | `dse-sim` | cycle-level out-of-order simulator + Wattch-style energy |
+//! | [`ml`] | `dse-ml` | MLP, linear regression, stats, clustering |
+//! | [`core`] | `dse-core` | the architecture-centric predictor + evaluation harness |
+//!
+//! # Quick start
+//!
+//! ```
+//! use archdse::prelude::*;
+//!
+//! // Simulate one benchmark on one configuration.
+//! let profile = archdse::workload::suites::spec2000()
+//!     .into_iter()
+//!     .find(|p| p.name == "gzip")
+//!     .unwrap();
+//! let trace = TraceGenerator::new(&profile).generate(12_000);
+//! let metrics = simulate(&Config::baseline(), &trace, SimOptions { warmup: 2_000 });
+//! assert!(metrics.cycles > 0.0);
+//! ```
+//!
+//! See `examples/` for end-to-end design-space exploration and
+//! `crates/bench/src/bin/` for the binaries that regenerate every table
+//! and figure of the paper.
+
+pub use dse_core as core;
+pub use dse_ml as ml;
+pub use dse_rng as rng;
+pub use dse_sim as sim;
+pub use dse_space as space;
+pub use dse_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use dse_core::arch_centric::{ArchCentricPredictor, OfflineModel};
+    pub use dse_core::dataset::{DatasetSpec, SuiteDataset};
+    pub use dse_core::program_specific::ProgramSpecificPredictor;
+    pub use dse_ml::{LinearRegression, Mlp, MlpConfig};
+    pub use dse_sim::{simulate, Metric, Metrics, SimOptions};
+    pub use dse_space::{Config, Param};
+    pub use dse_workload::{Profile, Suite, Trace, TraceGenerator};
+}

@@ -1,0 +1,237 @@
+//! `archdse` command-line interface.
+//!
+//! Small utility front end over the library:
+//!
+//! ```text
+//! archdse space                         # design-space summary (Table 1)
+//! archdse benchmarks                    # list workload profiles
+//! archdse simulate <bench> [key=value]  # run one benchmark on one config
+//! archdse predict <bench> [r=32]        # demo: predict <bench> from the
+//!                                       # other SPEC programs' knowledge
+//! ```
+//!
+//! Configuration overrides use the paper-vector field names:
+//! `width rob iq lsq rf rf_read rf_write bpred btb branches icache dcache l2`
+//! (caches in KB, predictor/BTB in K-entries), e.g.
+//! `archdse simulate gzip width=8 l2=4096`.
+
+use archdse::prelude::*;
+use dse_space::raw_space_size;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("space") => cmd_space(),
+        Some("benchmarks") => cmd_benchmarks(),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("predict") => cmd_predict(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: archdse <space|benchmarks|simulate|predict> [args]\n\
+                 see crate docs for details"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_space() -> i32 {
+    println!("design space: {} raw points", raw_space_size());
+    for def in dse_space::PARAMS.iter() {
+        println!(
+            "  {:10} {:12} {:>4} values: {:?}",
+            def.name,
+            def.unit,
+            def.len(),
+            def.values
+        );
+    }
+    println!("baseline: {}", Config::baseline());
+    0
+}
+
+fn cmd_benchmarks() -> i32 {
+    for p in archdse::workload::suites::all_benchmarks() {
+        println!(
+            "{:14} {:14} code {:4} KB  data {:6} KB  branch rate {:.2}",
+            p.name,
+            p.suite.to_string(),
+            p.code_kb,
+            p.data_kb,
+            p.branch_fraction()
+        );
+    }
+    0
+}
+
+/// Parses `key=value` overrides onto the baseline configuration.
+fn parse_config(args: &[String]) -> Result<Config, String> {
+    let mut cfg = Config::baseline();
+    for arg in args {
+        let Some((key, value)) = arg.split_once('=') else {
+            return Err(format!("expected key=value, got '{arg}'"));
+        };
+        let v: u32 = value
+            .parse()
+            .map_err(|_| format!("'{value}' is not a number in '{arg}'"))?;
+        match key {
+            "width" => cfg.width = v,
+            "rob" => cfg.rob = v,
+            "iq" => cfg.iq = v,
+            "lsq" => cfg.lsq = v,
+            "rf" => cfg.rf = v,
+            "rf_read" => cfg.rf_read = v,
+            "rf_write" => cfg.rf_write = v,
+            "bpred" => cfg.bpred_k = v,
+            "btb" => cfg.btb_k = v,
+            "branches" => cfg.max_branches = v,
+            "icache" => cfg.icache_kb = v,
+            "dcache" => cfg.dcache_kb = v,
+            "l2" => cfg.l2_kb = v,
+            other => return Err(format!("unknown parameter '{other}'")),
+        }
+    }
+    if !cfg.is_legal() {
+        return Err(format!("configuration fails the legality filter: {cfg}"));
+    }
+    Ok(cfg)
+}
+
+fn find_profile(name: &str) -> Result<Profile, String> {
+    archdse::workload::suites::all_benchmarks()
+        .into_iter()
+        .find(|p| p.name == name)
+        .ok_or_else(|| format!("unknown benchmark '{name}' (try `archdse benchmarks`)"))
+}
+
+fn cmd_simulate(args: &[String]) -> i32 {
+    let Some(bench) = args.first() else {
+        eprintln!("usage: archdse simulate <benchmark> [key=value ...]");
+        return 2;
+    };
+    let profile = match find_profile(bench) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let cfg = match parse_config(&args[1..]) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let trace = TraceGenerator::new(&profile).generate(60_000);
+    let (r, m) = archdse::sim::simulate_detailed(&cfg, &trace, SimOptions { warmup: 15_000 });
+    println!("benchmark : {bench}");
+    println!("config    : {cfg}");
+    println!("IPC       : {:.3}", r.ipc);
+    println!("L1I/L1D/L2 miss: {:.2}% / {:.2}% / {:.2}%",
+        100.0 * r.l1i_miss_rate, 100.0 * r.l1d_miss_rate, 100.0 * r.l2_miss_rate);
+    println!("bpred miss: {:.2}%", 100.0 * r.bpred_miss_rate);
+    println!("cycles    : {:.4e} /10M-instr phase", m.cycles);
+    println!("energy    : {:.4e} nJ", m.energy);
+    println!("ED / EDD  : {:.4e} / {:.4e}", m.ed, m.edd);
+    0
+}
+
+fn cmd_predict(args: &[String]) -> i32 {
+    let Some(bench) = args.first() else {
+        eprintln!("usage: archdse predict <benchmark> [r=32]");
+        return 2;
+    };
+    let mut r = 32usize;
+    for arg in &args[1..] {
+        if let Some(v) = arg.strip_prefix("r=") {
+            match v.parse() {
+                Ok(n) => r = n,
+                Err(_) => {
+                    eprintln!("bad response count '{v}'");
+                    return 2;
+                }
+            }
+        }
+    }
+    if find_profile(bench).is_err() {
+        eprintln!("unknown benchmark '{bench}' (try `archdse benchmarks`)");
+        return 2;
+    }
+
+    // Demo-scale protocol so the command finishes in ~a minute on one core.
+    let mut profiles: Vec<Profile> = archdse::workload::suites::spec2000()
+        .into_iter()
+        .filter(|p| p.name != bench)
+        .take(8)
+        .collect();
+    profiles.push(find_profile(bench).expect("checked above"));
+    let spec = DatasetSpec {
+        n_configs: 200,
+        trace_len: 30_000,
+        warmup: 6_000,
+        seed: 21,
+    };
+    eprintln!("simulating {} training programs + target ...", profiles.len() - 1);
+    let ds = SuiteDataset::generate(&profiles, &spec);
+    let target = ds.benchmarks.len() - 1;
+    let train_rows: Vec<usize> = (0..target).collect();
+    let offline = OfflineModel::train(&ds, &train_rows, Metric::Cycles, 150, &MlpConfig::default(), 2);
+    let idxs: Vec<usize> = (0..r.min(ds.n_configs() / 2)).collect();
+    let vals: Vec<f64> = idxs.iter().map(|&i| ds.benchmarks[target].metrics[i].cycles).collect();
+    let predictor = offline.fit_responses(&ds, &idxs, &vals);
+    let features = ds.features();
+    let preds: Vec<f64> = (idxs.len()..ds.n_configs()).map(|i| predictor.predict(&features[i])).collect();
+    let actual: Vec<f64> = (idxs.len()..ds.n_configs())
+        .map(|i| ds.benchmarks[target].metrics[i].cycles)
+        .collect();
+    println!(
+        "predicted {} unseen configurations of '{bench}' from {} responses:",
+        preds.len(),
+        idxs.len()
+    );
+    println!("  rmae        : {:.1}%", dse_ml::stats::rmae(&preds, &actual));
+    println!("  correlation : {:.3}", dse_ml::stats::correlation(&preds, &actual));
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_config_applies_overrides() {
+        let args: Vec<String> = vec!["width=8".into(), "rf_read=16".into(), "rf_write=8".into()];
+        let cfg = parse_config(&args).unwrap();
+        assert_eq!(cfg.width, 8);
+        assert_eq!(cfg.rf_read, 16);
+        assert_eq!(cfg.rob, Config::baseline().rob);
+    }
+
+    #[test]
+    fn parse_config_rejects_unknown_key() {
+        let err = parse_config(&["potato=4".to_string()]).unwrap_err();
+        assert!(err.contains("unknown parameter"));
+    }
+
+    #[test]
+    fn parse_config_rejects_illegal_combination() {
+        // width 2 with baseline's 8 read ports violates the filter.
+        let err = parse_config(&["width=2".to_string()]).unwrap_err();
+        assert!(err.contains("legality"));
+    }
+
+    #[test]
+    fn parse_config_rejects_non_numeric() {
+        let err = parse_config(&["width=four".to_string()]).unwrap_err();
+        assert!(err.contains("not a number"));
+    }
+
+    #[test]
+    fn find_profile_knows_the_suites() {
+        assert!(find_profile("gzip").is_ok());
+        assert!(find_profile("tiff2rgba").is_ok());
+        assert!(find_profile("doom").is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Reproducibility guarantees across the whole stack.
+
+use archdse::prelude::*;
+
+#[test]
+fn same_seed_same_everything() {
+    let profiles: Vec<Profile> = archdse::workload::suites::mibench()
+        .into_iter()
+        .take(2)
+        .collect();
+    let spec = DatasetSpec {
+        n_configs: 20,
+        trace_len: 10_000,
+        warmup: 2_000,
+        seed: 123,
+    };
+    let a = SuiteDataset::generate(&profiles, &spec);
+    let b = SuiteDataset::generate(&profiles, &spec);
+    assert_eq!(a, b);
+
+    let offline_a = OfflineModel::train(&a, &[0], Metric::Cycles, 10, &MlpConfig::default(), 9);
+    let offline_b = OfflineModel::train(&b, &[0], Metric::Cycles, 10, &MlpConfig::default(), 9);
+    let idxs: Vec<usize> = (0..6).collect();
+    let vals: Vec<f64> = idxs.iter().map(|&i| a.benchmarks[1].metrics[i].cycles).collect();
+    let pa = offline_a.fit_responses(&a, &idxs, &vals);
+    let pb = offline_b.fit_responses(&b, &idxs, &vals);
+    let f = a.features();
+    for row in f.iter().take(10) {
+        assert_eq!(pa.predict(row), pb.predict(row));
+    }
+}
+
+#[test]
+fn different_dataset_seed_changes_configs() {
+    let profiles: Vec<Profile> = archdse::workload::suites::mibench()
+        .into_iter()
+        .take(1)
+        .collect();
+    let mk = |seed| {
+        SuiteDataset::generate(
+            &profiles,
+            &DatasetSpec {
+                n_configs: 10,
+                trace_len: 8_000,
+                warmup: 1_000,
+                seed,
+            },
+        )
+    };
+    assert_ne!(mk(1).configs, mk(2).configs);
+}

@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: the full pipeline from synthetic
+//! workloads through the simulator to the predictors, at reduced scale.
+
+use archdse::core::xval::{self, EvalConfig};
+use archdse::prelude::*;
+use dse_ml::stats::{correlation, rmae};
+
+fn small_dataset() -> SuiteDataset {
+    let mut profiles: Vec<Profile> = archdse::workload::suites::spec2000()
+        .into_iter()
+        .filter(|p| {
+            ["gzip", "parser", "crafty", "gap", "mesa", "sixtrack"].contains(&p.name)
+        })
+        .collect();
+    profiles.extend(
+        archdse::workload::suites::mibench()
+            .into_iter()
+            .filter(|p| ["sha", "qsort"].contains(&p.name)),
+    );
+    SuiteDataset::generate(
+        &profiles,
+        &DatasetSpec {
+            n_configs: 140,
+            trace_len: 20_000,
+            warmup: 4_000,
+            seed: 77,
+        },
+    )
+}
+
+#[test]
+fn architecture_centric_predicts_an_unseen_program() {
+    let ds = small_dataset();
+    let target = ds.benchmark_index("gap").unwrap();
+    let train_rows: Vec<usize> = (0..ds.benchmarks.len())
+        .filter(|&i| i != target && ds.benchmarks[i].suite == Suite::SpecCpu2000)
+        .collect();
+    let offline = OfflineModel::train(&ds, &train_rows, Metric::Cycles, 100, &MlpConfig::default(), 11);
+    let responses: Vec<usize> = (0..24).collect();
+    let values: Vec<f64> = responses
+        .iter()
+        .map(|&i| ds.benchmarks[target].metrics[i].cycles)
+        .collect();
+    let predictor = offline.fit_responses(&ds, &responses, &values);
+
+    let features = ds.features();
+    let preds: Vec<f64> = (24..ds.n_configs()).map(|i| predictor.predict(&features[i])).collect();
+    let actual: Vec<f64> = (24..ds.n_configs()).map(|i| ds.benchmarks[target].metrics[i].cycles).collect();
+    let corr = correlation(&preds, &actual);
+    let err = rmae(&preds, &actual);
+    assert!(corr > 0.5, "cross-program prediction should track the space, corr {corr}");
+    assert!(err < 30.0, "rmae {err} too high");
+}
+
+#[test]
+fn arch_centric_beats_program_specific_at_small_budgets() {
+    // The paper's headline claim at reduced scale: with few simulations of
+    // a new program, prior cross-program knowledge wins.
+    let ds = small_dataset();
+    let cfg = EvalConfig {
+        t: 70,
+        r: 12,
+        repeats: 3,
+        seed: 3,
+        mlp: MlpConfig {
+            epochs: 120,
+            ..MlpConfig::default()
+        },
+    };
+    let rows = xval::compare(&ds, Suite::SpecCpu2000, Metric::Cycles, &[12], &cfg);
+    let row = &rows[0];
+    assert!(
+        row.ac_rmae.mean < row.ps_rmae.mean,
+        "architecture-centric ({:.1}%) should beat program-specific ({:.1}%) at 12 sims",
+        row.ac_rmae.mean,
+        row.ps_rmae.mean
+    );
+    assert!(
+        row.ac_corr.mean > row.ps_corr.mean,
+        "architecture-centric corr ({:.3}) should beat program-specific ({:.3})",
+        row.ac_corr.mean,
+        row.ps_corr.mean
+    );
+}
+
+#[test]
+fn loo_and_cross_suite_run_end_to_end() {
+    let ds = small_dataset();
+    let cfg = EvalConfig {
+        t: 60,
+        r: 12,
+        repeats: 2,
+        seed: 5,
+        mlp: MlpConfig {
+            epochs: 80,
+            ..MlpConfig::default()
+        },
+    };
+    let evals = xval::loo(&ds, Suite::SpecCpu2000, Metric::Energy, &cfg);
+    assert_eq!(evals.len(), 6);
+    for e in &evals {
+        assert!(e.test_rmae.mean.is_finite());
+    }
+    let cross = xval::cross_suite(&ds, Suite::SpecCpu2000, Suite::MiBench, Metric::Energy, &cfg);
+    assert_eq!(cross.len(), 2);
+}

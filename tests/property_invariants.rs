@@ -1,0 +1,45 @@
+//! Property-based integration tests: invariants that must hold for any
+//! legal configuration and any suite workload.
+
+use archdse::prelude::*;
+use dse_rng::Xoshiro256;
+use proptest::prelude::*;
+
+fn sampled_config(seed: u64) -> Config {
+    let mut rng = Xoshiro256::seed_from(seed);
+    dse_space::sample_legal(&mut rng, 1)[0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The pipeline cannot commit faster than its width allows, and every
+    /// metric must be positive and finite.
+    #[test]
+    fn prop_ipc_bounded_by_width_and_metrics_finite(seed in 0u64..500) {
+        let cfg = sampled_config(seed);
+        let profile = Profile::template("prop", Suite::SpecCpu2000, seed ^ 0xABCD);
+        let trace = TraceGenerator::new(&profile).generate(6_000);
+        let (r, m) = archdse::sim::simulate_detailed(&cfg, &trace, SimOptions { warmup: 1_000 });
+        prop_assert!(r.ipc <= cfg.width as f64 + 1e-9);
+        prop_assert!(r.ipc > 0.0);
+        prop_assert!(m.cycles.is_finite() && m.cycles > 0.0);
+        prop_assert!(m.energy.is_finite() && m.energy > 0.0);
+        prop_assert!(m.ed.is_finite() && m.edd.is_finite());
+        for rate in [r.l1i_miss_rate, r.l1d_miss_rate, r.l2_miss_rate, r.bpred_miss_rate] {
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
+    /// Simulating the same trace twice on the same configuration gives
+    /// bit-identical results for arbitrary legal configurations.
+    #[test]
+    fn prop_simulation_deterministic(seed in 0u64..200) {
+        let cfg = sampled_config(seed);
+        let profile = Profile::template("det", Suite::MiBench, seed);
+        let trace = TraceGenerator::new(&profile).generate(4_000);
+        let a = simulate(&cfg, &trace, SimOptions { warmup: 500 });
+        let b = simulate(&cfg, &trace, SimOptions { warmup: 500 });
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,145 @@
+//! Cross-crate behavioural invariants of the simulator on real synthetic
+//! workloads — the microarchitectural "laws" the design space relies on.
+
+use archdse::prelude::*;
+
+fn trace_for(name: &str, len: usize) -> Trace {
+    let p = archdse::workload::suites::all_benchmarks()
+        .into_iter()
+        .find(|p| p.name == name)
+        .unwrap();
+    TraceGenerator::new(&p).generate(len)
+}
+
+const OPTS: SimOptions = SimOptions { warmup: 10_000 };
+
+#[test]
+fn bigger_dcache_cuts_miss_rate() {
+    // Capacity always reduces misses; whether it reduces *cycles* depends
+    // on the latency/capacity trade-off (bigger L1s are slower), which is
+    // the design-space structure the paper explores.
+    let trace = trace_for("gzip", 50_000);
+    let small = archdse::sim::simulate_detailed(
+        &Config::baseline().with_param(Param::Dcache, 8), &trace, OPTS).0;
+    let large = archdse::sim::simulate_detailed(
+        &Config::baseline().with_param(Param::Dcache, 128), &trace, OPTS).0;
+    assert!(
+        large.l1d_miss_rate < small.l1d_miss_rate * 0.8,
+        "128KB D-cache miss rate ({:.3}) should be well below 8KB ({:.3})",
+        large.l1d_miss_rate,
+        small.l1d_miss_rate
+    );
+}
+
+#[test]
+fn core_scaling_helps_compute_bound_more_than_memory_bound() {
+    // art misses in every cache level, so scaling the core (width, window,
+    // registers) barely helps it — exactly why it is the paper's outlier —
+    // while a compute-bound kernel gains substantially.
+    let big_core = Config {
+        width: 8,
+        rob: 160,
+        iq: 80,
+        lsq: 80,
+        rf: 160,
+        rf_read: 16,
+        rf_write: 8,
+        ..Config::baseline()
+    };
+    let small_core = Config {
+        width: 2,
+        rob: 48,
+        iq: 16,
+        lsq: 16,
+        rf: 64,
+        rf_read: 4,
+        rf_write: 2,
+        ..Config::baseline()
+    };
+    assert!(big_core.is_legal() && small_core.is_legal());
+    let speedup = |name: &str| {
+        let trace = trace_for(name, 40_000);
+        let slow = simulate(&small_core, &trace, OPTS);
+        let fast = simulate(&big_core, &trace, OPTS);
+        slow.cycles / fast.cycles
+    };
+    let art = speedup("art");
+    let sixtrack = speedup("sixtrack");
+    assert!(
+        sixtrack > art + 0.1,
+        "compute-bound sixtrack ({sixtrack:.2}x) should gain clearly more from \
+         core scaling than memory-bound art ({art:.2}x)"
+    );
+    assert!(art < 1.7, "art speedup should stay small, got {art:.2}");
+    assert!(sixtrack > 1.3, "sixtrack should gain, got {sixtrack:.2}");
+}
+
+#[test]
+fn large_code_footprint_is_icache_sensitive() {
+    let gcc = trace_for("gcc", 50_000);
+    let sha = trace_for("sha", 50_000);
+    let gain = |t: &Trace| {
+        let small = simulate(&Config::baseline().with_param(Param::Icache, 8), t, OPTS);
+        let large = simulate(&Config::baseline().with_param(Param::Icache, 128), t, OPTS);
+        small.cycles / large.cycles
+    };
+    let (g_gcc, g_sha) = (gain(&gcc), gain(&sha));
+    assert!(
+        g_gcc > g_sha,
+        "gcc (big code) should be more I-cache sensitive ({g_gcc:.2}) than sha ({g_sha:.2})"
+    );
+}
+
+#[test]
+fn energy_grows_with_oversized_structures_on_small_programs() {
+    // For a small kernel, a maxed-out machine wastes energy relative to a
+    // right-sized one: the paper's energy sweet-spot structure.
+    let trace = trace_for("sha", 50_000);
+    let modest = Config {
+        width: 2,
+        rob: 64,
+        iq: 16,
+        lsq: 16,
+        rf: 64,
+        rf_read: 4,
+        rf_write: 2,
+        bpred_k: 4,
+        btb_k: 1,
+        max_branches: 16,
+        icache_kb: 16,
+        dcache_kb: 16,
+        l2_kb: 512,
+    };
+    assert!(modest.is_legal());
+    let big = Config {
+        width: 8,
+        rob: 160,
+        iq: 80,
+        lsq: 80,
+        rf: 160,
+        rf_read: 16,
+        rf_write: 8,
+        bpred_k: 32,
+        btb_k: 4,
+        max_branches: 32,
+        icache_kb: 128,
+        dcache_kb: 128,
+        l2_kb: 4096,
+    };
+    let m = simulate(&modest, &trace, OPTS);
+    let b = simulate(&big, &trace, OPTS);
+    assert!(
+        b.energy > m.energy,
+        "maxed machine ({:.3e} nJ) should burn more than right-sized ({:.3e} nJ)",
+        b.energy,
+        m.energy
+    );
+}
+
+#[test]
+fn ed_metrics_trade_off_consistently() {
+    let trace = trace_for("gzip", 40_000);
+    let m = simulate(&Config::baseline(), &trace, OPTS);
+    assert!((m.ed - m.cycles * m.energy).abs() < 1e-6 * m.ed);
+    assert!((m.edd - m.ed * m.cycles).abs() < 1e-6 * m.edd);
+}
