@@ -30,14 +30,20 @@ fn main() {
             .map(|&r| {
                 let idx = root.sample_indices(ds.n_configs(), t);
                 let xs: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
-                let ys: Vec<f64> = idx.iter().map(|&i| ds.benchmarks[r].metrics[i].get(metric)).collect();
+                let ys: Vec<f64> = idx
+                    .iter()
+                    .map(|&i| ds.benchmarks[r].metrics[i].get(metric))
+                    .collect();
                 LinearRegression::fit(&xs, &ys, true)
             })
             .collect();
         for (ti, &target) in rows.iter().enumerate() {
             let mut rng = Xoshiro256::seed_from(0x11CD + (k as u64) * 131 + target as u64);
             let idxs = rng.sample_indices(ds.n_configs(), 32);
-            let vals: Vec<f64> = idxs.iter().map(|&i| ds.benchmarks[target].metrics[i].get(metric)).collect();
+            let vals: Vec<f64> = idxs
+                .iter()
+                .map(|&i| ds.benchmarks[target].metrics[i].get(metric))
+                .collect();
             // Combine the other programs' actual responses linearly, then
             // predict through the linear surrogates.
             let xs: Vec<Vec<f64>> = idxs
@@ -69,6 +75,9 @@ fn main() {
     }
     let e = Summary::of(&errs);
     let c = Summary::of(&corrs);
-    println!("linear surrogates : rmae {:.1}% ± {:.1}, corr {:.3}", e.mean, e.std, c.mean);
+    println!(
+        "linear surrogates : rmae {:.1}% ± {:.1}, corr {:.3}",
+        e.mean, e.std, c.mean
+    );
     println!("(compare with the ANN-based numbers from fig11/fig13 at R=32)");
 }

@@ -27,14 +27,28 @@ fn main() {
             (
                 "MLP (paper)",
                 Box::new(|xs: &[Vec<f64>], ys: &[f64], seed: u64| {
-                    let net = Mlp::train(xs, ys, &MlpConfig { seed, ..MlpConfig::default() });
+                    let net = Mlp::train(
+                        xs,
+                        ys,
+                        &MlpConfig {
+                            seed,
+                            ..MlpConfig::default()
+                        },
+                    );
                     Box::new(move |x: &[f64]| net.predict(x)) as Box<dyn Fn(&[f64]) -> f64>
                 }),
             ),
             (
                 "RBF",
                 Box::new(|xs: &[Vec<f64>], ys: &[f64], seed: u64| {
-                    let net = RbfNetwork::train(xs, ys, &RbfConfig { seed, ..RbfConfig::default() });
+                    let net = RbfNetwork::train(
+                        xs,
+                        ys,
+                        &RbfConfig {
+                            seed,
+                            ..RbfConfig::default()
+                        },
+                    );
                     Box::new(move |x: &[f64]| net.predict(x)) as Box<dyn Fn(&[f64]) -> f64>
                 }),
             ),

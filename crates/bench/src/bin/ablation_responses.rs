@@ -26,14 +26,24 @@ fn main() {
         let mut errs = Vec::new();
         let mut corrs = Vec::new();
         for k in 0..repeats {
-            let pool = OfflineModel::train_model_pool(&ds, metric, t, &MlpConfig::default(), 0xAB + k as u64);
+            let pool = OfflineModel::train_model_pool(
+                &ds,
+                metric,
+                t,
+                &MlpConfig::default(),
+                0xAB + k as u64,
+            );
             for &target in &rows {
-                let train_rows: Vec<usize> = rows.iter().copied().filter(|&r| r != target).collect();
+                let train_rows: Vec<usize> =
+                    rows.iter().copied().filter(|&r| r != target).collect();
                 let models = train_rows.iter().map(|&r| pool[r].clone()).collect();
                 let offline = OfflineModel::from_parts(metric, train_rows, models);
                 let mut rng = Xoshiro256::seed_from(0xAB00 + (k as u64) * 131 + target as u64);
                 let idxs = rng.sample_indices(ds.n_configs(), 32);
-                let vals: Vec<f64> = idxs.iter().map(|&i| ds.benchmarks[target].metrics[i].get(metric)).collect();
+                let vals: Vec<f64> = idxs
+                    .iter()
+                    .map(|&i| ds.benchmarks[target].metrics[i].get(metric))
+                    .collect();
                 let pred = offline.fit_responses_with(&ds, &idxs, &vals, source);
                 let preds: Vec<f64> = features.iter().map(|f| pred.predict(f)).collect();
                 let actual = ds.benchmarks[target].values(metric);

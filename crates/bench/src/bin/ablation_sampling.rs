@@ -34,9 +34,16 @@ fn main() {
         let mut errs = Vec::new();
         let mut corrs = Vec::new();
         for k in 0..repeats {
-            let pool = OfflineModel::train_model_pool(&ds, metric, t, &MlpConfig::default(), 0x5A + k as u64);
+            let pool = OfflineModel::train_model_pool(
+                &ds,
+                metric,
+                t,
+                &MlpConfig::default(),
+                0x5A + k as u64,
+            );
             for &target in &rows {
-                let train_rows: Vec<usize> = rows.iter().copied().filter(|&r| r != target).collect();
+                let train_rows: Vec<usize> =
+                    rows.iter().copied().filter(|&r| r != target).collect();
                 let models = train_rows.iter().map(|&r| pool[r].clone()).collect();
                 let offline = OfflineModel::from_parts(metric, train_rows, models);
                 let mut rng = Xoshiro256::seed_from(0x5A00 + (k as u64) * 131 + target as u64);
@@ -59,7 +66,12 @@ fn main() {
         let e = Summary::of(&errs);
         let c = Summary::of(&corrs);
         table.push(vec![
-            if strat { "stratified (oracle)" } else { "random (paper)" }.to_string(),
+            if strat {
+                "stratified (oracle)"
+            } else {
+                "random (paper)"
+            }
+            .to_string(),
             format!("{:.1}", e.mean),
             format!("{:.1}", e.std),
             format!("{:.3}", c.mean),

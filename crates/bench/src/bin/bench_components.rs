@@ -1,0 +1,30 @@
+//! Performance bench: individual microarchitectural components.
+
+use dse_bench::harness::{bench, black_box, iters_for};
+use dse_rng::Xoshiro256;
+use dse_sim::branch::Gshare;
+use dse_sim::cache::Cache;
+
+fn main() {
+    let iters = iters_for(30, 5);
+
+    let mut rng = Xoshiro256::seed_from(1);
+    let addrs: Vec<u64> = (0..10_000).map(|_| rng.next_range(1 << 20)).collect();
+    bench("cache/32KB-4way/10k-accesses", 3, iters, || {
+        let mut cache = Cache::new(32 * 1024, 32, 4);
+        for &a in &addrs {
+            black_box(cache.access(a));
+        }
+    });
+
+    let mut rng = Xoshiro256::seed_from(2);
+    let events: Vec<(u64, bool)> = (0..10_000)
+        .map(|_| (0x40_0000 + rng.next_range(4096) * 4, rng.next_bool(0.7)))
+        .collect();
+    bench("gshare/16K/10k-updates", 3, iters, || {
+        let mut g = Gshare::new(16 * 1024);
+        for &(pc, taken) in &events {
+            black_box(g.update(pc, taken));
+        }
+    });
+}

@@ -1,0 +1,51 @@
+//! Performance bench: ML substrate (ANN training/inference, OLS,
+//! clustering).
+
+use dse_bench::harness::{bench, black_box, iters_for};
+use dse_ml::{cluster, LinearRegression, Mlp, MlpConfig};
+use dse_rng::Xoshiro256;
+
+fn data(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = Xoshiro256::seed_from(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.next_f64()).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x.iter().sum::<f64>() + x[0] * x[1])
+        .collect();
+    (xs, ys)
+}
+
+fn main() {
+    let iters = iters_for(10, 3);
+
+    let (xs, ys) = data(512, 13, 1);
+    bench("mlp/train/512x13/200ep", 1, iters, || {
+        black_box(Mlp::train(black_box(&xs), &ys, &MlpConfig::default()));
+    });
+
+    let net = Mlp::train(&xs, &ys, &MlpConfig::default());
+    bench("mlp/predict/1000", 1, iters, || {
+        for x in xs.iter().cycle().take(1000) {
+            black_box(net.predict(x));
+        }
+    });
+
+    let (xs, ys) = data(32, 25, 2);
+    bench("linreg/fit/32x25", 2, iters_for(50, 5), || {
+        black_box(LinearRegression::fit(black_box(&xs), &ys, true));
+    });
+
+    let (xs, _) = data(26, 100, 3);
+    let labels: Vec<String> = (0..26).map(|i| format!("p{i}")).collect();
+    bench(
+        "cluster/average-linkage/26x100",
+        2,
+        iters_for(50, 5),
+        || {
+            let d = cluster::distance_matrix(black_box(&xs));
+            black_box(cluster::Dendrogram::average_linkage(&labels, &d));
+        },
+    );
+}

@@ -1,0 +1,51 @@
+//! Performance bench: end-to-end predictor costs (offline training,
+//! response fitting, full-space querying).
+
+use dse_bench::harness::{bench, black_box, iters_for};
+use dse_core::arch_centric::OfflineModel;
+use dse_core::dataset::{DatasetSpec, SuiteDataset};
+use dse_ml::MlpConfig;
+use dse_sim::Metric;
+
+fn main() {
+    let profiles: Vec<_> = dse_workload::suites::spec2000()
+        .into_iter()
+        .take(6)
+        .collect();
+    let ds = SuiteDataset::generate(
+        &profiles,
+        &DatasetSpec {
+            n_configs: 120,
+            ..DatasetSpec::tiny()
+        },
+    );
+    let train: Vec<usize> = (0..5).collect();
+    let iters = iters_for(10, 3);
+
+    bench("predictor/offline-train/5progs/T=80", 1, iters, || {
+        black_box(OfflineModel::train(
+            black_box(&ds),
+            &train,
+            Metric::Cycles,
+            80,
+            &MlpConfig::default(),
+            1,
+        ));
+    });
+
+    let offline = OfflineModel::train(&ds, &train, Metric::Cycles, 80, &MlpConfig::default(), 1);
+    let idxs: Vec<usize> = (0..32).collect();
+    let vals: Vec<f64> = idxs
+        .iter()
+        .map(|&i| ds.benchmarks[5].metrics[i].cycles)
+        .collect();
+    bench("predictor/fit-responses/R=32", 2, iters_for(50, 5), || {
+        black_box(offline.fit_responses(black_box(&ds), &idxs, &vals));
+    });
+
+    let predictor = offline.fit_responses(&ds, &idxs, &vals);
+    let features = ds.features();
+    bench("predictor/predict-space/120", 2, iters_for(50, 5), || {
+        black_box(predictor.predict_batch(black_box(&features)));
+    });
+}

@@ -1,0 +1,53 @@
+//! Performance bench: simulator throughput on representative workloads.
+
+use dse_bench::harness::{bench, black_box, iters_for};
+use dse_sim::{simulate, SimOptions};
+use dse_space::Config;
+use dse_workload::{suites, TraceGenerator};
+
+fn main() {
+    let iters = iters_for(15, 3);
+    let opts = SimOptions { warmup: 2_000 };
+    for name in ["gzip", "art", "sha"] {
+        let profile = suites::all_benchmarks()
+            .into_iter()
+            .find(|p| p.name == name)
+            .unwrap();
+        let trace = TraceGenerator::new(&profile).generate(20_000);
+        bench(&format!("simulator/baseline/{name}/20k"), 2, iters, || {
+            black_box(simulate(black_box(&Config::baseline()), &trace, opts));
+        });
+    }
+    let gzip = suites::spec2000()
+        .into_iter()
+        .find(|p| p.name == "gzip")
+        .unwrap();
+    let trace = TraceGenerator::new(&gzip).generate(20_000);
+    let tiny = Config {
+        width: 2,
+        rob: 32,
+        iq: 8,
+        lsq: 8,
+        rf: 40,
+        rf_read: 2,
+        rf_write: 1,
+        bpred_k: 1,
+        btb_k: 1,
+        max_branches: 8,
+        icache_kb: 8,
+        dcache_kb: 8,
+        l2_kb: 256,
+    };
+    bench("simulator/tiny-config/gzip/20k", 2, iters, || {
+        black_box(simulate(black_box(&tiny), &trace, opts));
+    });
+
+    let gcc = suites::spec2000()
+        .into_iter()
+        .find(|p| p.name == "gcc")
+        .unwrap();
+    let generator = TraceGenerator::new(&gcc);
+    bench("trace-gen/gcc/20k", 2, iters, || {
+        black_box(generator.generate(black_box(20_000)));
+    });
+}

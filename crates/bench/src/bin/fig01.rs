@@ -31,7 +31,14 @@ fn main() {
     let train_rows: Vec<usize> = (0..ds.benchmarks.len())
         .filter(|&i| i != target_row && ds.benchmarks[i].suite == Suite::SpecCpu2000)
         .collect();
-    let offline = OfflineModel::train(&ds, &train_rows, metric, 512.min(ds.n_configs()), &MlpConfig::default(), 0xF1);
+    let offline = OfflineModel::train(
+        &ds,
+        &train_rows,
+        metric,
+        512.min(ds.n_configs()),
+        &MlpConfig::default(),
+        0xF1,
+    );
     let ac = offline.fit_responses(&ds, &response_idxs, &values);
 
     // Order configurations by increasing actual energy, as in the figure.
@@ -54,6 +61,14 @@ fn main() {
     }
     let ps_all: Vec<f64> = features.iter().map(|f| ps.predict(f)).collect();
     let ac_all: Vec<f64> = features.iter().map(|f| ac.predict(f)).collect();
-    println!("\nprogram-specific : rmae {:6.1}%  corr {:.3}", rmae(&ps_all, &actual), correlation(&ps_all, &actual));
-    println!("arch-centric     : rmae {:6.1}%  corr {:.3}", rmae(&ac_all, &actual), correlation(&ac_all, &actual));
+    println!(
+        "\nprogram-specific : rmae {:6.1}%  corr {:.3}",
+        rmae(&ps_all, &actual),
+        correlation(&ps_all, &actual)
+    );
+    println!(
+        "arch-centric     : rmae {:6.1}%  corr {:.3}",
+        rmae(&ac_all, &actual),
+        correlation(&ac_all, &actual)
+    );
 }

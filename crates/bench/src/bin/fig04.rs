@@ -24,7 +24,9 @@ fn main() {
             .collect();
         dse_bench::print_table(
             &format!("Fig 4: {metric} characteristics"),
-            &["program", "min", "q25", "median", "q75", "max", "baseline", "max/min"],
+            &[
+                "program", "min", "q25", "median", "q75", "max", "baseline", "max/min",
+            ],
             &rows,
         );
     }

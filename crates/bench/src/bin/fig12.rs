@@ -26,8 +26,10 @@ fn main() {
                 ]
             })
             .collect();
-        let avg_train: f64 = evals.iter().map(|e| e.train_rmae.mean).sum::<f64>() / evals.len() as f64;
-        let avg_test: f64 = evals.iter().map(|e| e.test_rmae.mean).sum::<f64>() / evals.len() as f64;
+        let avg_train: f64 =
+            evals.iter().map(|e| e.train_rmae.mean).sum::<f64>() / evals.len() as f64;
+        let avg_test: f64 =
+            evals.iter().map(|e| e.test_rmae.mean).sum::<f64>() / evals.len() as f64;
         let avg_corr: f64 = evals.iter().map(|e| e.corr.mean).sum::<f64>() / evals.len() as f64;
         rows.push(vec![
             "AVERAGE".into(),

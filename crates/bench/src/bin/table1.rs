@@ -16,7 +16,11 @@ fn main() {
             ]
         })
         .collect();
-    dse_bench::print_table("Table 1: varied parameters", &["parameter", "unit", "range", "values"], &rows);
+    dse_bench::print_table(
+        "Table 1: varied parameters",
+        &["parameter", "unit", "range", "values"],
+        &rows,
+    );
     println!("\nraw design points : {}", raw_space_size());
     let mut rng = Xoshiro256::seed_from(1);
     let frac = estimate_legal_fraction(&mut rng, 300_000);

@@ -6,16 +6,41 @@ use dse_space::{ConstantParams, FunctionalUnits};
 fn main() {
     let c = ConstantParams::standard();
     let rows = vec![
-        vec!["front-end depth".into(), format!("{} cycles", c.frontend_depth)],
+        vec![
+            "front-end depth".into(),
+            format!("{} cycles", c.frontend_depth),
+        ],
         vec!["L1 line".into(), format!("{} B", c.l1_line_bytes)],
         vec!["L2 line".into(), format!("{} B", c.l2_line_bytes)],
-        vec!["L1I/L1D/L2 assoc".into(), format!("{}/{}/{}", c.l1i_assoc, c.l1d_assoc, c.l2_assoc)],
-        vec!["memory latency".into(), format!("{} cycles", c.memory_latency)],
-        vec!["int alu/mul/div lat".into(), format!("{}/{}/{}", c.int_alu_latency, c.int_mul_latency, c.int_div_latency)],
-        vec!["fp alu/mul/div lat".into(), format!("{}/{}/{}", c.fp_alu_latency, c.fp_mul_latency, c.fp_div_latency)],
+        vec![
+            "L1I/L1D/L2 assoc".into(),
+            format!("{}/{}/{}", c.l1i_assoc, c.l1d_assoc, c.l2_assoc),
+        ],
+        vec![
+            "memory latency".into(),
+            format!("{} cycles", c.memory_latency),
+        ],
+        vec![
+            "int alu/mul/div lat".into(),
+            format!(
+                "{}/{}/{}",
+                c.int_alu_latency, c.int_mul_latency, c.int_div_latency
+            ),
+        ],
+        vec![
+            "fp alu/mul/div lat".into(),
+            format!(
+                "{}/{}/{}",
+                c.fp_alu_latency, c.fp_mul_latency, c.fp_div_latency
+            ),
+        ],
         vec!["memory ports".into(), format!("{}", c.mem_ports)],
     ];
-    dse_bench::print_table("Table 2a: constant parameters", &["parameter", "value"], &rows);
+    dse_bench::print_table(
+        "Table 2a: constant parameters",
+        &["parameter", "value"],
+        &rows,
+    );
 
     let rows: Vec<Vec<String>> = [2u32, 4, 6, 8]
         .iter()

@@ -1,0 +1,132 @@
+//! Minimal measurement harness replacing Criterion.
+//!
+//! Each benchmark runs a warm-up phase followed by `iters` timed
+//! iterations and reports the median, the interquartile spread, and the
+//! min/max — enough to spot regressions and multi-modal timings without
+//! any statistical machinery. Results print as one aligned line per
+//! benchmark:
+//!
+//! ```text
+//! simulator/baseline/gzip/20k       median 12.41ms  iqr 0.22ms  min 12.30ms  max 13.05ms  (15 iters)
+//! ```
+//!
+//! Bench binaries live in `src/bin/bench_*.rs` and are plain `cargo run
+//! --release -p dse-bench --bin bench_sim` targets; iteration counts can
+//! be scaled down for smoke runs with `DSE_QUICK=1`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so bench binaries keep the optimiser honest without naming
+/// `std::hint` everywhere.
+pub use std::hint::black_box;
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchResult {
+    /// Median iteration time.
+    pub median: Duration,
+    /// Interquartile range (p75 − p25): the robust spread measure.
+    pub iqr: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+    /// Number of timed iterations.
+    pub iters: usize,
+}
+
+/// Runs `f` for `warmup` untimed and `iters` timed iterations and returns
+/// the summary.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn measure<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> BenchResult {
+    assert!(iters > 0, "need at least one timed iteration");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed());
+    }
+    samples.sort_unstable();
+    let pct = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+    BenchResult {
+        median: pct(0.5),
+        iqr: pct(0.75).saturating_sub(pct(0.25)),
+        min: samples[0],
+        max: samples[samples.len() - 1],
+        iters,
+    }
+}
+
+/// Runs and prints one benchmark line.
+pub fn bench<F: FnMut()>(name: &str, warmup: usize, iters: usize, f: F) -> BenchResult {
+    let r = measure(warmup, iters, f);
+    println!(
+        "{name:<40} median {:>9}  iqr {:>9}  min {:>9}  max {:>9}  ({} iters)",
+        fmt_duration(r.median),
+        fmt_duration(r.iqr),
+        fmt_duration(r.min),
+        fmt_duration(r.max),
+        r.iters
+    );
+    r
+}
+
+/// Iteration count respecting quick mode: `full` normally, `quick` when
+/// `DSE_QUICK=1`.
+pub fn iters_for(full: usize, quick: usize) -> usize {
+    if crate::quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_ordered_statistics() {
+        let mut n = 0u64;
+        let r = measure(2, 9, || {
+            n += 1;
+            std::thread::sleep(Duration::from_micros(50 + (n % 3) * 20));
+        });
+        assert_eq!(r.iters, 9);
+        assert!(r.min <= r.median && r.median <= r.max);
+        assert!(r.iqr <= r.max - r.min);
+        assert!(r.min >= Duration::from_micros(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timed iteration")]
+    fn measure_rejects_zero_iters() {
+        measure(0, 0, || {});
+    }
+
+    #[test]
+    fn fmt_duration_picks_sensible_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(999)), "999ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

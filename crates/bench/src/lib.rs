@@ -1,5 +1,5 @@
 //! Shared infrastructure for the experiment binaries (one per paper table
-//! and figure) and the Criterion performance benches.
+//! and figure) and the in-repo performance benches.
 //!
 //! Experiment binaries live in `src/bin/` (`table1`, `fig01` … `fig14`,
 //! `ablation_*`) and all draw on the same cached dataset: 45 benchmarks
@@ -7,6 +7,12 @@
 //! generated on first use under `target/dse-datasets/` (override with the
 //! `DSE_DATA_DIR` environment variable). Reduced scale for smoke runs can
 //! be requested with `DSE_QUICK=1`.
+//!
+//! Performance benches (`bench_sim`, `bench_ml`, `bench_predictor`,
+//! `bench_components`) are ordinary binaries built on [`harness`]; run
+//! them with `cargo run --release -p dse-bench --bin bench_sim`.
+
+pub mod harness;
 
 use dse_core::dataset::{DatasetSpec, SuiteDataset};
 use std::path::PathBuf;
@@ -149,7 +155,11 @@ pub fn extremes_report(metric: dse_sim::Metric) {
         println!("\ndominant values in the {label} 1% ({metric}):");
         for p in Param::ALL {
             let (v, share) = dominant_value(&freqs, p);
-            println!("  {:12} {v:>6}  ({:.0}% of selections)", p.to_string(), share * 100.0);
+            println!(
+                "  {:12} {v:>6}  ({:.0}% of selections)",
+                p.to_string(),
+                share * 100.0
+            );
         }
     }
 }

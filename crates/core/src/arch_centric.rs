@@ -15,7 +15,7 @@ use crate::program_specific::ProgramSpecificPredictor;
 use dse_ml::{LinearRegression, MlpConfig};
 use dse_rng::Xoshiro256;
 use dse_sim::Metric;
-use rayon::prelude::*;
+use dse_util::par::par_map;
 
 /// Where the linear regressor's design matrix comes from when fitting the
 /// response weights.
@@ -69,22 +69,19 @@ impl OfflineModel {
         }
         let features = ds.features();
         let root = Xoshiro256::seed_from(seed);
-        let models: Vec<ProgramSpecificPredictor> = train_rows
-            .par_iter()
-            .enumerate()
-            .map(|(k, &row)| {
-                let bench = &ds.benchmarks[row];
-                let mut rng = root.child(k as u64 + 1);
-                let idx = rng.sample_indices(ds.n_configs(), t);
-                let tf: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
-                let tv: Vec<f64> = idx.iter().map(|&i| bench.metrics[i].get(metric)).collect();
-                let cfg = MlpConfig {
-                    seed: rng.next_u64(),
-                    ..*mlp_cfg
-                };
-                ProgramSpecificPredictor::train(&bench.name, metric, &tf, &tv, &cfg)
-            })
-            .collect();
+        let jobs: Vec<(usize, usize)> = train_rows.iter().copied().enumerate().collect();
+        let models: Vec<ProgramSpecificPredictor> = par_map(&jobs, |&(k, row)| {
+            let bench = &ds.benchmarks[row];
+            let mut rng = root.child(k as u64 + 1);
+            let idx = rng.sample_indices(ds.n_configs(), t);
+            let tf: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
+            let tv: Vec<f64> = idx.iter().map(|&i| bench.metrics[i].get(metric)).collect();
+            let cfg = MlpConfig {
+                seed: rng.next_u64(),
+                ..*mlp_cfg
+            };
+            ProgramSpecificPredictor::train(&bench.name, metric, &tf, &tv, &cfg)
+        });
         Self {
             metric,
             train_rows: train_rows.to_vec(),
@@ -297,7 +294,14 @@ mod tests {
     #[test]
     fn offline_model_trains_one_ann_per_program() {
         let ds = small_dataset(4, 30);
-        let m = OfflineModel::train(&ds, &[0, 1, 2], dse_sim::Metric::Cycles, 20, &MlpConfig::default(), 1);
+        let m = OfflineModel::train(
+            &ds,
+            &[0, 1, 2],
+            dse_sim::Metric::Cycles,
+            20,
+            &MlpConfig::default(),
+            1,
+        );
         assert_eq!(m.len(), 3);
         assert_eq!(m.models()[1].program(), ds.benchmarks[1].name);
     }
@@ -320,8 +324,14 @@ mod tests {
 
         let features = ds.features();
         let test_idx: Vec<usize> = (16..80).collect();
-        let preds: Vec<f64> = test_idx.iter().map(|&i| predictor.predict(&features[i])).collect();
-        let actual: Vec<f64> = test_idx.iter().map(|&i| target.metrics[i].get(metric)).collect();
+        let preds: Vec<f64> = test_idx
+            .iter()
+            .map(|&i| predictor.predict(&features[i]))
+            .collect();
+        let actual: Vec<f64> = test_idx
+            .iter()
+            .map(|&i| target.metrics[i].get(metric))
+            .collect();
         let c = correlation(&preds, &actual);
         assert!(c > 0.3, "correlation {c} too low even for a tiny dataset");
         assert!(rmae(&preds, &actual) < 60.0);
@@ -361,7 +371,14 @@ mod tests {
     #[should_panic(expected = "at least one response")]
     fn empty_responses_panic() {
         let ds = small_dataset(3, 20);
-        let m = OfflineModel::train(&ds, &[0, 1], dse_sim::Metric::Cycles, 10, &MlpConfig::default(), 1);
+        let m = OfflineModel::train(
+            &ds,
+            &[0, 1],
+            dse_sim::Metric::Cycles,
+            10,
+            &MlpConfig::default(),
+            1,
+        );
         m.fit_responses(&ds, &[], &[]);
     }
 
@@ -369,6 +386,13 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_train_row_panics() {
         let ds = small_dataset(2, 20);
-        OfflineModel::train(&ds, &[5], dse_sim::Metric::Cycles, 10, &MlpConfig::default(), 1);
+        OfflineModel::train(
+            &ds,
+            &[5],
+            dse_sim::Metric::Cycles,
+            10,
+            &MlpConfig::default(),
+            1,
+        );
     }
 }

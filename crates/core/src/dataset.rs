@@ -9,14 +9,14 @@
 use dse_rng::Xoshiro256;
 use dse_sim::{simulate, Metric, Metrics, SimOptions};
 use dse_space::{sample_legal, Config};
+use dse_util::json::{FromJson, Json, JsonError, ToJson};
+use dse_util::par::par_map;
 use dse_workload::{Profile, Suite, TraceGenerator};
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
 
 /// Parameters of a dataset generation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DatasetSpec {
     /// Number of sampled configurations (the paper uses 3,000; the
     /// default here is 1,000 to fit a single-core time budget — see
@@ -64,8 +64,34 @@ impl DatasetSpec {
     }
 }
 
+impl ToJson for DatasetSpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_configs", self.n_configs.to_json()),
+            ("trace_len", self.trace_len.to_json()),
+            ("warmup", self.warmup.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DatasetSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let spec = Self {
+            n_configs: usize::from_json(v.field("n_configs")?)?,
+            trace_len: usize::from_json(v.field("trace_len")?)?,
+            warmup: usize::from_json(v.field("warmup")?)?,
+            seed: u64::from_json(v.field("seed")?)?,
+        };
+        if spec.warmup >= spec.trace_len {
+            return Err(JsonError::msg("warmup must be smaller than trace_len"));
+        }
+        Ok(spec)
+    }
+}
+
 /// Simulated metrics of one benchmark over the shared configurations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkData {
     /// Benchmark name.
     pub name: String,
@@ -92,8 +118,30 @@ impl BenchmarkData {
     }
 }
 
+impl ToJson for BenchmarkData {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("suite", self.suite.to_json()),
+            ("metrics", self.metrics.to_json()),
+            ("baseline", self.baseline.to_json()),
+        ])
+    }
+}
+
+impl FromJson for BenchmarkData {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: String::from_json(v.field("name")?)?,
+            suite: Suite::from_json(v.field("suite")?)?,
+            metrics: Vec::from_json(v.field("metrics")?)?,
+            baseline: Metrics::from_json(v.field("baseline")?)?,
+        })
+    }
+}
+
 /// A full dataset: shared configurations × benchmarks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuiteDataset {
     /// The generation parameters.
     pub spec: DatasetSpec,
@@ -103,10 +151,44 @@ pub struct SuiteDataset {
     pub benchmarks: Vec<BenchmarkData>,
 }
 
+impl ToJson for SuiteDataset {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("spec", self.spec.to_json()),
+            ("configs", self.configs.to_json()),
+            ("benchmarks", self.benchmarks.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SuiteDataset {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let ds = Self {
+            spec: DatasetSpec::from_json(v.field("spec")?)?,
+            configs: Vec::from_json(v.field("configs")?)?,
+            benchmarks: Vec::from_json(v.field("benchmarks")?)?,
+        };
+        // Structural consistency: every benchmark must cover the shared
+        // configuration sample exactly.
+        for b in &ds.benchmarks {
+            if b.metrics.len() != ds.configs.len() {
+                return Err(JsonError::msg(format!(
+                    "benchmark `{}` has {} metric rows for {} configs",
+                    b.name,
+                    b.metrics.len(),
+                    ds.configs.len()
+                )));
+            }
+        }
+        Ok(ds)
+    }
+}
+
 impl SuiteDataset {
     /// Simulates `profiles` over a fresh uniform sample of legal
-    /// configurations (parallelised with rayon). Progress is reported on
-    /// stderr since full generation takes minutes.
+    /// configurations (parallelised over configurations with
+    /// [`dse_util::par::par_map`]; thread count via `ARCHDSE_THREADS`).
+    /// Progress is reported on stderr since full generation takes minutes.
     ///
     /// # Panics
     ///
@@ -114,7 +196,10 @@ impl SuiteDataset {
     /// than the trace length.
     pub fn generate(profiles: &[Profile], spec: &DatasetSpec) -> Self {
         assert!(!profiles.is_empty(), "need at least one profile");
-        assert!(spec.warmup < spec.trace_len, "warmup must precede trace end");
+        assert!(
+            spec.warmup < spec.trace_len,
+            "warmup must precede trace end"
+        );
         let mut rng = Xoshiro256::seed_from(spec.seed);
         let configs = sample_legal(&mut rng, spec.n_configs);
         let options = SimOptions {
@@ -127,10 +212,7 @@ impl SuiteDataset {
             .map(|p| {
                 let trace = TraceGenerator::new(p).generate(spec.trace_len);
                 let t0 = std::time::Instant::now();
-                let metrics: Vec<Metrics> = configs
-                    .par_iter()
-                    .map(|cfg| simulate(cfg, &trace, options))
-                    .collect();
+                let metrics: Vec<Metrics> = par_map(&configs, |cfg| simulate(cfg, &trace, options));
                 let baseline = simulate(&baseline_cfg, &trace, options);
                 eprintln!(
                     "[dataset] {:12} {} configs in {:.1}s",
@@ -170,9 +252,8 @@ impl SuiteDataset {
         let key = Self::cache_key(profiles, spec);
         let path = cache_dir.join(format!("dse-dataset-{key}.json"));
         if path.exists() {
-            let file = std::fs::File::open(&path)?;
-            let reader = io::BufReader::new(file);
-            let ds: SuiteDataset = serde_json::from_reader(reader)
+            let text = std::fs::read_to_string(&path)?;
+            let ds: SuiteDataset = dse_util::json::from_str(&text)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             eprintln!("[dataset] loaded cache {}", path.display());
             return Ok(ds);
@@ -180,9 +261,7 @@ impl SuiteDataset {
         let ds = Self::generate(profiles, spec);
         std::fs::create_dir_all(cache_dir)?;
         let tmp = path.with_extension("json.tmp");
-        let file = std::fs::File::create(&tmp)?;
-        serde_json::to_writer(io::BufWriter::new(file), &ds)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(&tmp, dse_util::json::to_string(&ds))?;
         std::fs::rename(&tmp, &path)?;
         eprintln!("[dataset] cached to {}", path.display());
         Ok(ds)

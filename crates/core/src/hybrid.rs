@@ -67,10 +67,7 @@ impl HybridPredictor {
                 program: None,
             }
         } else {
-            let tf: Vec<Vec<f64>> = response_idxs
-                .iter()
-                .map(|&i| features[i].clone())
-                .collect();
+            let tf: Vec<Vec<f64>> = response_idxs.iter().map(|&i| features[i].clone()).collect();
             let program = ProgramSpecificPredictor::train(
                 "hybrid-fallback",
                 offline.metric(),
@@ -142,9 +139,19 @@ mod tests {
     #[test]
     fn low_threshold_forces_program_specific() {
         let ds = dataset();
-        let offline = OfflineModel::train(&ds, &[0, 1, 2], Metric::Cycles, 40, &MlpConfig::default(), 1);
+        let offline = OfflineModel::train(
+            &ds,
+            &[0, 1, 2],
+            Metric::Cycles,
+            40,
+            &MlpConfig::default(),
+            1,
+        );
         let idxs: Vec<usize> = (0..16).collect();
-        let vals: Vec<f64> = idxs.iter().map(|&i| ds.benchmarks[3].metrics[i].cycles).collect();
+        let vals: Vec<f64> = idxs
+            .iter()
+            .map(|&i| ds.benchmarks[3].metrics[i].cycles)
+            .collect();
         let h = HybridPredictor::fit(&offline, &ds, &idxs, &vals, 0.0, &MlpConfig::default());
         assert_eq!(h.choice(), HybridChoice::ProgramSpecific);
         assert!(h.predict(&ds.features()[20]).is_finite());
@@ -153,9 +160,19 @@ mod tests {
     #[test]
     fn high_threshold_keeps_arch_centric() {
         let ds = dataset();
-        let offline = OfflineModel::train(&ds, &[0, 1, 2], Metric::Cycles, 40, &MlpConfig::default(), 1);
+        let offline = OfflineModel::train(
+            &ds,
+            &[0, 1, 2],
+            Metric::Cycles,
+            40,
+            &MlpConfig::default(),
+            1,
+        );
         let idxs: Vec<usize> = (0..16).collect();
-        let vals: Vec<f64> = idxs.iter().map(|&i| ds.benchmarks[3].metrics[i].cycles).collect();
+        let vals: Vec<f64> = idxs
+            .iter()
+            .map(|&i| ds.benchmarks[3].metrics[i].cycles)
+            .collect();
         let h = HybridPredictor::fit(&offline, &ds, &idxs, &vals, 1e9, &MlpConfig::default());
         assert_eq!(h.choice(), HybridChoice::ArchCentric);
         assert!(h.training_error() >= 0.0);

@@ -13,8 +13,8 @@ use dse_ml::stats::{correlation, mean, rmae, std_dev};
 use dse_ml::MlpConfig;
 use dse_rng::Xoshiro256;
 use dse_sim::Metric;
+use dse_util::par::par_map;
 use dse_workload::Suite;
-use rayon::prelude::*;
 
 /// Shared experiment parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -165,7 +165,7 @@ fn model_pools(
                 metric,
                 cfg.t,
                 &cfg.mlp,
-                repeat_seed(cfg.seed, 0x0FF1,  k),
+                repeat_seed(cfg.seed, 0x0FF1, k),
             )
         })
         .collect()
@@ -196,44 +196,43 @@ fn loo_with_pools(
     pools: &[Vec<ProgramSpecificPredictor>],
 ) -> Vec<ProgramEval> {
     let features = ds.features();
-    rows.par_iter()
-        .map(|&target_row| {
-            let mut train_errs = Vec::with_capacity(cfg.repeats);
-            let mut test_errs = Vec::with_capacity(cfg.repeats);
-            let mut corrs = Vec::with_capacity(cfg.repeats);
-            for (k, pool) in pools.iter().enumerate() {
-                let train_rows: Vec<usize> =
-                    rows.iter().copied().filter(|&r| r != target_row).collect();
-                let models: Vec<ProgramSpecificPredictor> = train_rows
-                    .iter()
-                    .map(|&r| pool[r].clone())
-                    .collect();
-                let offline = OfflineModel::from_parts(metric, train_rows, models);
-                let mut rng = Xoshiro256::seed_from(repeat_seed(
-                    cfg.seed,
-                    0x1003 + target_row as u64,
-                    k,
-                ));
-                let response_idxs = rng.sample_indices(ds.n_configs(), cfg.r);
-                let values: Vec<f64> = response_idxs
-                    .iter()
-                    .map(|&i| ds.benchmarks[target_row].metrics[i].get(metric))
-                    .collect();
-                let predictor = offline.fit_responses(ds, &response_idxs, &values);
-                let (tr, te, c) =
-                    evaluate(&predictor, ds, &features, target_row, metric, &response_idxs);
-                train_errs.push(tr);
-                test_errs.push(te);
-                corrs.push(c);
-            }
-            ProgramEval {
-                program: ds.benchmarks[target_row].name.clone(),
-                train_rmae: Summary::of(&train_errs),
-                test_rmae: Summary::of(&test_errs),
-                corr: Summary::of(&corrs),
-            }
-        })
-        .collect()
+    par_map(rows, |&target_row| {
+        let mut train_errs = Vec::with_capacity(cfg.repeats);
+        let mut test_errs = Vec::with_capacity(cfg.repeats);
+        let mut corrs = Vec::with_capacity(cfg.repeats);
+        for (k, pool) in pools.iter().enumerate() {
+            let train_rows: Vec<usize> =
+                rows.iter().copied().filter(|&r| r != target_row).collect();
+            let models: Vec<ProgramSpecificPredictor> =
+                train_rows.iter().map(|&r| pool[r].clone()).collect();
+            let offline = OfflineModel::from_parts(metric, train_rows, models);
+            let mut rng =
+                Xoshiro256::seed_from(repeat_seed(cfg.seed, 0x1003 + target_row as u64, k));
+            let response_idxs = rng.sample_indices(ds.n_configs(), cfg.r);
+            let values: Vec<f64> = response_idxs
+                .iter()
+                .map(|&i| ds.benchmarks[target_row].metrics[i].get(metric))
+                .collect();
+            let predictor = offline.fit_responses(ds, &response_idxs, &values);
+            let (tr, te, c) = evaluate(
+                &predictor,
+                ds,
+                &features,
+                target_row,
+                metric,
+                &response_idxs,
+            );
+            train_errs.push(tr);
+            test_errs.push(te);
+            corrs.push(c);
+        }
+        ProgramEval {
+            program: ds.benchmarks[target_row].name.clone(),
+            train_rmae: Summary::of(&train_errs),
+            test_rmae: Summary::of(&test_errs),
+            corr: Summary::of(&corrs),
+        }
+    })
 }
 
 /// Cross-suite evaluation: train on every benchmark of `train_suite`,
@@ -273,38 +272,38 @@ pub fn cross_suite(
         })
         .collect();
 
-    test_rows
-        .par_iter()
-        .map(|&target_row| {
-            let mut train_errs = Vec::new();
-            let mut test_errs = Vec::new();
-            let mut corrs = Vec::new();
-            for (k, offline) in offlines.iter().enumerate() {
-                let mut rng = Xoshiro256::seed_from(repeat_seed(
-                    cfg.seed,
-                    0x2003 + target_row as u64,
-                    k,
-                ));
-                let response_idxs = rng.sample_indices(ds.n_configs(), cfg.r);
-                let values: Vec<f64> = response_idxs
-                    .iter()
-                    .map(|&i| ds.benchmarks[target_row].metrics[i].get(metric))
-                    .collect();
-                let predictor = offline.fit_responses(ds, &response_idxs, &values);
-                let (tr, te, c) =
-                    evaluate(&predictor, ds, &features, target_row, metric, &response_idxs);
-                train_errs.push(tr);
-                test_errs.push(te);
-                corrs.push(c);
-            }
-            ProgramEval {
-                program: ds.benchmarks[target_row].name.clone(),
-                train_rmae: Summary::of(&train_errs),
-                test_rmae: Summary::of(&test_errs),
-                corr: Summary::of(&corrs),
-            }
-        })
-        .collect()
+    par_map(&test_rows, |&target_row| {
+        let mut train_errs = Vec::new();
+        let mut test_errs = Vec::new();
+        let mut corrs = Vec::new();
+        for (k, offline) in offlines.iter().enumerate() {
+            let mut rng =
+                Xoshiro256::seed_from(repeat_seed(cfg.seed, 0x2003 + target_row as u64, k));
+            let response_idxs = rng.sample_indices(ds.n_configs(), cfg.r);
+            let values: Vec<f64> = response_idxs
+                .iter()
+                .map(|&i| ds.benchmarks[target_row].metrics[i].get(metric))
+                .collect();
+            let predictor = offline.fit_responses(ds, &response_idxs, &values);
+            let (tr, te, c) = evaluate(
+                &predictor,
+                ds,
+                &features,
+                target_row,
+                metric,
+                &response_idxs,
+            );
+            train_errs.push(tr);
+            test_errs.push(te);
+            corrs.push(c);
+        }
+        ProgramEval {
+            program: ds.benchmarks[target_row].name.clone(),
+            train_rmae: Summary::of(&train_errs),
+            test_rmae: Summary::of(&test_errs),
+            corr: Summary::of(&corrs),
+        }
+    })
 }
 
 /// Evaluates a *program-specific* predictor trained on `t` samples of
@@ -325,35 +324,31 @@ pub fn program_specific_accuracy(
         .iter()
         .flat_map(|&r| (0..cfg.repeats).map(move |k| (r, k)))
         .collect();
-    let results: Vec<(f64, f64)> = jobs
-        .par_iter()
-        .map(|&(row, k)| {
-            let mut rng =
-                Xoshiro256::seed_from(repeat_seed(cfg.seed, 0x9001 + row as u64, k));
-            let idx = rng.sample_indices(ds.n_configs(), t.min(ds.n_configs()));
-            let bench = &ds.benchmarks[row];
-            let tf: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
-            let tv: Vec<f64> = idx.iter().map(|&i| bench.metrics[i].get(metric)).collect();
-            let mlp = MlpConfig {
-                seed: rng.next_u64(),
-                ..cfg.mlp
-            };
-            let p = ProgramSpecificPredictor::train(&bench.name, metric, &tf, &tv, &mlp);
-            let mut mask = vec![false; ds.n_configs()];
-            for &i in &idx {
-                mask[i] = true;
+    let results: Vec<(f64, f64)> = par_map(&jobs, |&(row, k)| {
+        let mut rng = Xoshiro256::seed_from(repeat_seed(cfg.seed, 0x9001 + row as u64, k));
+        let idx = rng.sample_indices(ds.n_configs(), t.min(ds.n_configs()));
+        let bench = &ds.benchmarks[row];
+        let tf: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
+        let tv: Vec<f64> = idx.iter().map(|&i| bench.metrics[i].get(metric)).collect();
+        let mlp = MlpConfig {
+            seed: rng.next_u64(),
+            ..cfg.mlp
+        };
+        let p = ProgramSpecificPredictor::train(&bench.name, metric, &tf, &tv, &mlp);
+        let mut mask = vec![false; ds.n_configs()];
+        for &i in &idx {
+            mask[i] = true;
+        }
+        let mut preds = Vec::new();
+        let mut actual = Vec::new();
+        for i in 0..ds.n_configs() {
+            if !mask[i] {
+                preds.push(p.predict(&features[i]));
+                actual.push(bench.metrics[i].get(metric));
             }
-            let mut preds = Vec::new();
-            let mut actual = Vec::new();
-            for i in 0..ds.n_configs() {
-                if !mask[i] {
-                    preds.push(p.predict(&features[i]));
-                    actual.push(bench.metrics[i].get(metric));
-                }
-            }
-            (rmae(&preds, &actual), correlation(&preds, &actual))
-        })
-        .collect();
+        }
+        (rmae(&preds, &actual), correlation(&preds, &actual))
+    });
     let errs: Vec<f64> = results.iter().map(|r| r.0).collect();
     let corrs: Vec<f64> = results.iter().map(|r| r.1).collect();
     SweepPoint {
@@ -401,16 +396,7 @@ fn arch_point(
     let rows: Vec<usize> = (0..ds.benchmarks.len())
         .filter(|&i| ds.benchmarks[i].suite == suite)
         .collect();
-    let evals = loo_with_pools(
-        ds,
-        &rows,
-        metric,
-        &EvalConfig {
-            r,
-            ..cfg.clone()
-        },
-        pools,
-    );
+    let evals = loo_with_pools(ds, &rows, metric, &EvalConfig { r, ..cfg.clone() }, pools);
     let errs: Vec<f64> = evals.iter().map(|e| e.test_rmae.mean).collect();
     let corrs: Vec<f64> = evals.iter().map(|e| e.corr.mean).collect();
     SweepPoint {
@@ -488,43 +474,35 @@ pub fn sweep_train_programs(
                 .iter()
                 .flat_map(|&r| (0..cfg.repeats).map(move |k| (r, k)))
                 .collect();
-            let results: Vec<(f64, f64)> = jobs
-                .par_iter()
-                .map(|&(target_row, k)| {
-                    let mut rng = Xoshiro256::seed_from(repeat_seed(
-                        cfg.seed,
-                        0x1400 + target_row as u64 + ((n as u64) << 8),
-                        k,
-                    ));
-                    let others: Vec<usize> = rows
-                        .iter()
-                        .copied()
-                        .filter(|&r| r != target_row)
-                        .collect();
-                    let chosen = rng.sample_indices(others.len(), n);
-                    let train_rows: Vec<usize> = chosen.iter().map(|&i| others[i]).collect();
-                    let models: Vec<ProgramSpecificPredictor> = train_rows
-                        .iter()
-                        .map(|&r| pools[k][r].clone())
-                        .collect();
-                    let offline = OfflineModel::from_parts(metric, train_rows, models);
-                    let response_idxs = rng.sample_indices(ds.n_configs(), cfg.r);
-                    let values: Vec<f64> = response_idxs
-                        .iter()
-                        .map(|&i| ds.benchmarks[target_row].metrics[i].get(metric))
-                        .collect();
-                    let predictor = offline.fit_responses(ds, &response_idxs, &values);
-                    let (_, te, c) = evaluate(
-                        &predictor,
-                        ds,
-                        &features,
-                        target_row,
-                        metric,
-                        &response_idxs,
-                    );
-                    (te, c)
-                })
-                .collect();
+            let results: Vec<(f64, f64)> = par_map(&jobs, |&(target_row, k)| {
+                let mut rng = Xoshiro256::seed_from(repeat_seed(
+                    cfg.seed,
+                    0x1400 + target_row as u64 + ((n as u64) << 8),
+                    k,
+                ));
+                let others: Vec<usize> =
+                    rows.iter().copied().filter(|&r| r != target_row).collect();
+                let chosen = rng.sample_indices(others.len(), n);
+                let train_rows: Vec<usize> = chosen.iter().map(|&i| others[i]).collect();
+                let models: Vec<ProgramSpecificPredictor> =
+                    train_rows.iter().map(|&r| pools[k][r].clone()).collect();
+                let offline = OfflineModel::from_parts(metric, train_rows, models);
+                let response_idxs = rng.sample_indices(ds.n_configs(), cfg.r);
+                let values: Vec<f64> = response_idxs
+                    .iter()
+                    .map(|&i| ds.benchmarks[target_row].metrics[i].get(metric))
+                    .collect();
+                let predictor = offline.fit_responses(ds, &response_idxs, &values);
+                let (_, te, c) = evaluate(
+                    &predictor,
+                    ds,
+                    &features,
+                    target_row,
+                    metric,
+                    &response_idxs,
+                );
+                (te, c)
+            });
             let errs: Vec<f64> = results.iter().map(|r| r.0).collect();
             let corrs: Vec<f64> = results.iter().map(|r| r.1).collect();
             SweepPoint {

@@ -73,7 +73,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -83,7 +86,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 

@@ -105,7 +105,9 @@ impl Mlp {
             let bound = 1.0 / (fan_in as f64).sqrt();
             (rng.next_f64() * 2.0 - 1.0) * bound
         };
-        let mut w1: Vec<f64> = (0..h * input_dim).map(|_| init(&mut rng, input_dim)).collect();
+        let mut w1: Vec<f64> = (0..h * input_dim)
+            .map(|_| init(&mut rng, input_dim))
+            .collect();
         let mut b1 = vec![0.0; h];
         let mut w2: Vec<f64> = (0..h).map(|_| init(&mut rng, h)).collect();
         let mut b2 = 0.0;

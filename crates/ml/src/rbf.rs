@@ -162,9 +162,7 @@ impl RbfNetwork {
                 .centers
                 .iter()
                 .zip(&self.weights)
-                .map(|(c, w)| {
-                    w * (-stats::euclidean(&xn, c).powi(2) * self.inv_two_sigma_sq).exp()
-                })
+                .map(|(c, w)| w * (-stats::euclidean(&xn, c).powi(2) * self.inv_two_sigma_sq).exp())
                 .sum::<f64>();
         out * self.y_std + self.y_mean
     }
@@ -195,10 +193,17 @@ mod tests {
     #[test]
     fn learns_nonlinear_surface() {
         let xs = grid2(400, 7);
-        let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin() + x[1] * x[1] + 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (x[0]).sin() + x[1] * x[1] + 10.0)
+            .collect();
         let net = RbfNetwork::train(&xs, &ys, &RbfConfig::default());
         let preds = net.predict_batch(&xs);
-        assert!(correlation(&preds, &ys) > 0.97, "corr {}", correlation(&preds, &ys));
+        assert!(
+            correlation(&preds, &ys) > 0.97,
+            "corr {}",
+            correlation(&preds, &ys)
+        );
         assert!(rmae(&preds, &ys) < 3.0, "rmae {}", rmae(&preds, &ys));
     }
 
@@ -227,7 +232,14 @@ mod tests {
     fn centers_clamped_to_training_size() {
         let xs = grid2(10, 11);
         let ys = vec![1.0; 10];
-        let net = RbfNetwork::train(&xs, &ys, &RbfConfig { centers: 100, ..RbfConfig::default() });
+        let net = RbfNetwork::train(
+            &xs,
+            &ys,
+            &RbfConfig {
+                centers: 100,
+                ..RbfConfig::default()
+            },
+        );
         assert_eq!(net.centers(), 10);
     }
 

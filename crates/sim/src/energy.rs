@@ -304,7 +304,14 @@ mod tests {
     fn memory_is_the_most_expensive_event() {
         let m = model(&Config::baseline());
         for e in [
-            m.icache, m.dcache, m.l2, m.bpred, m.btb, m.rf_read, m.rf_write, m.iq_wakeup,
+            m.icache,
+            m.dcache,
+            m.l2,
+            m.bpred,
+            m.btb,
+            m.rf_read,
+            m.rf_write,
+            m.iq_wakeup,
         ] {
             assert!(m.memory > e, "memory {} vs {e}", m.memory);
         }

@@ -39,8 +39,8 @@ pub mod timing;
 pub use pipeline::{Pipeline, SimOptions, SimResult};
 
 use dse_space::{Config, ConstantParams};
+use dse_util::json::{FromJson, Json, JsonError, ToJson};
 use dse_workload::Trace;
-use serde::{Deserialize, Serialize};
 
 /// Number of instructions in the paper's reporting phase (one SimPoint
 /// interval): all metrics are normalised to this length so that different
@@ -48,7 +48,7 @@ use serde::{Deserialize, Serialize};
 pub const PHASE_INSTRUCTIONS: f64 = 10_000_000.0;
 
 /// The paper's four target metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Metric {
     /// Execution time in cycles (per 10 M-instruction phase).
     Cycles,
@@ -78,7 +78,7 @@ impl std::fmt::Display for Metric {
 
 /// The four target metrics of one simulation, normalised to a
 /// 10 M-instruction phase.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Metrics {
     /// Cycles per phase.
     pub cycles: f64,
@@ -117,6 +117,89 @@ impl Metrics {
             Metric::Ed => self.ed,
             Metric::Edd => self.edd,
         }
+    }
+}
+
+impl ToJson for Metric {
+    fn to_json(&self) -> Json {
+        // Bare variant-name strings, matching serde's external tagging so
+        // pre-existing cache files stay readable.
+        let name = match self {
+            Metric::Cycles => "Cycles",
+            Metric::Energy => "Energy",
+            Metric::Ed => "Ed",
+            Metric::Edd => "Edd",
+        };
+        Json::Str(name.to_string())
+    }
+}
+
+impl FromJson for Metric {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str()? {
+            "Cycles" => Ok(Metric::Cycles),
+            "Energy" => Ok(Metric::Energy),
+            "Ed" => Ok(Metric::Ed),
+            "Edd" => Ok(Metric::Edd),
+            other => Err(JsonError::msg(format!("unknown metric `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Metrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles", self.cycles.to_json()),
+            ("energy", self.energy.to_json()),
+            ("ed", self.ed.to_json()),
+            ("edd", self.edd.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Metrics {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let m = Self {
+            cycles: f64::from_json(v.field("cycles")?)?,
+            energy: f64::from_json(v.field("energy")?)?,
+            ed: f64::from_json(v.field("ed")?)?,
+            edd: f64::from_json(v.field("edd")?)?,
+        };
+        if !(m.cycles.is_finite() && m.energy.is_finite() && m.ed.is_finite() && m.edd.is_finite())
+        {
+            return Err(JsonError::msg("metrics must be finite"));
+        }
+        Ok(m)
+    }
+}
+
+impl ToJson for SimResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("instructions", self.instructions.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("energy_nj", self.energy_nj.to_json()),
+            ("ipc", self.ipc.to_json()),
+            ("l1i_miss_rate", self.l1i_miss_rate.to_json()),
+            ("l1d_miss_rate", self.l1d_miss_rate.to_json()),
+            ("l2_miss_rate", self.l2_miss_rate.to_json()),
+            ("bpred_miss_rate", self.bpred_miss_rate.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SimResult {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            instructions: u64::from_json(v.field("instructions")?)?,
+            cycles: u64::from_json(v.field("cycles")?)?,
+            energy_nj: f64::from_json(v.field("energy_nj")?)?,
+            ipc: f64::from_json(v.field("ipc")?)?,
+            l1i_miss_rate: f64::from_json(v.field("l1i_miss_rate")?)?,
+            l1d_miss_rate: f64::from_json(v.field("l1d_miss_rate")?)?,
+            l2_miss_rate: f64::from_json(v.field("l2_miss_rate")?)?,
+            bpred_miss_rate: f64::from_json(v.field("bpred_miss_rate")?)?,
+        })
     }
 }
 

@@ -277,8 +277,18 @@ impl<'t> Pipeline<'t> {
             cycles,
             energy_nj,
             ipc: instructions as f64 / cycles.max(1) as f64,
-            l1i_miss_rate: rate(self.icache.accesses(), self.icache.misses(), w.l1i.0, w.l1i.1),
-            l1d_miss_rate: rate(self.dcache.accesses(), self.dcache.misses(), w.l1d.0, w.l1d.1),
+            l1i_miss_rate: rate(
+                self.icache.accesses(),
+                self.icache.misses(),
+                w.l1i.0,
+                w.l1i.1,
+            ),
+            l1d_miss_rate: rate(
+                self.dcache.accesses(),
+                self.dcache.misses(),
+                w.l1d.0,
+                w.l1d.1,
+            ),
             l2_miss_rate: rate(self.l2.accesses(), self.l2.misses(), w.l2.0, w.l2.1),
             bpred_miss_rate: rate(
                 self.gshare.predictions(),
@@ -377,10 +387,7 @@ impl<'t> Pipeline<'t> {
 
             // Functional unit.
             let class = fu_class(ins.kind);
-            let Some(unit) = self.fu_busy[class]
-                .iter()
-                .position(|&b| b <= self.cycle)
-            else {
+            let Some(unit) = self.fu_busy[class].iter().position(|&b| b <= self.cycle) else {
                 self.structural_block = true;
                 i += 1;
                 continue;
@@ -422,9 +429,7 @@ impl<'t> Pipeline<'t> {
     fn execute_latency(&mut self, ins: &Instr) -> (u64, u64) {
         let c = self.cycle;
         match ins.kind {
-            InstrKind::IntAlu | InstrKind::Branch => {
-                (c + self.cons.int_alu_latency as u64, c + 1)
-            }
+            InstrKind::IntAlu | InstrKind::Branch => (c + self.cons.int_alu_latency as u64, c + 1),
             InstrKind::IntMul => (c + self.cons.int_mul_latency as u64, c + 1),
             InstrKind::IntDiv => {
                 let l = self.cons.int_div_latency as u64;
@@ -506,7 +511,9 @@ impl<'t> Pipeline<'t> {
     fn dispatch(&mut self) {
         let mut n = 0;
         while n < self.cfg.width {
-            let Some(&idx) = self.fetch_q.front() else { break };
+            let Some(&idx) = self.fetch_q.front() else {
+                break;
+            };
             let ins = self.trace[idx];
             if self.rob.len() >= self.cfg.rob as usize
                 || self.iq.len() >= self.cfg.iq as usize
@@ -549,8 +556,7 @@ impl<'t> Pipeline<'t> {
         if self.cycle < self.fetch_stall_until {
             return;
         }
-        self.unresolved
-            .retain(|&b| self.complete[b] > self.cycle);
+        self.unresolved.retain(|&b| self.complete[b] > self.cycle);
 
         let cap = FETCH_QUEUE_WIDTHS * self.cfg.width as usize;
         let mut fetched = 0;
@@ -798,11 +804,7 @@ mod tests {
             let instrs: Vec<Instr> = (0..6000u32)
                 .map(|i| {
                     if i % 4 == 3 {
-                        let taken = if random {
-                            rng.next_bool(0.5)
-                        } else {
-                            true
-                        };
+                        let taken = if random { rng.next_bool(0.5) } else { true };
                         Instr {
                             kind: InstrKind::Branch,
                             src1: 1,

@@ -138,10 +138,7 @@ mod tests {
     #[test]
     fn cam_doubles_energy() {
         let ram = SramSpec::ram(2048);
-        let cam = SramSpec {
-            cam: true,
-            ..ram
-        };
+        let cam = SramSpec { cam: true, ..ram };
         assert!((cam.access_energy_nj() / ram.access_energy_nj() - 2.0).abs() < 1e-12);
     }
 

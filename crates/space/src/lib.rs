@@ -42,14 +42,14 @@ pub use derived::{ConstantParams, FunctionalUnits};
 pub use params::{Param, ParamDef, PARAMS, PARAM_COUNT};
 pub use sample::{estimate_legal_fraction, neighbors, sample_legal, sample_raw};
 
-use serde::{Deserialize, Serialize};
+use dse_util::json::{FromJson, Json, JsonError, ToJson};
 
 /// One point of the design space: a concrete setting for each of the
 /// 13 varied parameters, stored in natural units.
 ///
 /// Construct with [`Config::baseline`], [`Config::from_indices`] or
 /// [`Config::from_paper_vector`]; mutate through [`Config::with_param`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Config {
     /// Pipeline width (fetch/decode/issue/commit per cycle): 2, 4, 6 or 8.
     pub width: u32,
@@ -300,6 +300,58 @@ impl Default for Config {
     }
 }
 
+impl ToJson for Config {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("width", self.width.to_json()),
+            ("rob", self.rob.to_json()),
+            ("iq", self.iq.to_json()),
+            ("lsq", self.lsq.to_json()),
+            ("rf", self.rf.to_json()),
+            ("rf_read", self.rf_read.to_json()),
+            ("rf_write", self.rf_write.to_json()),
+            ("bpred_k", self.bpred_k.to_json()),
+            ("btb_k", self.btb_k.to_json()),
+            ("max_branches", self.max_branches.to_json()),
+            ("icache_kb", self.icache_kb.to_json()),
+            ("dcache_kb", self.dcache_kb.to_json()),
+            ("l2_kb", self.l2_kb.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Config {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let cfg = Self {
+            width: u32::from_json(v.field("width")?)?,
+            rob: u32::from_json(v.field("rob")?)?,
+            iq: u32::from_json(v.field("iq")?)?,
+            lsq: u32::from_json(v.field("lsq")?)?,
+            rf: u32::from_json(v.field("rf")?)?,
+            rf_read: u32::from_json(v.field("rf_read")?)?,
+            rf_write: u32::from_json(v.field("rf_write")?)?,
+            bpred_k: u32::from_json(v.field("bpred_k")?)?,
+            btb_k: u32::from_json(v.field("btb_k")?)?,
+            max_branches: u32::from_json(v.field("max_branches")?)?,
+            icache_kb: u32::from_json(v.field("icache_kb")?)?,
+            dcache_kb: u32::from_json(v.field("dcache_kb")?)?,
+            l2_kb: u32::from_json(v.field("l2_kb")?)?,
+        };
+        // Every field must hold one of its parameter's listed values;
+        // hand-edited cache files with out-of-range settings are rejected
+        // rather than silently simulated.
+        for (&raw, def) in cfg.to_raw().iter().zip(PARAMS.iter()) {
+            if !def.values.contains(&raw) {
+                return Err(JsonError::msg(format!(
+                    "{raw} is not a legal value for {}",
+                    def.name
+                )));
+            }
+        }
+        Ok(cfg)
+    }
+}
+
 impl std::fmt::Display for Config {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -425,10 +477,24 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trips() {
+    fn json_round_trips() {
         let cfg = Config::baseline();
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: Config = serde_json::from_str(&json).unwrap();
+        let json = dse_util::json::to_string(&cfg);
+        let back: Config = dse_util::json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn json_rejects_out_of_range_value() {
+        let mut v = Config::baseline().to_json();
+        if let Json::Obj(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "width" {
+                    *val = Json::Num(5.0); // 5-wide is not in the value list
+                }
+            }
+        }
+        let err = Config::from_json(&v).unwrap_err();
+        assert!(err.message.contains("not a legal value"));
     }
 }

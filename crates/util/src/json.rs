@@ -1,0 +1,838 @@
+//! Minimal JSON value type, writer and parser.
+//!
+//! This replaces `serde`/`serde_json` for the one serialisation job the
+//! workspace has: the on-disk dataset cache. The subset implemented is
+//! full RFC 8259 JSON on the *parse* side (any well-formed document is
+//! accepted, including `\uXXXX` escapes and surrogate pairs) and a
+//! deliberately small surface on the *write* side: objects, arrays,
+//! strings, booleans, `null`, and numbers.
+//!
+//! Numbers are stored as `f64` and written with Rust's shortest
+//! round-trip formatting, so `write → parse` reproduces every `f64`
+//! bit-exactly (see the round-trip tests). Integers up to 2⁵³ — every
+//! count and seed-derived id the workspace stores — survive the same way.
+//! The format is byte-compatible with what `serde_json` produced for the
+//! same structures (unit enum variants as bare strings, structs as
+//! objects), so dataset caches written before this layer existed remain
+//! readable.
+//!
+//! Domain types implement [`ToJson`]/[`FromJson`] by hand; see
+//! `dse-space::Config` or `dse-core::SuiteDataset` for the idiom.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Insertion order is preserved for stable output.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error produced by the parser or by [`FromJson`] conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset in the input where the parser failed (0 for
+    /// conversion errors, which have no position).
+    pub offset: usize,
+}
+
+impl JsonError {
+    /// A conversion (non-positional) error.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            offset: 0,
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Serialise to a [`Json`] value.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Deserialise from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Reconstructs `Self`, rejecting structurally or semantically
+    /// invalid input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first mismatch.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing garbage is rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error with its byte offset.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Serialises to a compact string (no whitespace).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(x) => write_number(*x, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// The value of an object field.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `self` is not an object or lacks the field.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError::msg(format!("missing field `{key}`"))),
+            other => Err(JsonError::msg(format!(
+                "expected object with field `{key}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The elements of an array.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `self` is not an array.
+    pub fn as_array(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError::msg(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The string payload.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `self` is not a string.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError::msg(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The numeric payload.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `self` is not a number.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Num(x) => Ok(*x),
+            other => Err(JsonError::msg(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The numeric payload as a non-negative integer.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `self` is not a number with an exact non-negative
+    /// integral value within `u64` range.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        let x = self.as_f64()?;
+        if x < 0.0 || x.fract() != 0.0 || x > 2f64.powi(53) {
+            return Err(JsonError::msg(format!(
+                "expected non-negative integer, found {x}"
+            )));
+        }
+        Ok(x as u64)
+    }
+
+    /// The boolean payload.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `self` is not a boolean.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::msg(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Builds an object from `(key, value)` pairs — the idiomatic way for
+    /// `ToJson` implementations to stay readable.
+    pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Shortest round-trip formatting (Rust's `{:?}` for floats is exact:
+/// parsing the output recovers the identical bits). Non-finite values have
+/// no JSON representation.
+fn write_number(x: f64, out: &mut String) {
+    assert!(x.is_finite(), "cannot serialise non-finite number {x}");
+    // Integral values in the exactly-representable range print without the
+    // trailing `.0`, matching what serde_json emitted for integer fields.
+    if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) {
+        write_int(x, out);
+    } else {
+        out.push_str(&format!("{x:?}"));
+    }
+}
+
+fn write_int(x: f64, out: &mut String) {
+    if x < 0.0 {
+        out.push_str(&format!("{}", x as i64));
+    } else {
+        out.push_str(&format!("{}", x as u64));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Nesting-depth cap: the workspace's documents are ~4 levels deep; a cap
+/// keeps maliciously-nested input from overflowing the parser stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal (expected `{word}`)")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let x: f64 = text.parse().map_err(|_| self.err("number out of range"))?;
+        if !x.is_finite() {
+            return Err(self.err("number overflows f64"));
+        }
+        Ok(Json::Num(x))
+    }
+}
+
+// --- blanket and primitive impls -----------------------------------------
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_bool()
+    }
+}
+
+impl ToJson for u32 {
+    fn to_json(&self) -> Json {
+        Json::Num(f64::from(*self))
+    }
+}
+
+impl FromJson for u32 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let x = v.as_u64()?;
+        u32::try_from(x).map_err(|_| JsonError::msg(format!("{x} overflows u32")))
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        // Seeds and counts beyond 2^53 are stored as exact decimal strings
+        // would be safer, but the workspace keeps all persisted u64s within
+        // the f64-exact range; assert rather than lose bits silently.
+        assert!(
+            *self <= 1u64 << 53,
+            "u64 value {self} exceeds the f64-exact range"
+        );
+        Json::Num(*self as f64)
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_u64()
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        (*self as u64).to_json()
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let x = v.as_u64()?;
+        usize::try_from(x).map_err(|_| JsonError::msg(format!("{x} overflows usize")))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.as_str()?.to_string())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_array()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<K: Ord + ToString, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+/// Serialises any [`ToJson`] value to a compact JSON string.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    value.to_json().write(&mut out);
+    out
+}
+
+/// Parses a JSON document and converts it to `T`.
+///
+/// # Errors
+///
+/// Returns the first syntax or conversion error.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&Json::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Json) -> Json {
+        Json::parse(&v.to_string()).expect("writer output must parse")
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Num(0.0),
+            Json::Num(-17.0),
+            Json::Num(3.141592653589793),
+            Json::Num(1e300),
+            Json::Num(-2.2250738585072014e-308),
+            Json::Str(String::new()),
+            Json::Str("hello \"world\"\n\t\\ ∑ 🎉".to_string()),
+        ] {
+            assert_eq!(round_trip(&v), v);
+        }
+    }
+
+    #[test]
+    fn f64_bit_exact_round_trip() {
+        // A stress sample across the exponent range, including values with
+        // no short decimal representation.
+        let mut x = 1.0f64;
+        for i in 0..200 {
+            let v = x * (1.0 + (i as f64) * 1e-13) * if i % 2 == 0 { 1.0 } else { -1.0 };
+            let back = round_trip(&Json::Num(v));
+            match back {
+                Json::Num(y) => assert_eq!(y.to_bits(), v.to_bits(), "value {v}"),
+                other => panic!("expected number, got {other:?}"),
+            }
+            x *= 3.7;
+            if !x.is_finite() {
+                x = 1.0e-250;
+            }
+        }
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Json::Num(96.0).to_string(), "96");
+        assert_eq!(Json::Num(-5.0).to_string(), "-5");
+        assert_eq!(to_string(&42u32), "42");
+        assert_eq!(to_string(&(1u64 << 53)), "9007199254740992");
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::obj([
+            ("name", "gzip".to_json()),
+            ("metrics", Json::Arr(vec![Json::Num(1.5), Json::Num(2.5)])),
+            (
+                "inner",
+                Json::obj([("ok", Json::Bool(true)), ("n", Json::Null)]),
+            ),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        assert_eq!(round_trip(&v), v);
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let text = r#"
+            { "a" : [ 1 , 2.5e1 , -3 ] ,
+              "b" : "line\nbreak Aé 🎉" }
+        "#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(
+            v.field("a").unwrap().as_array().unwrap()[1],
+            Json::Num(25.0)
+        );
+        assert_eq!(v.field("b").unwrap().as_str().unwrap(), "line\nbreak Aé 🎉");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1, 2",
+            "[1 2]",
+            "{\"a\": }",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "tru",
+            "nulll",
+            "01",
+            "1.",
+            "1e",
+            "+1",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "\"\\ud800 unpaired\"",
+            "[1] trailing",
+            "NaN",
+            "Infinity",
+            "1e999",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_pathological_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("deep"));
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = Json::parse("[1, 2, oops]").unwrap_err();
+        assert_eq!(err.offset, 7);
+    }
+
+    #[test]
+    fn field_and_accessor_errors_are_descriptive() {
+        let v = Json::parse("{\"x\": 1}").unwrap();
+        assert!(v.field("y").unwrap_err().message.contains("missing"));
+        assert!(v.field("x").unwrap().as_str().is_err());
+        assert!(Json::Num(1.5).as_u64().is_err());
+        assert!(Json::Num(-1.0).as_u64().is_err());
+    }
+
+    #[test]
+    fn vec_and_primitive_traits_round_trip() {
+        let xs = vec![1.5f64, -2.25, 1e-12];
+        let back: Vec<f64> = from_str(&to_string(&xs)).unwrap();
+        assert_eq!(back, xs);
+        let n: u32 = from_str("4096").unwrap();
+        assert_eq!(n, 4096);
+        assert!(from_str::<u32>("4294967296").is_err());
+        assert!(from_str::<u32>("3.5").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn writer_rejects_nan() {
+        let mut s = String::new();
+        Json::Num(f64::NAN).write(&mut s);
+    }
+
+    #[test]
+    fn control_characters_escape_and_round_trip() {
+        let s = "\u{01}\u{1F}\u{08}\u{0C}".to_string();
+        let v = Json::Str(s.clone());
+        assert_eq!(round_trip(&v), v);
+        assert!(v.to_string().contains("\\u0001"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Zero-dependency substrate for the archdse workspace.
+//!
+//! The workspace builds offline with an empty registry cache, so the two
+//! pieces of infrastructure that would normally come from crates.io are
+//! owned here instead:
+//!
+//! * [`par`] — a scoped thread-pool parallel map ([`par::par_map`],
+//!   [`par::par_chunks`]) with deterministic output ordering and
+//!   thread-count control via the `ARCHDSE_THREADS` environment variable;
+//! * [`json`] — a minimal JSON value type ([`json::Json`]), writer and
+//!   parser, plus the [`json::ToJson`] / [`json::FromJson`] traits the
+//!   domain crates implement by hand.
+//!
+//! Both are hot paths of the reproduction: dataset generation simulates
+//! thousands of configurations per benchmark in parallel, and the dataset
+//! disk cache is JSON.
+//!
+//! # Examples
+//!
+//! ```
+//! use dse_util::par::par_map;
+//! use dse_util::json::{Json, ToJson};
+//!
+//! let squares = par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! // Integral floats print without a fraction, matching the cache format.
+//! let v = Json::Arr(vec![1.5.to_json(), 2.0.to_json(), true.to_json()]);
+//! assert_eq!(v.to_string(), "[1.5,2,true]");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod par;
+
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use par::{num_threads, par_chunks, par_map};

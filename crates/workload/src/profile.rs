@@ -1,9 +1,9 @@
 //! Per-program statistical profiles driving the synthetic trace generator.
 
-use serde::{Deserialize, Serialize};
+use dse_util::json::{FromJson, Json, JsonError, ToJson};
 
 /// Benchmark suite a profile belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// SPEC CPU 2000 stand-ins (26 programs).
     SpecCpu2000,
@@ -20,8 +20,30 @@ impl std::fmt::Display for Suite {
     }
 }
 
+impl ToJson for Suite {
+    fn to_json(&self) -> Json {
+        // Variant-name strings match serde's external tagging, keeping old
+        // dataset cache files readable.
+        let name = match self {
+            Suite::SpecCpu2000 => "SpecCpu2000",
+            Suite::MiBench => "MiBench",
+        };
+        Json::Str(name.to_string())
+    }
+}
+
+impl FromJson for Suite {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str()? {
+            "SpecCpu2000" => Ok(Suite::SpecCpu2000),
+            "MiBench" => Ok(Suite::MiBench),
+            other => Err(JsonError::msg(format!("unknown suite `{other}`"))),
+        }
+    }
+}
+
 /// Dynamic behaviour class of a static branch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BranchClass {
     /// Taken with a fixed probability (highly predictable when biased).
     Biased(f64),
@@ -39,7 +61,7 @@ pub enum BranchClass {
 /// All fields are public so that tests and ablation experiments can derive
 /// variants; use [`Profile::validate`] after hand-editing. The canonical
 /// instances live in [`crate::suites`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
     /// Program name (matches the paper's benchmark names).
     pub name: &'static str,
@@ -259,6 +281,90 @@ impl Profile {
             w_rand: 0.04,
             chase_frac: 0.02,
         }
+    }
+}
+
+impl ToJson for Profile {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("suite", self.suite.to_json()),
+            ("seed", self.seed.to_json()),
+            ("w_int_alu", self.w_int_alu.to_json()),
+            ("w_int_mul", self.w_int_mul.to_json()),
+            ("w_int_div", self.w_int_div.to_json()),
+            ("w_fp_alu", self.w_fp_alu.to_json()),
+            ("w_fp_mul", self.w_fp_mul.to_json()),
+            ("w_fp_div", self.w_fp_div.to_json()),
+            ("w_load", self.w_load.to_json()),
+            ("w_store", self.w_store.to_json()),
+            ("block_size", self.block_size.to_json()),
+            ("code_kb", self.code_kb.to_json()),
+            ("br_biased", self.br_biased.to_json()),
+            ("br_loop", self.br_loop.to_json()),
+            ("br_pattern", self.br_pattern.to_json()),
+            ("br_random", self.br_random.to_json()),
+            ("bias_p", self.bias_p.to_json()),
+            ("loop_mean", self.loop_mean.to_json()),
+            ("dep_p", self.dep_p.to_json()),
+            ("dep_decay", self.dep_decay.to_json()),
+            ("data_kb", self.data_kb.to_json()),
+            ("hot_frac", self.hot_frac.to_json()),
+            ("zipf_s", self.zipf_s.to_json()),
+            ("w_hot", self.w_hot.to_json()),
+            ("w_stream", self.w_stream.to_json()),
+            ("w_rand", self.w_rand.to_json()),
+            ("chase_frac", self.chase_frac.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Profile {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let name = v.field("name")?.as_str()?;
+        // Canonical profiles carry `&'static str` names; a parsed name is
+        // interned by leaking. Profiles are few (45 canonical + test
+        // variants), so the leak is bounded and deliberate.
+        let name: &'static str = match crate::suites::all_benchmarks()
+            .iter()
+            .find(|p| p.name == name)
+        {
+            Some(known) => known.name,
+            None => Box::leak(name.to_string().into_boxed_str()),
+        };
+        let p = Self {
+            name,
+            suite: Suite::from_json(v.field("suite")?)?,
+            seed: u64::from_json(v.field("seed")?)?,
+            w_int_alu: f64::from_json(v.field("w_int_alu")?)?,
+            w_int_mul: f64::from_json(v.field("w_int_mul")?)?,
+            w_int_div: f64::from_json(v.field("w_int_div")?)?,
+            w_fp_alu: f64::from_json(v.field("w_fp_alu")?)?,
+            w_fp_mul: f64::from_json(v.field("w_fp_mul")?)?,
+            w_fp_div: f64::from_json(v.field("w_fp_div")?)?,
+            w_load: f64::from_json(v.field("w_load")?)?,
+            w_store: f64::from_json(v.field("w_store")?)?,
+            block_size: f64::from_json(v.field("block_size")?)?,
+            code_kb: u32::from_json(v.field("code_kb")?)?,
+            br_biased: f64::from_json(v.field("br_biased")?)?,
+            br_loop: f64::from_json(v.field("br_loop")?)?,
+            br_pattern: f64::from_json(v.field("br_pattern")?)?,
+            br_random: f64::from_json(v.field("br_random")?)?,
+            bias_p: f64::from_json(v.field("bias_p")?)?,
+            loop_mean: f64::from_json(v.field("loop_mean")?)?,
+            dep_p: f64::from_json(v.field("dep_p")?)?,
+            dep_decay: f64::from_json(v.field("dep_decay")?)?,
+            data_kb: u32::from_json(v.field("data_kb")?)?,
+            hot_frac: f64::from_json(v.field("hot_frac")?)?,
+            zipf_s: f64::from_json(v.field("zipf_s")?)?,
+            w_hot: f64::from_json(v.field("w_hot")?)?,
+            w_stream: f64::from_json(v.field("w_stream")?)?,
+            w_rand: f64::from_json(v.field("w_rand")?)?,
+            chase_frac: f64::from_json(v.field("chase_frac")?)?,
+        };
+        p.validate()
+            .map_err(|e| JsonError::msg(format!("profile fails validation: {e}")))?;
+        Ok(p)
     }
 }
 

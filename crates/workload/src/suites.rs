@@ -27,12 +27,7 @@
 
 use crate::profile::{Profile, Suite};
 
-fn tuned(
-    name: &'static str,
-    suite: Suite,
-    seed: u64,
-    tweak: impl FnOnce(&mut Profile),
-) -> Profile {
+fn tuned(name: &'static str, suite: Suite, seed: u64, tweak: impl FnOnce(&mut Profile)) -> Profile {
     let mut p = Profile::template(name, suite, seed);
     tweak(&mut p);
     p.validate()

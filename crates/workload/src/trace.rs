@@ -10,10 +10,9 @@
 use crate::profile::{BranchClass, Profile};
 use dse_rng::dist::{Categorical, Zipf};
 use dse_rng::Xoshiro256;
-use serde::{Deserialize, Serialize};
 
 /// Dynamic instruction class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstrKind {
     /// Integer ALU operation.
     IntAlu,
@@ -61,7 +60,7 @@ impl InstrKind {
 }
 
 /// One dynamic instruction of a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Instr {
     /// Instruction class.
     pub kind: InstrKind,
@@ -81,7 +80,7 @@ pub struct Instr {
 }
 
 /// A dynamic instruction trace for one benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Benchmark name.
     pub name: String,
@@ -216,8 +215,8 @@ impl TraceGenerator {
 
         while instrs.len() + 2 < n_static {
             // Block body length: mean block_size including the branch.
-            let body = sample_block_body(&mut rng, profile.block_size)
-                .min(n_static - instrs.len() - 1);
+            let body =
+                sample_block_body(&mut rng, profile.block_size).min(n_static - instrs.len() - 1);
             let first = instrs.len();
             for _ in 0..body {
                 let kind = BODY_KINDS[kind_dist.sample(&mut rng)];
@@ -359,12 +358,7 @@ impl TraceGenerator {
         }
     }
 
-    fn branch_outcome(
-        &self,
-        rng: &mut Xoshiro256,
-        block: usize,
-        state: &mut BranchState,
-    ) -> bool {
+    fn branch_outcome(&self, rng: &mut Xoshiro256, block: usize, state: &mut BranchState) -> bool {
         match self.blocks[block].class {
             BranchClass::Biased(p) => rng.next_bool(p),
             BranchClass::Loop(trip) => {
@@ -654,9 +648,7 @@ mod tests {
             .instrs
             .iter()
             .filter(|i| i.kind == InstrKind::Branch)
-            .fold((0u32, 0u32), |(tk, tot), i| {
-                (tk + i.taken as u32, tot + 1)
-            });
+            .fold((0u32, 0u32), |(tk, tot), i| (tk + i.taken as u32, tot + 1));
         let rate = taken as f64 / total as f64;
         assert!(rate > 0.6, "loop taken rate {rate}");
     }

@@ -9,7 +9,9 @@ use archdse::prelude::*;
 fn main() {
     let mut profiles: Vec<Profile> = archdse::workload::suites::spec2000()
         .into_iter()
-        .filter(|p| ["gzip", "parser", "art", "mcf", "swim", "crafty", "sixtrack"].contains(&p.name))
+        .filter(|p| {
+            ["gzip", "parser", "art", "mcf", "swim", "crafty", "sixtrack"].contains(&p.name)
+        })
         .collect();
     profiles.sort_by_key(|p| p.name);
     let spec = DatasetSpec {
@@ -18,15 +20,25 @@ fn main() {
         warmup: 6_000,
         seed: 5,
     };
-    println!("simulating {} programs x {} configs...", profiles.len(), spec.n_configs);
+    println!(
+        "simulating {} programs x {} configs...",
+        profiles.len(),
+        spec.n_configs
+    );
     let ds = SuiteDataset::generate(&profiles, &spec);
 
     println!("\nper-program cycles across the sampled space (per 10M-instr phase):");
-    println!("{:>10}  {:>10}  {:>10}  {:>10}  {:>8}", "program", "min", "median", "max", "max/min");
+    println!(
+        "{:>10}  {:>10}  {:>10}  {:>10}  {:>8}",
+        "program", "min", "median", "max", "max/min"
+    );
     for c in characterise(&ds, Metric::Cycles) {
         println!(
             "{:>10}  {:10.3e}  {:10.3e}  {:10.3e}  {:8.1}",
-            c.program, c.summary.min, c.summary.median, c.summary.max,
+            c.program,
+            c.summary.min,
+            c.summary.median,
+            c.summary.max,
             c.summary.max / c.summary.min
         );
     }

@@ -21,7 +21,11 @@ fn main() {
         warmup: 6_000,
         seed: 9,
     };
-    println!("simulating {} programs x {} configs...", profiles.len(), spec.n_configs);
+    println!(
+        "simulating {} programs x {} configs...",
+        profiles.len(),
+        spec.n_configs
+    );
     let ds = SuiteDataset::generate(&profiles, &spec);
 
     // The "new" program is the last one; everything else trains offline.
@@ -45,19 +49,33 @@ fn main() {
     ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
 
     let actual: Vec<f64> = ds.benchmarks[target].values(Metric::Ed);
-    let true_best = actual
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
+    let true_best = actual.iter().cloned().fold(f64::INFINITY, f64::min);
 
-    println!("\ntop-5 predicted ED configurations for '{}':", ds.benchmarks[target].name);
-    println!("{:>4}  {:>12}  {:>12}  config", "rank", "predicted", "actual");
+    println!(
+        "\ntop-5 predicted ED configurations for '{}':",
+        ds.benchmarks[target].name
+    );
+    println!(
+        "{:>4}  {:>12}  {:>12}  config",
+        "rank", "predicted", "actual"
+    );
     for (rank, &(idx, pred)) in ranked.iter().take(5).enumerate() {
-        println!("{rank:>4}  {pred:12.4e}  {:12.4e}  {}", actual[idx], ds.configs[idx]);
+        println!(
+            "{rank:>4}  {pred:12.4e}  {:12.4e}  {}",
+            actual[idx], ds.configs[idx]
+        );
     }
-    let best_found = ranked[..5].iter().map(|&(i, _)| actual[i]).fold(f64::INFINITY, f64::min);
+    let best_found = ranked[..5]
+        .iter()
+        .map(|&(i, _)| actual[i])
+        .fold(f64::INFINITY, f64::min);
     println!("\ntrue optimum in sample : {true_best:.4e}");
-    println!("best of predicted top-5: {best_found:.4e} ({:.1}% above optimum)",
-        100.0 * (best_found / true_best - 1.0));
-    println!("simulations spent      : 32 (instead of {})", ds.n_configs());
+    println!(
+        "best of predicted top-5: {best_found:.4e} ({:.1}% above optimum)",
+        100.0 * (best_found / true_best - 1.0)
+    );
+    println!(
+        "simulations spent      : 32 (instead of {})",
+        ds.n_configs()
+    );
 }

@@ -23,7 +23,11 @@ fn main() {
         warmup: 6_000,
         seed: 33,
     };
-    println!("simulating {} programs x {} configs...", profiles.len(), spec.n_configs);
+    println!(
+        "simulating {} programs x {} configs...",
+        profiles.len(),
+        spec.n_configs
+    );
     let ds = SuiteDataset::generate(&profiles, &spec);
     let target = ds.benchmarks.len() - 1;
     let target_name = ds.benchmarks[target].name.clone();
@@ -67,13 +71,21 @@ fn main() {
     // Verify in the real simulator (these 2 runs are the only extra cost).
     let profile = profiles.last().unwrap();
     let trace = TraceGenerator::new(profile).generate(spec.trace_len);
-    let opts = SimOptions { warmup: spec.warmup };
+    let opts = SimOptions {
+        warmup: spec.warmup,
+    };
     let before = simulate(&Config::baseline(), &trace, opts);
     let after = simulate(&current, &trace, opts);
     println!("\n                 baseline        found");
     println!("  actual ED   : {:11.4e}  {:11.4e}", before.ed, after.ed);
-    println!("  actual cyc  : {:11.4e}  {:11.4e}", before.cycles, after.cycles);
-    println!("  actual nJ   : {:11.4e}  {:11.4e}", before.energy, after.energy);
+    println!(
+        "  actual cyc  : {:11.4e}  {:11.4e}",
+        before.cycles, after.cycles
+    );
+    println!(
+        "  actual nJ   : {:11.4e}  {:11.4e}",
+        before.energy, after.energy
+    );
     println!(
         "\nED improvement: {:.1}% (predicted at the cost of 32 + 2 simulations)",
         100.0 * (1.0 - after.ed / before.ed)

@@ -21,12 +21,23 @@ fn main() {
         warmup: 6_000,
         seed: 42,
     };
-    println!("simulating {} programs x {} configs...", profiles.len(), spec.n_configs);
+    println!(
+        "simulating {} programs x {} configs...",
+        profiles.len(),
+        spec.n_configs
+    );
     let ds = SuiteDataset::generate(&profiles, &spec);
 
     // 2. Train the offline half on the first five programs.
     let train_rows: Vec<usize> = (0..5).collect();
-    let offline = OfflineModel::train(&ds, &train_rows, Metric::Cycles, 100, &MlpConfig::default(), 7);
+    let offline = OfflineModel::train(
+        &ds,
+        &train_rows,
+        Metric::Cycles,
+        100,
+        &MlpConfig::default(),
+        7,
+    );
 
     // 3. "Encounter" the sixth program: simulate only 16 responses.
     let new_program = &ds.benchmarks[5];
@@ -40,8 +51,12 @@ fn main() {
 
     // 4. Predict the rest of the space and compare against the truth.
     let features = ds.features();
-    let preds: Vec<f64> = (16..ds.n_configs()).map(|i| predictor.predict(&features[i])).collect();
-    let actual: Vec<f64> = (16..ds.n_configs()).map(|i| new_program.metrics[i].cycles).collect();
+    let preds: Vec<f64> = (16..ds.n_configs())
+        .map(|i| predictor.predict(&features[i]))
+        .collect();
+    let actual: Vec<f64> = (16..ds.n_configs())
+        .map(|i| new_program.metrics[i].cycles)
+        .collect();
     println!(
         "predicted {} unseen configurations: rmae {:.1}%, correlation {:.3}",
         preds.len(),

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the workspace must build and test OFFLINE with an empty
+# registry cache (zero external dependencies), and stay rustfmt-clean.
+# Run from anywhere; operates on the repository containing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "tier-1 gate passed"

@@ -129,8 +129,12 @@ fn cmd_simulate(args: &[String]) -> i32 {
     println!("benchmark : {bench}");
     println!("config    : {cfg}");
     println!("IPC       : {:.3}", r.ipc);
-    println!("L1I/L1D/L2 miss: {:.2}% / {:.2}% / {:.2}%",
-        100.0 * r.l1i_miss_rate, 100.0 * r.l1d_miss_rate, 100.0 * r.l2_miss_rate);
+    println!(
+        "L1I/L1D/L2 miss: {:.2}% / {:.2}% / {:.2}%",
+        100.0 * r.l1i_miss_rate,
+        100.0 * r.l1d_miss_rate,
+        100.0 * r.l2_miss_rate
+    );
     println!("bpred miss: {:.2}%", 100.0 * r.bpred_miss_rate);
     println!("cycles    : {:.4e} /10M-instr phase", m.cycles);
     println!("energy    : {:.4e} nJ", m.energy);
@@ -173,16 +177,31 @@ fn cmd_predict(args: &[String]) -> i32 {
         warmup: 6_000,
         seed: 21,
     };
-    eprintln!("simulating {} training programs + target ...", profiles.len() - 1);
+    eprintln!(
+        "simulating {} training programs + target ...",
+        profiles.len() - 1
+    );
     let ds = SuiteDataset::generate(&profiles, &spec);
     let target = ds.benchmarks.len() - 1;
     let train_rows: Vec<usize> = (0..target).collect();
-    let offline = OfflineModel::train(&ds, &train_rows, Metric::Cycles, 150, &MlpConfig::default(), 2);
+    let offline = OfflineModel::train(
+        &ds,
+        &train_rows,
+        Metric::Cycles,
+        150,
+        &MlpConfig::default(),
+        2,
+    );
     let idxs: Vec<usize> = (0..r.min(ds.n_configs() / 2)).collect();
-    let vals: Vec<f64> = idxs.iter().map(|&i| ds.benchmarks[target].metrics[i].cycles).collect();
+    let vals: Vec<f64> = idxs
+        .iter()
+        .map(|&i| ds.benchmarks[target].metrics[i].cycles)
+        .collect();
     let predictor = offline.fit_responses(&ds, &idxs, &vals);
     let features = ds.features();
-    let preds: Vec<f64> = (idxs.len()..ds.n_configs()).map(|i| predictor.predict(&features[i])).collect();
+    let preds: Vec<f64> = (idxs.len()..ds.n_configs())
+        .map(|i| predictor.predict(&features[i]))
+        .collect();
     let actual: Vec<f64> = (idxs.len()..ds.n_configs())
         .map(|i| ds.benchmarks[target].metrics[i].cycles)
         .collect();
@@ -191,8 +210,14 @@ fn cmd_predict(args: &[String]) -> i32 {
         preds.len(),
         idxs.len()
     );
-    println!("  rmae        : {:.1}%", dse_ml::stats::rmae(&preds, &actual));
-    println!("  correlation : {:.3}", dse_ml::stats::correlation(&preds, &actual));
+    println!(
+        "  rmae        : {:.1}%",
+        dse_ml::stats::rmae(&preds, &actual)
+    );
+    println!(
+        "  correlation : {:.3}",
+        dse_ml::stats::correlation(&preds, &actual)
+    );
     0
 }
 

@@ -21,7 +21,10 @@ fn same_seed_same_everything() {
     let offline_a = OfflineModel::train(&a, &[0], Metric::Cycles, 10, &MlpConfig::default(), 9);
     let offline_b = OfflineModel::train(&b, &[0], Metric::Cycles, 10, &MlpConfig::default(), 9);
     let idxs: Vec<usize> = (0..6).collect();
-    let vals: Vec<f64> = idxs.iter().map(|&i| a.benchmarks[1].metrics[i].cycles).collect();
+    let vals: Vec<f64> = idxs
+        .iter()
+        .map(|&i| a.benchmarks[1].metrics[i].cycles)
+        .collect();
     let pa = offline_a.fit_responses(&a, &idxs, &vals);
     let pb = offline_b.fit_responses(&b, &idxs, &vals);
     let f = a.features();

@@ -8,9 +8,7 @@ use dse_ml::stats::{correlation, rmae};
 fn small_dataset() -> SuiteDataset {
     let mut profiles: Vec<Profile> = archdse::workload::suites::spec2000()
         .into_iter()
-        .filter(|p| {
-            ["gzip", "parser", "crafty", "gap", "mesa", "sixtrack"].contains(&p.name)
-        })
+        .filter(|p| ["gzip", "parser", "crafty", "gap", "mesa", "sixtrack"].contains(&p.name))
         .collect();
     profiles.extend(
         archdse::workload::suites::mibench()
@@ -35,7 +33,14 @@ fn architecture_centric_predicts_an_unseen_program() {
     let train_rows: Vec<usize> = (0..ds.benchmarks.len())
         .filter(|&i| i != target && ds.benchmarks[i].suite == Suite::SpecCpu2000)
         .collect();
-    let offline = OfflineModel::train(&ds, &train_rows, Metric::Cycles, 100, &MlpConfig::default(), 11);
+    let offline = OfflineModel::train(
+        &ds,
+        &train_rows,
+        Metric::Cycles,
+        100,
+        &MlpConfig::default(),
+        11,
+    );
     let responses: Vec<usize> = (0..24).collect();
     let values: Vec<f64> = responses
         .iter()
@@ -44,11 +49,18 @@ fn architecture_centric_predicts_an_unseen_program() {
     let predictor = offline.fit_responses(&ds, &responses, &values);
 
     let features = ds.features();
-    let preds: Vec<f64> = (24..ds.n_configs()).map(|i| predictor.predict(&features[i])).collect();
-    let actual: Vec<f64> = (24..ds.n_configs()).map(|i| ds.benchmarks[target].metrics[i].cycles).collect();
+    let preds: Vec<f64> = (24..ds.n_configs())
+        .map(|i| predictor.predict(&features[i]))
+        .collect();
+    let actual: Vec<f64> = (24..ds.n_configs())
+        .map(|i| ds.benchmarks[target].metrics[i].cycles)
+        .collect();
     let corr = correlation(&preds, &actual);
     let err = rmae(&preds, &actual);
-    assert!(corr > 0.5, "cross-program prediction should track the space, corr {corr}");
+    assert!(
+        corr > 0.5,
+        "cross-program prediction should track the space, corr {corr}"
+    );
     assert!(err < 30.0, "rmae {err} too high");
 }
 
@@ -101,6 +113,12 @@ fn loo_and_cross_suite_run_end_to_end() {
     for e in &evals {
         assert!(e.test_rmae.mean.is_finite());
     }
-    let cross = xval::cross_suite(&ds, Suite::SpecCpu2000, Suite::MiBench, Metric::Energy, &cfg);
+    let cross = xval::cross_suite(
+        &ds,
+        Suite::SpecCpu2000,
+        Suite::MiBench,
+        Metric::Energy,
+        &cfg,
+    );
     assert_eq!(cross.len(), 2);
 }

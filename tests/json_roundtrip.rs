@@ -1,0 +1,113 @@
+//! Round-trip tests for the in-repo JSON layer on the real domain types:
+//! serialize → parse → compare equal, f64 fidelity included, plus
+//! rejection of malformed input.
+
+use archdse::prelude::*;
+use dse_core::dataset::{BenchmarkData, DatasetSpec};
+use dse_rng::Xoshiro256;
+use dse_util::json::{self, FromJson, Json, ToJson};
+
+#[test]
+fn config_round_trips_across_the_space() {
+    let mut rng = Xoshiro256::seed_from(11);
+    for cfg in dse_space::sample_legal(&mut rng, 50) {
+        let text = json::to_string(&cfg);
+        let back: Config = json::from_str(&text).expect("config must parse");
+        assert_eq!(back, cfg);
+    }
+}
+
+#[test]
+fn metrics_round_trip_bit_exactly() {
+    let profile = Profile::template("json", Suite::SpecCpu2000, 3);
+    let trace = TraceGenerator::new(&profile).generate(8_000);
+    let m = simulate(&Config::baseline(), &trace, SimOptions { warmup: 1_000 });
+    let back: Metrics = json::from_str(&json::to_string(&m)).unwrap();
+    // Bit-exact: the shortest round-trip float formatting loses nothing.
+    assert_eq!(back.cycles.to_bits(), m.cycles.to_bits());
+    assert_eq!(back.energy.to_bits(), m.energy.to_bits());
+    assert_eq!(back.ed.to_bits(), m.ed.to_bits());
+    assert_eq!(back.edd.to_bits(), m.edd.to_bits());
+}
+
+#[test]
+fn metric_names_round_trip() {
+    for m in Metric::ALL {
+        let back: Metric = json::from_str(&json::to_string(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+    assert!(json::from_str::<Metric>("\"Watts\"").is_err());
+}
+
+#[test]
+fn suite_dataset_round_trips_equal() {
+    let profiles: Vec<Profile> = archdse::workload::suites::spec2000()
+        .into_iter()
+        .take(2)
+        .collect();
+    let ds = SuiteDataset::generate(&profiles, &DatasetSpec::tiny());
+    let text = json::to_string(&ds);
+    let back: SuiteDataset = json::from_str(&text).expect("dataset must parse");
+    assert_eq!(back, ds);
+    // And the serialized form is stable under a second trip.
+    assert_eq!(json::to_string(&back), text);
+}
+
+#[test]
+fn profile_round_trips_and_validates() {
+    let p = Profile::template("custom-name", Suite::MiBench, 99);
+    let back: Profile = json::from_str(&json::to_string(&p)).unwrap();
+    assert_eq!(back, p);
+    // A canonical profile keeps its interned name.
+    let gzip = archdse::workload::suites::spec2000()
+        .into_iter()
+        .find(|p| p.name == "gzip")
+        .unwrap();
+    let back: Profile = json::from_str(&json::to_string(&gzip)).unwrap();
+    assert_eq!(back, gzip);
+}
+
+#[test]
+fn malformed_documents_are_rejected() {
+    // Syntax errors.
+    assert!(json::from_str::<SuiteDataset>("{not json").is_err());
+    assert!(json::from_str::<Config>("").is_err());
+    // Well-formed JSON, wrong shape.
+    assert!(json::from_str::<Config>("[1,2,3]").is_err());
+    assert!(json::from_str::<Metrics>("{\"cycles\": 1.0}").is_err());
+    assert!(json::from_str::<DatasetSpec>("{\"n_configs\": -4}").is_err());
+    // Wrong field type.
+    let mut bad = Config::baseline().to_json();
+    if let Json::Obj(fields) = &mut bad {
+        fields[0].1 = Json::Str("four".to_string());
+    }
+    assert!(Config::from_json(&bad).is_err());
+}
+
+#[test]
+fn dataset_with_inconsistent_rows_is_rejected() {
+    let profiles: Vec<Profile> = archdse::workload::suites::mibench()
+        .into_iter()
+        .take(1)
+        .collect();
+    let mut ds = SuiteDataset::generate(&profiles, &DatasetSpec::tiny());
+    ds.benchmarks[0].metrics.pop();
+    let text = json::to_string(&ds);
+    let err = json::from_str::<SuiteDataset>(&text).unwrap_err();
+    assert!(err.message.contains("metric rows"), "{err}");
+}
+
+#[test]
+fn benchmark_data_round_trips() {
+    let profile = Profile::template("bd", Suite::SpecCpu2000, 7);
+    let trace = TraceGenerator::new(&profile).generate(6_000);
+    let m = simulate(&Config::baseline(), &trace, SimOptions { warmup: 1_000 });
+    let bd = BenchmarkData {
+        name: "bd".to_string(),
+        suite: Suite::SpecCpu2000,
+        metrics: vec![m; 3],
+        baseline: m,
+    };
+    let back: BenchmarkData = json::from_str(&json::to_string(&bd)).unwrap();
+    assert_eq!(back, bd);
+}

@@ -55,7 +55,10 @@ fn every_parameter_moves_the_metrics() {
         };
         let cfg_lo = base.with_param(param, lo);
         let cfg_hi = base.with_param(param, hi);
-        assert!(cfg_lo.is_legal() && cfg_hi.is_legal(), "{param} swing illegal");
+        assert!(
+            cfg_lo.is_legal() && cfg_hi.is_legal(),
+            "{param} swing illegal"
+        );
 
         let mut max_cycle_shift: f64 = 0.0;
         let mut max_energy_shift: f64 = 0.0;

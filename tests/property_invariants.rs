@@ -1,45 +1,62 @@
-//! Property-based integration tests: invariants that must hold for any
+//! Property-style integration tests: invariants that must hold for any
 //! legal configuration and any suite workload.
+//!
+//! Formerly driven by `proptest`; now a fixed-seed in-repo case generator
+//! (`dse-rng`) draws the same ~12-case budget per property, so the tests
+//! are deterministic and dependency-free.
 
 use archdse::prelude::*;
 use dse_rng::Xoshiro256;
-use proptest::prelude::*;
+
+/// Deterministic case seeds: one generator per property, fixed root seed,
+/// matching the former `ProptestConfig::with_cases(12)` budget.
+fn case_seeds(property_tag: u64, cases: usize) -> Vec<u64> {
+    let root = Xoshiro256::seed_from(0x1A4B_11C5 ^ property_tag);
+    (0..cases)
+        .map(|i| root.child(i as u64).next_u64())
+        .collect()
+}
 
 fn sampled_config(seed: u64) -> Config {
     let mut rng = Xoshiro256::seed_from(seed);
     dse_space::sample_legal(&mut rng, 1)[0]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// The pipeline cannot commit faster than its width allows, and every
-    /// metric must be positive and finite.
-    #[test]
-    fn prop_ipc_bounded_by_width_and_metrics_finite(seed in 0u64..500) {
+/// The pipeline cannot commit faster than its width allows, and every
+/// metric must be positive and finite.
+#[test]
+fn prop_ipc_bounded_by_width_and_metrics_finite() {
+    for seed in case_seeds(0xA11, 12) {
         let cfg = sampled_config(seed);
         let profile = Profile::template("prop", Suite::SpecCpu2000, seed ^ 0xABCD);
         let trace = TraceGenerator::new(&profile).generate(6_000);
         let (r, m) = archdse::sim::simulate_detailed(&cfg, &trace, SimOptions { warmup: 1_000 });
-        prop_assert!(r.ipc <= cfg.width as f64 + 1e-9);
-        prop_assert!(r.ipc > 0.0);
-        prop_assert!(m.cycles.is_finite() && m.cycles > 0.0);
-        prop_assert!(m.energy.is_finite() && m.energy > 0.0);
-        prop_assert!(m.ed.is_finite() && m.edd.is_finite());
-        for rate in [r.l1i_miss_rate, r.l1d_miss_rate, r.l2_miss_rate, r.bpred_miss_rate] {
-            prop_assert!((0.0..=1.0).contains(&rate));
+        assert!(r.ipc <= cfg.width as f64 + 1e-9, "seed {seed}: {cfg}");
+        assert!(r.ipc > 0.0, "seed {seed}");
+        assert!(m.cycles.is_finite() && m.cycles > 0.0, "seed {seed}");
+        assert!(m.energy.is_finite() && m.energy > 0.0, "seed {seed}");
+        assert!(m.ed.is_finite() && m.edd.is_finite(), "seed {seed}");
+        for rate in [
+            r.l1i_miss_rate,
+            r.l1d_miss_rate,
+            r.l2_miss_rate,
+            r.bpred_miss_rate,
+        ] {
+            assert!((0.0..=1.0).contains(&rate), "seed {seed}: rate {rate}");
         }
     }
+}
 
-    /// Simulating the same trace twice on the same configuration gives
-    /// bit-identical results for arbitrary legal configurations.
-    #[test]
-    fn prop_simulation_deterministic(seed in 0u64..200) {
+/// Simulating the same trace twice on the same configuration gives
+/// bit-identical results for arbitrary legal configurations.
+#[test]
+fn prop_simulation_deterministic() {
+    for seed in case_seeds(0xDE7, 12) {
         let cfg = sampled_config(seed);
         let profile = Profile::template("det", Suite::MiBench, seed);
         let trace = TraceGenerator::new(&profile).generate(4_000);
         let a = simulate(&cfg, &trace, SimOptions { warmup: 500 });
         let b = simulate(&cfg, &trace, SimOptions { warmup: 500 });
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}: {cfg}");
     }
 }

@@ -20,9 +20,17 @@ fn bigger_dcache_cuts_miss_rate() {
     // the design-space structure the paper explores.
     let trace = trace_for("gzip", 50_000);
     let small = archdse::sim::simulate_detailed(
-        &Config::baseline().with_param(Param::Dcache, 8), &trace, OPTS).0;
+        &Config::baseline().with_param(Param::Dcache, 8),
+        &trace,
+        OPTS,
+    )
+    .0;
     let large = archdse::sim::simulate_detailed(
-        &Config::baseline().with_param(Param::Dcache, 128), &trace, OPTS).0;
+        &Config::baseline().with_param(Param::Dcache, 128),
+        &trace,
+        OPTS,
+    )
+    .0;
     assert!(
         large.l1d_miss_rate < small.l1d_miss_rate * 0.8,
         "128KB D-cache miss rate ({:.3}) should be well below 8KB ({:.3})",
