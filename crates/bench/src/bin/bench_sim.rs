@@ -7,7 +7,7 @@ use dse_workload::{suites, TraceGenerator};
 
 fn main() {
     let iters = iters_for(15, 3);
-    let opts = SimOptions { warmup: 2_000 };
+    let opts = SimOptions::with_warmup(2_000);
     for name in ["gzip", "art", "sha"] {
         let profile = suites::all_benchmarks()
             .into_iter()

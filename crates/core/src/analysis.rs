@@ -213,7 +213,7 @@ mod tests {
     fn art_and_mcf_are_isolated_in_the_dendrogram() {
         let ds = dataset();
         let dg = similarity(&ds, Metric::Cycles);
-        let idx = |n: &str| ds.benchmark_index(n).unwrap();
+        let idx = |n: &str| ds.require_benchmark(n);
         let art = dg.join_height(idx("art"));
         let gzip = dg.join_height(idx("gzip"));
         let parser = dg.join_height(idx("parser"));

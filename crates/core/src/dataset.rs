@@ -7,13 +7,42 @@
 //! programs' responses without new simulations (§5.3).
 
 use dse_rng::Xoshiro256;
-use dse_sim::{simulate, Metric, Metrics, SimOptions};
+use dse_sim::{try_simulate, CheckError, Metric, Metrics, SimOptions};
 use dse_space::{sample_legal, Config};
 use dse_util::json::{FromJson, Json, JsonError, ToJson};
 use dse_util::par::par_map;
 use dse_workload::{Profile, Suite, TraceGenerator};
 use std::io;
 use std::path::Path;
+
+/// A sanitizer violation raised while generating a dataset, annotated with
+/// the benchmark and configuration that triggered it so a failure deep in
+/// a parallel sweep is actionable.
+#[derive(Debug, Clone)]
+pub struct GenerateError {
+    /// Benchmark whose simulation violated an invariant.
+    pub benchmark: String,
+    /// The configuration being simulated.
+    pub config: Config,
+    /// The underlying invariant violation.
+    pub source: CheckError,
+}
+
+impl std::fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dataset generation failed on benchmark `{}`, config {}: {}",
+            self.benchmark, self.config, self.source
+        )
+    }
+}
+
+impl std::error::Error for GenerateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// Parameters of a dataset generation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -192,9 +221,26 @@ impl SuiteDataset {
     ///
     /// # Panics
     ///
-    /// Panics if `profiles` is empty or the spec's warm-up is not smaller
-    /// than the trace length.
+    /// Panics if `profiles` is empty, the spec's warm-up is not smaller
+    /// than the trace length, or (with the sanitizer enabled) a simulation
+    /// violates an invariant — use [`SuiteDataset::try_generate`] to
+    /// handle violations as errors.
     pub fn generate(profiles: &[Profile], spec: &DatasetSpec) -> Self {
+        match Self::try_generate(profiles, spec) {
+            Ok(ds) => ds,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`SuiteDataset::generate`], but threads sanitizer violations
+    /// out of the parallel sweep as an error naming the benchmark and
+    /// configuration instead of panicking mid-`par_map`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or the spec's warm-up is not smaller
+    /// than the trace length (caller bugs, not simulation outcomes).
+    pub fn try_generate(profiles: &[Profile], spec: &DatasetSpec) -> Result<Self, GenerateError> {
         assert!(!profiles.is_empty(), "need at least one profile");
         assert!(
             spec.warmup < spec.trace_len,
@@ -202,38 +248,48 @@ impl SuiteDataset {
         );
         let mut rng = Xoshiro256::seed_from(spec.seed);
         let configs = sample_legal(&mut rng, spec.n_configs);
-        let options = SimOptions {
-            warmup: spec.warmup,
-        };
+        let options = SimOptions::with_warmup(spec.warmup);
         let baseline_cfg = Config::baseline();
 
-        let benchmarks = profiles
-            .iter()
-            .map(|p| {
-                let trace = TraceGenerator::new(p).generate(spec.trace_len);
-                let t0 = std::time::Instant::now();
-                let metrics: Vec<Metrics> = par_map(&configs, |cfg| simulate(cfg, &trace, options));
-                let baseline = simulate(&baseline_cfg, &trace, options);
-                eprintln!(
-                    "[dataset] {:12} {} configs in {:.1}s",
-                    p.name,
-                    configs.len(),
-                    t0.elapsed().as_secs_f64()
-                );
-                BenchmarkData {
-                    name: p.name.to_string(),
-                    suite: p.suite,
-                    metrics,
-                    baseline,
-                }
-            })
-            .collect();
+        let mut benchmarks = Vec::with_capacity(profiles.len());
+        for p in profiles {
+            let trace = TraceGenerator::new(p).generate(spec.trace_len);
+            let t0 = std::time::Instant::now();
+            let results: Vec<Result<Metrics, CheckError>> =
+                par_map(&configs, |cfg| try_simulate(cfg, &trace, options));
+            let mut metrics = Vec::with_capacity(results.len());
+            for (cfg, r) in configs.iter().zip(results) {
+                metrics.push(r.map_err(|source| GenerateError {
+                    benchmark: p.name.to_string(),
+                    config: *cfg,
+                    source,
+                })?);
+            }
+            let baseline =
+                try_simulate(&baseline_cfg, &trace, options).map_err(|source| GenerateError {
+                    benchmark: p.name.to_string(),
+                    config: baseline_cfg,
+                    source,
+                })?;
+            eprintln!(
+                "[dataset] {:12} {} configs in {:.1}s",
+                p.name,
+                configs.len(),
+                t0.elapsed().as_secs_f64()
+            );
+            benchmarks.push(BenchmarkData {
+                name: p.name.to_string(),
+                suite: p.suite,
+                metrics,
+                baseline,
+            });
+        }
 
-        Self {
+        Ok(Self {
             spec: *spec,
             configs,
             benchmarks,
-        }
+        })
     }
 
     /// Loads the dataset from `cache_dir` if a file generated with the
@@ -243,7 +299,8 @@ impl SuiteDataset {
     /// # Errors
     ///
     /// Returns any I/O or serialisation error from reading/writing the
-    /// cache (generation itself is infallible).
+    /// cache, and any sanitizer violation raised during generation
+    /// (surfaced as [`io::ErrorKind::InvalidData`]).
     pub fn load_or_generate(
         profiles: &[Profile],
         spec: &DatasetSpec,
@@ -258,7 +315,8 @@ impl SuiteDataset {
             eprintln!("[dataset] loaded cache {}", path.display());
             return Ok(ds);
         }
-        let ds = Self::generate(profiles, spec);
+        let ds = Self::try_generate(profiles, spec)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         std::fs::create_dir_all(cache_dir)?;
         let tmp = path.with_extension("json.tmp");
         std::fs::write(&tmp, dse_util::json::to_string(&ds))?;
@@ -306,6 +364,19 @@ impl SuiteDataset {
     /// Index of a benchmark by name.
     pub fn benchmark_index(&self, name: &str) -> Option<usize> {
         self.benchmarks.iter().position(|b| b.name == name)
+    }
+
+    /// Index of a benchmark that must be present.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the requested name and the available benchmarks, so a
+    /// misspelling is immediately diagnosable.
+    pub fn require_benchmark(&self, name: &str) -> usize {
+        self.benchmark_index(name).unwrap_or_else(|| {
+            let available: Vec<&str> = self.benchmarks.iter().map(|b| b.name.as_str()).collect();
+            panic!("benchmark `{name}` is not in the dataset (available: {available:?})")
+        })
     }
 
     /// Number of shared configurations.
@@ -382,6 +453,96 @@ mod tests {
         let ds = tiny_dataset();
         assert_eq!(ds.benchmark_index("gzip"), Some(0));
         assert_eq!(ds.benchmark_index("nonexistent"), None);
+    }
+
+    #[test]
+    fn require_benchmark_reports_the_misspelled_name() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.require_benchmark("gzip"), 0);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ds.require_benchmark("gzpi")
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("gzpi"), "message should name the typo: {msg}");
+        assert!(
+            msg.contains("gzip"),
+            "message should list alternatives: {msg}"
+        );
+    }
+
+    /// Writes a corrupted dataset cache file for `profiles`+`spec` at the
+    /// path `load_or_generate` will look up, by applying `mutate` to the
+    /// valid serialised JSON text.
+    fn corrupt_cache(
+        dir: &Path,
+        profiles: &[Profile],
+        spec: &DatasetSpec,
+        mutate: impl Fn(String) -> String,
+    ) {
+        let ds = SuiteDataset::generate(profiles, spec);
+        let text = mutate(dse_util::json::to_string(&ds));
+        let key = SuiteDataset::cache_key(profiles, spec);
+        std::fs::create_dir_all(dir).unwrap();
+        std::fs::write(dir.join(format!("dse-dataset-{key}.json")), text).unwrap();
+    }
+
+    fn load_corrupt_err(label: &str, mutate: impl Fn(String) -> String) -> io::Error {
+        let dir = std::env::temp_dir().join(format!("dse-dataset-corrupt-{label}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let profiles: Vec<Profile> = suites::mibench().into_iter().take(1).collect();
+        let mut spec = DatasetSpec::tiny();
+        spec.n_configs = 4;
+        corrupt_cache(&dir, &profiles, &spec, mutate);
+        let err = SuiteDataset::load_or_generate(&profiles, &spec, &dir)
+            .expect_err("corrupt cache must be rejected");
+        let _ = std::fs::remove_dir_all(&dir);
+        err
+    }
+
+    #[test]
+    fn cache_with_wrong_row_count_fails_loudly() {
+        // Drop one metrics row from the benchmark: the row count no longer
+        // matches the shared configuration sample.
+        let err = load_corrupt_err("rows", |text| {
+            let start = text.find("\"metrics\":[").expect("metrics array") + "\"metrics\":[".len();
+            // Remove the first row object `{...},`.
+            let end = text[start..].find("},").expect("first row") + start + 2;
+            format!("{}{}", &text[..start], &text[end..])
+        });
+        let msg = err.to_string();
+        assert!(msg.contains("metric rows"), "unhelpful message: {msg}");
+    }
+
+    #[test]
+    fn cache_with_non_finite_metric_fails_loudly() {
+        // Overflow a stored number to infinity: 1e999 parses as +inf in
+        // most readers; ours rejects it at the JSON layer.
+        let err = load_corrupt_err("nonfinite", |text| {
+            let pos = text.find("\"cycles\":").expect("a cycles field") + "\"cycles\":".len();
+            let end = text[pos..].find([',', '}']).expect("number terminator") + pos;
+            format!("{}1e999{}", &text[..pos], &text[end..])
+        });
+        let msg = err.to_string();
+        assert!(
+            msg.contains("overflows") || msg.contains("finite"),
+            "unhelpful message: {msg}"
+        );
+    }
+
+    #[test]
+    fn cache_with_illegal_config_value_fails_loudly() {
+        // Width 5 is not on the paper's parameter grid.
+        let err = load_corrupt_err("illegal", |text| {
+            let pos = text.find("\"width\":").expect("a width field") + "\"width\":".len();
+            let end = text[pos..].find([',', '}']).expect("number terminator") + pos;
+            format!("{}5{}", &text[..pos], &text[end..])
+        });
+        let msg = err.to_string();
+        assert!(
+            msg.contains("not a legal value") && msg.to_lowercase().contains("width"),
+            "unhelpful message: {msg}"
+        );
     }
 
     #[test]

@@ -183,8 +183,8 @@ mod tests {
         // art (trained on none of gzip/parser/crafty/gap's behaviours)
         // should be harder to express as their combination than gap is.
         let ds = dataset();
-        let art = ds.benchmark_index("art").unwrap();
-        let gap = ds.benchmark_index("gap").unwrap();
+        let art = ds.require_benchmark("art");
+        let gap = ds.require_benchmark("gap");
         let train_for = |target: usize| {
             let rows: Vec<usize> = (0..ds.benchmarks.len()).filter(|&i| i != target).collect();
             let offline =

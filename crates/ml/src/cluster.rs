@@ -278,6 +278,34 @@ mod tests {
     }
 
     #[test]
+    fn four_point_heights_match_hand_computation() {
+        // 1-D points 0, 2, 10, 17. By hand:
+        //   d(a,b)=2  d(a,c)=10  d(a,d)=17  d(b,c)=8  d(b,d)=15  d(c,d)=7
+        //   merge {a,b} at 2; then {ab}-c = (10+8)/2 = 9, {ab}-d = 16,
+        //   so merge {c,d} at 7; finally {ab}-{cd} = (10+17+8+15)/4 = 12.5.
+        let rows = vec![vec![0.0], vec![2.0], vec![10.0], vec![17.0]];
+        let d = distance_matrix(&rows);
+        let dg = Dendrogram::average_linkage(&labels(&["a", "b", "c", "d"]), &d);
+        let m = dg.merges();
+        assert_eq!(m.len(), 3);
+        assert!((m[0].height - 2.0).abs() < 1e-12);
+        assert_eq!(
+            (m[0].left, m[0].right),
+            (ClusterId::Leaf(0), ClusterId::Leaf(1))
+        );
+        assert!((m[1].height - 7.0).abs() < 1e-12);
+        assert_eq!(
+            (m[1].left, m[1].right),
+            (ClusterId::Leaf(2), ClusterId::Leaf(3))
+        );
+        assert!((m[2].height - 12.5).abs() < 1e-12);
+        assert_eq!(
+            (m[2].left, m[2].right),
+            (ClusterId::Node(0), ClusterId::Node(1))
+        );
+    }
+
+    #[test]
     fn cut_separates_clusters() {
         let rows = vec![vec![0.0], vec![1.0], vec![50.0], vec![51.0]];
         let d = distance_matrix(&rows);

@@ -203,6 +203,31 @@ mod tests {
     }
 
     #[test]
+    fn noise_free_data_is_recovered_to_ridge_precision() {
+        // Noise-free targets from known coefficients: the only error left
+        // is the always-on relative ridge (λ = 1e-4), so both the
+        // coefficients and the training predictions must be recovered to
+        // well within that bias.
+        let mut rng = Xoshiro256::seed_from(42);
+        let xs: Vec<Vec<f64>> = (0..80)
+            .map(|_| (0..4).map(|_| rng.next_f64() * 6.0 - 3.0).collect())
+            .collect();
+        let truth = [1.5, -2.25, 0.0, 4.0];
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x.iter().zip(&truth).map(|(a, b)| a * b).sum::<f64>() + 7.5)
+            .collect();
+        let m = LinearRegression::fit(&xs, &ys, true);
+        for (got, want) in m.weights().iter().zip(&truth) {
+            assert!((got - want).abs() < 5e-3, "weight {got} vs {want}");
+        }
+        assert!((m.intercept() - 7.5).abs() < 5e-3);
+        for (pred, y) in m.predict_batch(&xs).iter().zip(&ys) {
+            assert!((pred - y).abs() < 1e-2, "prediction {pred} vs {y}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         LinearRegression::fit(&[vec![1.0]], &[1.0, 2.0], false);

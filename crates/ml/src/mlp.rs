@@ -261,6 +261,29 @@ mod tests {
     }
 
     #[test]
+    fn drives_rmse_below_threshold_on_1d_nonlinear_function() {
+        // Fixed-seed 1-D regression of y = sin(2x): a smooth nonlinear
+        // target a 10-neuron tanh net must fit well. RMSE is an absolute
+        // quality bar, unlike the correlation checks above.
+        let xs: Vec<Vec<f64>> = (0..128).map(|i| vec![i as f64 / 32.0 - 2.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (2.0 * x[0]).sin()).collect();
+        let cfg = MlpConfig {
+            epochs: 1_500,
+            ..MlpConfig::default()
+        };
+        let net = Mlp::train(&xs, &ys, &cfg);
+        let preds = net.predict_batch(&xs);
+        let rmse = (preds
+            .iter()
+            .zip(&ys)
+            .map(|(p, y)| (p - y) * (p - y))
+            .sum::<f64>()
+            / ys.len() as f64)
+            .sqrt();
+        assert!(rmse < 0.1, "training RMSE {rmse} above threshold");
+    }
+
+    #[test]
     fn training_is_deterministic_per_seed() {
         let xs = grid2(64);
         let ys: Vec<f64> = xs.iter().map(|x| x[0] + x[1]).collect();

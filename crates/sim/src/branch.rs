@@ -1,5 +1,7 @@
 //! Gshare branch direction predictor and branch target buffer.
 
+use crate::check::CheckError;
+
 /// Gshare predictor: a table of 2-bit saturating counters indexed by
 /// `PC ⊕ global history`.
 ///
@@ -113,6 +115,40 @@ impl Gshare {
         self.predictions = 0;
         self.mispredictions = 0;
     }
+
+    /// Sanitizer hook: statistics and table self-consistency — counters
+    /// must be 2-bit saturating values, the history must fit its mask and
+    /// mispredictions can never exceed predictions.
+    pub fn check_invariants(&self) -> Result<(), CheckError> {
+        if self.mispredictions > self.predictions {
+            return Err(CheckError::new(
+                0,
+                "bpred-accounting",
+                format!(
+                    "mispredictions {} exceed predictions {}",
+                    self.mispredictions, self.predictions
+                ),
+            ));
+        }
+        if self.history & !self.history_mask != 0 {
+            return Err(CheckError::new(
+                0,
+                "bpred-history",
+                format!(
+                    "history {:#x} overflows mask {:#x}",
+                    self.history, self.history_mask
+                ),
+            ));
+        }
+        if let Some(&c) = self.table.iter().find(|&&c| c > 3) {
+            return Err(CheckError::new(
+                0,
+                "bpred-counter-range",
+                format!("saturating counter holds {c}, must be 0..=3"),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Direct-mapped branch target buffer with tags.
@@ -160,6 +196,24 @@ impl Btb {
         let idx = self.index(pc);
         self.tags[idx] = pc;
         self.targets[idx] = target;
+    }
+
+    /// Sanitizer hook: every valid tag must live in the slot its PC
+    /// indexes to, otherwise lookups would silently fail or alias.
+    pub fn check_invariants(&self) -> Result<(), CheckError> {
+        for (i, &tag) in self.tags.iter().enumerate() {
+            if tag != u64::MAX && self.index(tag) != i {
+                return Err(CheckError::new(
+                    0,
+                    "btb-tag-placement",
+                    format!(
+                        "pc {tag:#x} stored in slot {i}, indexes to {}",
+                        self.index(tag)
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -257,6 +311,42 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn gshare_rejects_non_power_of_two() {
         Gshare::new(1000);
+    }
+
+    #[test]
+    fn invariants_hold_after_heavy_use() {
+        let mut g = Gshare::new(256);
+        let mut b = Btb::new(64);
+        let mut rng = dse_rng::Xoshiro256::seed_from(5);
+        for _ in 0..5_000 {
+            let pc = 0x40_0000 + rng.next_range(1 << 12) * 4;
+            let taken = rng.next_bool(0.6);
+            g.update(pc, taken);
+            if taken {
+                b.update(pc, (pc + 8) as u32);
+            }
+        }
+        g.check_invariants().unwrap();
+        b.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn corrupted_predictor_state_is_caught() {
+        let mut g = Gshare::new(64);
+        g.update(0x40, true);
+        g.table[3] = 7; // not a 2-bit value
+        assert_eq!(
+            g.check_invariants().unwrap_err().invariant,
+            "bpred-counter-range"
+        );
+
+        let mut b = Btb::new(16);
+        b.update(0x400_0000, 1);
+        b.tags.swap(0, 1); // displace the entry from its indexed slot
+        assert_eq!(
+            b.check_invariants().unwrap_err().invariant,
+            "btb-tag-placement"
+        );
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Set-associative cache with true LRU replacement.
 
+use crate::check::CheckError;
+
 /// Outcome of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
@@ -128,6 +130,47 @@ impl Cache {
         self.misses
     }
 
+    /// Total hits so far (`accesses - misses`).
+    pub fn hits(&self) -> u64 {
+        self.accesses - self.misses
+    }
+
+    /// Sanitizer hook: statistics and tag-array self-consistency.
+    ///
+    /// Checks that hits + misses equals accesses (i.e. misses never exceed
+    /// accesses) and that every valid tag is stored in the set its line
+    /// index maps to — a misplaced tag would silently convert misses into
+    /// hits. `level` names the cache in the error (e.g. `"l1d"`).
+    pub fn check_invariants(&self, level: &'static str) -> Result<(), CheckError> {
+        if self.misses > self.accesses {
+            return Err(CheckError::new(
+                0,
+                "cache-accounting",
+                format!(
+                    "{level}: misses {} exceed accesses {}",
+                    self.misses, self.accesses
+                ),
+            ));
+        }
+        for (i, &tag) in self.tags.iter().enumerate() {
+            if tag == u64::MAX {
+                continue;
+            }
+            let set = (i / self.assoc) as u64;
+            if tag & self.set_mask != set {
+                return Err(CheckError::new(
+                    0,
+                    "cache-tag-placement",
+                    format!(
+                        "{level}: line {tag:#x} stored in set {set}, maps to {}",
+                        tag & self.set_mask
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Miss rate (0 when no accesses have happened).
     pub fn miss_rate(&self) -> f64 {
         if self.accesses == 0 {
@@ -234,6 +277,28 @@ mod tests {
         assert!(c.probe(0));
         assert!(!c.probe(4096));
         assert_eq!(c.accesses(), before);
+    }
+
+    #[test]
+    fn hits_complement_misses_and_invariants_hold() {
+        let mut c = Cache::new(1024, 32, 2);
+        for i in 0..100u64 {
+            c.access((i % 8) * 32);
+        }
+        assert_eq!(c.hits() + c.misses(), c.accesses());
+        c.check_invariants("test").unwrap();
+    }
+
+    #[test]
+    fn misplaced_tag_is_caught() {
+        let mut c = Cache::new(1024, 32, 2); // 16 sets
+        c.access(0);
+        // Corrupt the tag array: plant a line that belongs to set 5 in
+        // set 0.
+        c.tags[0] = 5;
+        let e = c.check_invariants("l1d").unwrap_err();
+        assert_eq!(e.invariant, "cache-tag-placement");
+        assert!(e.message.contains("l1d"));
     }
 
     #[test]

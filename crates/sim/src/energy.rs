@@ -212,6 +212,36 @@ impl EnergyCounters {
             + f(self.cycles, model.leakage_per_cycle)
     }
 
+    /// Per-structure energy breakdown in nanojoules: `(name, nJ)` for
+    /// every dynamic component plus leakage. The sanitizer reconciles the
+    /// sum of this breakdown against [`EnergyCounters::total_nj`], so the
+    /// two must enumerate exactly the same terms.
+    pub fn components_nj(&self, model: &EnergyModel) -> Vec<(&'static str, f64)> {
+        let f = |count: u64, e: f64| count as f64 * e;
+        vec![
+            ("fetch-decode", f(self.fetched, model.fetch_decode)),
+            ("icache", f(self.icache_accesses, model.icache)),
+            ("dcache", f(self.dcache_accesses, model.dcache)),
+            ("l2", f(self.l2_accesses, model.l2)),
+            ("memory", f(self.memory_accesses, model.memory)),
+            ("bpred", f(self.bpred_accesses, model.bpred)),
+            ("btb", f(self.btb_accesses, model.btb)),
+            ("rename", f(self.renamed, model.rename)),
+            ("rob-write", f(self.rob_writes, model.rob_write)),
+            ("rob-read", f(self.rob_reads, model.rob_read)),
+            ("iq-insert", f(self.iq_inserts, model.iq_insert)),
+            ("iq-wakeup", f(self.iq_wakeups, model.iq_wakeup)),
+            ("lsq-search", f(self.lsq_searches, model.lsq_search)),
+            ("rf-read", f(self.rf_reads, model.rf_read)),
+            ("rf-write", f(self.rf_writes, model.rf_write)),
+            ("fu-int-alu", f(self.fu_ops[0], model.fu[0])),
+            ("fu-int-muldiv", f(self.fu_ops[1], model.fu[1])),
+            ("fu-fp-alu", f(self.fu_ops[2], model.fu[2])),
+            ("fu-fp-muldiv", f(self.fu_ops[3], model.fu[3])),
+            ("leakage", f(self.cycles, model.leakage_per_cycle)),
+        ]
+    }
+
     /// Element-wise difference (`self - earlier`), used to subtract the
     /// warm-up phase.
     ///
@@ -347,5 +377,35 @@ mod tests {
     fn empty_counters_cost_nothing() {
         let m = model(&Config::baseline());
         assert_eq!(EnergyCounters::default().total_nj(&m), 0.0);
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        let m = model(&Config::baseline());
+        let c = EnergyCounters {
+            fetched: 1000,
+            icache_accesses: 400,
+            dcache_accesses: 300,
+            l2_accesses: 50,
+            memory_accesses: 10,
+            bpred_accesses: 150,
+            btb_accesses: 150,
+            renamed: 1000,
+            rob_writes: 1800,
+            rob_reads: 1000,
+            iq_inserts: 1000,
+            iq_wakeups: 1000,
+            lsq_searches: 300,
+            rf_reads: 1500,
+            rf_writes: 800,
+            fu_ops: [700, 50, 150, 100],
+            cycles: 900,
+        };
+        let sum: f64 = c.components_nj(&m).iter().map(|&(_, e)| e).sum();
+        let total = c.total_nj(&m);
+        assert!(
+            (sum - total).abs() <= 1e-9 * total,
+            "sum {sum} total {total}"
+        );
     }
 }

@@ -8,7 +8,12 @@
 //!   resources map one-to-one onto the 13 design-space parameters;
 //! * [`cache`] / [`branch`] — set-associative caches, gshare + BTB;
 //! * [`timing`] — Cacti-like structure latency/energy scaling;
-//! * [`energy`] — Wattch-style event-based energy accounting.
+//! * [`energy`] — Wattch-style event-based energy accounting;
+//! * [`check`] — invariant sanitizer (`ARCHDSE_SANITIZE=1`, always on in
+//!   debug builds) that validates occupancy, port, accounting and energy
+//!   invariants during and after every run;
+//! * [`oracle`] — an independent in-order reference model producing exact
+//!   event counts and cycle/energy bounds for differential testing.
 //!
 //! The entry point is [`simulate`], which runs one benchmark trace on one
 //! configuration and returns the paper's four target metrics normalised to
@@ -23,7 +28,7 @@
 //!
 //! let profile = Profile::template("demo", Suite::SpecCpu2000, 1);
 //! let trace = TraceGenerator::new(&profile).generate(12_000);
-//! let m = simulate(&Config::baseline(), &trace, SimOptions { warmup: 2_000 });
+//! let m = simulate(&Config::baseline(), &trace, SimOptions::with_warmup(2_000));
 //! assert!(m.cycles > 0.0 && m.energy > 0.0);
 //! assert!((m.ed - m.cycles * m.energy).abs() < 1e-3 * m.ed);
 //! ```
@@ -32,11 +37,14 @@
 
 pub mod branch;
 pub mod cache;
+pub mod check;
 pub mod energy;
+pub mod oracle;
 pub mod pipeline;
 pub mod timing;
 
-pub use pipeline::{Pipeline, SimOptions, SimResult};
+pub use check::CheckError;
+pub use pipeline::{Pipeline, RunRecord, SimOptions, SimResult};
 
 use dse_space::{Config, ConstantParams};
 use dse_util::json::{FromJson, Json, JsonError, ToJson};
@@ -215,6 +223,18 @@ pub fn simulate(cfg: &Config, trace: &Trace, options: SimOptions) -> Metrics {
     Metrics::from_result(&result)
 }
 
+/// Like [`simulate`], but returns a sanitizer violation as an error
+/// instead of panicking — the form dataset generation uses so a violation
+/// inside a parallel sweep surfaces as a proper error.
+pub fn try_simulate(
+    cfg: &Config,
+    trace: &Trace,
+    options: SimOptions,
+) -> Result<Metrics, CheckError> {
+    let result = Pipeline::new(cfg, &ConstantParams::standard(), trace, options).try_run()?;
+    Ok(Metrics::from_result(&result))
+}
+
 /// Simulates and returns both the raw result and the normalised metrics.
 pub fn simulate_detailed(cfg: &Config, trace: &Trace, options: SimOptions) -> (SimResult, Metrics) {
     let result = Pipeline::new(cfg, &ConstantParams::standard(), trace, options).run();
@@ -235,7 +255,7 @@ mod tests {
     #[test]
     fn metrics_are_consistent_products() {
         let t = demo_trace(10_000);
-        let m = simulate(&Config::baseline(), &t, SimOptions { warmup: 2_000 });
+        let m = simulate(&Config::baseline(), &t, SimOptions::with_warmup(2_000));
         assert!((m.ed - m.cycles * m.energy).abs() <= 1e-9 * m.ed);
         assert!((m.edd - m.ed * m.cycles).abs() <= 1e-9 * m.edd);
     }
@@ -243,7 +263,7 @@ mod tests {
     #[test]
     fn phase_normalisation_scales_to_ten_million() {
         let t = demo_trace(10_000);
-        let (r, m) = simulate_detailed(&Config::baseline(), &t, SimOptions { warmup: 2_000 });
+        let (r, m) = simulate_detailed(&Config::baseline(), &t, SimOptions::with_warmup(2_000));
         let expect = r.cycles as f64 * PHASE_INSTRUCTIONS / r.instructions as f64;
         assert!((m.cycles - expect).abs() < 1e-6);
         // A plausible CPI leaves phase cycles within [2e6, 1e10].
@@ -273,7 +293,7 @@ mod tests {
     #[test]
     fn different_configs_give_different_metrics() {
         let t = demo_trace(10_000);
-        let base = simulate(&Config::baseline(), &t, SimOptions { warmup: 2_000 });
+        let base = simulate(&Config::baseline(), &t, SimOptions::with_warmup(2_000));
         let tiny = Config {
             width: 2,
             rob: 32,
@@ -290,7 +310,7 @@ mod tests {
             l2_kb: 256,
         };
         assert!(tiny.is_legal());
-        let small = simulate(&tiny, &t, SimOptions { warmup: 2_000 });
+        let small = simulate(&tiny, &t, SimOptions::with_warmup(2_000));
         assert!(small.cycles > base.cycles, "small machine must be slower");
     }
 }

@@ -22,6 +22,7 @@
 
 use crate::branch::{Btb, Gshare};
 use crate::cache::{Cache, CacheOutcome};
+use crate::check::{self, Bounds, CheckError, InvariantChecker, Occupancy};
 use crate::energy::{EnergyCounters, EnergyModel};
 use crate::timing::{MemorySpec, SramSpec};
 use dse_space::{Config, ConstantParams};
@@ -44,11 +45,26 @@ pub struct SimOptions {
     /// metrics (the paper warms for 10 M instructions before each
     /// SimPoint interval).
     pub warmup: usize,
+    /// Force the invariant sanitizer on for this run, regardless of build
+    /// type. When `false` the process-wide default applies
+    /// ([`check::sanitize_default`]: `ARCHDSE_SANITIZE=1`/`=0` override,
+    /// otherwise on in debug builds and off in release builds).
+    pub sanitize: bool,
+}
+
+impl SimOptions {
+    /// Options with the given warm-up and the default sanitizer policy.
+    pub const fn with_warmup(warmup: usize) -> Self {
+        Self {
+            warmup,
+            sanitize: false,
+        }
+    }
 }
 
 impl Default for SimOptions {
     fn default() -> Self {
-        Self { warmup: 5_000 }
+        Self::with_warmup(5_000)
     }
 }
 
@@ -72,6 +88,19 @@ pub struct SimResult {
     pub l2_miss_rate: f64,
     /// Branch direction misprediction rate.
     pub bpred_miss_rate: f64,
+}
+
+/// A [`SimResult`] together with the measured event counters and the
+/// energy model that priced them — everything a differential test needs to
+/// reconcile the run against an independent reference.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The measured-phase result.
+    pub result: SimResult,
+    /// Event counters for the measured (post-warm-up) portion.
+    pub counters: EnergyCounters,
+    /// The per-event energy model used to price the counters.
+    pub model: EnergyModel,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -138,6 +167,13 @@ pub struct Pipeline<'t> {
     scan_dirty: bool,
     /// Sorted queue of scheduled completion times not yet reached.
     wake: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
+
+    /// Invariant sanitizer; `None` when disabled, so the per-hook cost of
+    /// a non-sanitized run is one skipped `Option` branch.
+    checker: Option<InvariantChecker>,
+    /// First invariant violation raised from a hook that cannot return a
+    /// `Result` directly; drained once per cycle by the run loop.
+    check_fail: Option<CheckError>,
 }
 
 impl<'t> Pipeline<'t> {
@@ -159,6 +195,23 @@ impl<'t> Pipeline<'t> {
         let fu_cfg = cfg.functional_units();
         let l1d_spec = SramSpec::ram(cfg.dcache_kb as u64 * 1024);
         let l2_spec = SramSpec::ram(cfg.l2_kb as u64 * 1024);
+        let sanitize = options.sanitize || check::sanitize_default();
+        // Validate the derived timing/energy specs up front; a failure is
+        // reported from the first simulated cycle.
+        let check_fail = if sanitize {
+            [
+                ("l1d", l1d_spec.validate()),
+                ("l2", l2_spec.validate()),
+                ("memory", MemorySpec::standard().validate()),
+            ]
+            .into_iter()
+            .find_map(|(name, r)| {
+                r.err()
+                    .map(|m| CheckError::new(0, "timing-spec", format!("{name}: {m}")))
+            })
+        } else {
+            None
+        };
         Self {
             cfg: *cfg,
             cons: *cons,
@@ -208,6 +261,34 @@ impl<'t> Pipeline<'t> {
             structural_block: false,
             scan_dirty: true,
             wake: std::collections::BinaryHeap::new(),
+            checker: sanitize.then(InvariantChecker::new),
+            check_fail,
+        }
+    }
+
+    /// Capacity bounds the occupancy checks enforce.
+    fn bounds(&self) -> Bounds {
+        Bounds {
+            rob: self.cfg.rob as usize,
+            iq: self.cfg.iq as usize,
+            lsq: self.cfg.lsq,
+            phys: self.rename_regs,
+            fetch_q: FETCH_QUEUE_WIDTHS * self.cfg.width as usize,
+            branches: self.cfg.max_branches as usize,
+        }
+    }
+
+    /// Current occupancy snapshot for the sanitizer.
+    fn occupancy(&self) -> Occupancy {
+        Occupancy {
+            rob: self.rob.len(),
+            iq: self.iq.len(),
+            lsq: self.lsq_occ,
+            phys: self.phys_used,
+            fetch_q: self.fetch_q.len(),
+            branches: self.unresolved.len(),
+            fetched: self.next_fetch,
+            committed: self.committed,
         }
     }
 
@@ -216,8 +297,30 @@ impl<'t> Pipeline<'t> {
     /// # Panics
     ///
     /// Panics if the machine stops making progress (a simulator bug, not a
-    /// reachable state for legal configurations).
-    pub fn run(mut self) -> SimResult {
+    /// reachable state for legal configurations), or — when the sanitizer
+    /// is enabled — if an invariant is violated. Use [`Pipeline::try_run`]
+    /// to handle violations as errors instead.
+    pub fn run(self) -> SimResult {
+        match self.try_run() {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the trace to completion, returning the first invariant
+    /// violation as an error instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on deadlock (no forward progress for 2 M cycles).
+    pub fn try_run(self) -> Result<SimResult, CheckError> {
+        self.try_run_full().map(|rec| rec.result)
+    }
+
+    /// Like [`Pipeline::try_run`], but additionally returns the measured
+    /// event counters and the energy model so callers can reconcile the
+    /// run against an independent reference (see [`crate::oracle`]).
+    pub fn try_run_full(mut self) -> Result<RunRecord, CheckError> {
         let warmup = self.options.warmup;
         let mut warm_counters: Option<EnergyCounters> = None;
         let mut warm_cycle = 0u64;
@@ -245,11 +348,24 @@ impl<'t> Pipeline<'t> {
             self.dispatch();
             self.fetch();
 
+            if self.checker.is_some() {
+                if let Some(e) = self.check_fail.take() {
+                    return Err(e);
+                }
+                if let Some(chk) = self.checker.as_ref() {
+                    chk.on_cycle(&self.occupancy(), &self.bounds(), self.cycle)?;
+                }
+            }
+
             if warm_counters.is_none() && self.committed >= warmup {
                 warm_counters = Some(self.counters);
                 warm_cycle = self.cycle;
                 warm_rates = Some(self.rates_snapshot());
             }
+        }
+
+        if let Some(chk) = self.checker.take() {
+            self.final_checks(&chk)?;
         }
 
         let warm_counters = warm_counters.unwrap_or_default();
@@ -272,7 +388,7 @@ impl<'t> Pipeline<'t> {
                 (miss - w_miss) as f64 / a as f64
             }
         };
-        SimResult {
+        let result = SimResult {
             instructions,
             cycles,
             energy_nj,
@@ -296,7 +412,61 @@ impl<'t> Pipeline<'t> {
                 w.bp.0,
                 w.bp.1,
             ),
-        }
+        };
+        Ok(RunRecord {
+            result,
+            counters: measured,
+            model: self.energy_model.clone(),
+        })
+    }
+
+    /// End-of-run reconciliation: the pipeline's event counters, the
+    /// caches'/predictor's own statistics, and the energy breakdown must
+    /// all agree. Uses the *full-run* counters, before any warm-up
+    /// subtraction, so the comparison is exact.
+    fn final_checks(&self, chk: &InvariantChecker) -> Result<(), CheckError> {
+        let n = self.trace.len() as u64;
+        chk.on_finish(self.trace.len())?;
+
+        // Per-structure self-consistency.
+        self.icache.check_invariants("l1i")?;
+        self.dcache.check_invariants("l1d")?;
+        self.l2.check_invariants("l2")?;
+        self.gshare.check_invariants()?;
+        self.btb.check_invariants()?;
+
+        // Pipeline event counters vs the structures' own statistics.
+        let c = &self.counters;
+        check::reconcile("icache-accesses", c.icache_accesses, self.icache.accesses())?;
+        check::reconcile("dcache-accesses", c.dcache_accesses, self.dcache.accesses())?;
+        check::reconcile("l2-accesses", c.l2_accesses, self.l2.accesses())?;
+        check::reconcile(
+            "l1-misses-feed-l2",
+            self.l2.accesses(),
+            self.icache.misses() + self.dcache.misses(),
+        )?;
+        check::reconcile("l2-misses-feed-memory", c.memory_accesses, self.l2.misses())?;
+        check::reconcile(
+            "bpred-accesses",
+            c.bpred_accesses,
+            self.gshare.predictions(),
+        )?;
+
+        // Every trace instruction flows through each stage exactly once.
+        check::reconcile("fetched-count", c.fetched, n)?;
+        check::reconcile("renamed-count", c.renamed, n)?;
+        check::reconcile("issued-count", c.iq_wakeups, n)?;
+        check::reconcile("iq-insert-count", c.iq_inserts, n)?;
+        check::reconcile("commit-count", c.rob_reads, n)?;
+        check::reconcile("fu-op-count", c.fu_ops.iter().sum(), n)?;
+        // ROB is written at dispatch and again at writeback of every
+        // result-producing instruction.
+        check::reconcile("rob-writes", c.rob_writes, c.renamed + c.rf_writes)?;
+
+        // Energy: the per-structure breakdown must sum to the total and
+        // every component must be finite and non-negative.
+        check::check_energy(c, &self.energy_model)?;
+        Ok(())
     }
 
     fn rates_snapshot(&self) -> MissRateSnapshot {
@@ -319,6 +489,14 @@ impl<'t> Pipeline<'t> {
                 break;
             }
             self.rob.pop_front();
+            if self.checker.is_some() {
+                let (complete, cycle) = (self.complete[idx], self.cycle);
+                if let Some(chk) = self.checker.as_mut() {
+                    if let Err(e) = chk.on_commit(idx, complete, cycle) {
+                        self.check_fail.get_or_insert(e);
+                    }
+                }
+            }
             let ins = &self.trace[idx];
             if ins.kind.is_mem() {
                 self.lsq_occ -= 1;
@@ -422,6 +600,18 @@ impl<'t> Pipeline<'t> {
                 self.structural_block = true; // width-limited: retry next cycle
             }
         }
+
+        if let Some(chk) = self.checker.as_ref() {
+            if let Err(e) = chk.on_issue(
+                reads_used,
+                self.cfg.rf_read,
+                mem_ports_used,
+                self.cons.mem_ports,
+                self.cycle,
+            ) {
+                self.check_fail.get_or_insert(e);
+            }
+        }
     }
 
     /// Returns `(result_ready_cycle, fu_busy_until)` for an instruction
@@ -494,6 +684,11 @@ impl<'t> Pipeline<'t> {
             }
             if slot.1 < ports {
                 slot.1 += 1;
+                if let Some(chk) = self.checker.as_ref() {
+                    if let Err(e) = chk.on_writeback_grant(slot.1, ports, t) {
+                        self.check_fail.get_or_insert(e);
+                    }
+                }
                 return t;
             }
             t += 1;
@@ -663,9 +858,7 @@ mod tests {
             cfg,
             &ConstantParams::standard(),
             trace,
-            SimOptions {
-                warmup: trace.len() / 4,
-            },
+            SimOptions::with_warmup(trace.len() / 4),
         )
         .run()
     }
@@ -838,7 +1031,7 @@ mod tests {
         // Same warm-up on both runs, so the measured (steady-state) energy
         // must scale with the measured instruction count.
         let mk = |n: u32| mk_trace((0..n).map(|i| alu(0x40_0000 + (i % 128) * 4)).collect());
-        let opts = SimOptions { warmup: 500 };
+        let opts = SimOptions::with_warmup(500);
         let cons = ConstantParams::standard();
         let short = Pipeline::new(&Config::baseline(), &cons, &mk(1500), opts).run();
         let long = Pipeline::new(&Config::baseline(), &cons, &mk(4000), opts).run();
@@ -859,7 +1052,7 @@ mod tests {
             &Config::baseline(),
             &ConstantParams::standard(),
             &trace,
-            SimOptions { warmup: 1000 },
+            SimOptions::with_warmup(1000),
         )
         .run();
         assert_eq!(r.instructions, 2000);
@@ -873,7 +1066,7 @@ mod tests {
             &Config::baseline(),
             &ConstantParams::standard(),
             &trace,
-            SimOptions { warmup: 10 },
+            SimOptions::with_warmup(10),
         );
     }
 

@@ -57,6 +57,27 @@ impl SramSpec {
         4.0e-5 * (self.bytes as f64 / 1024.0) * ports.powf(0.3)
     }
 
+    /// Sanitizer hook: the derived timing/energy figures must be sane —
+    /// finite, non-negative energies and a non-zero access latency.
+    pub fn validate(&self) -> Result<(), String> {
+        let e = self.access_energy_nj();
+        let l = self.leakage_nj_per_cycle();
+        if !(e.is_finite() && e > 0.0) {
+            return Err(format!(
+                "access energy {e} nJ is not a positive finite value"
+            ));
+        }
+        if !(l.is_finite() && l >= 0.0) {
+            return Err(format!(
+                "leakage {l} nJ/cycle is not finite and non-negative"
+            ));
+        }
+        if self.latency_cycles() == 0 {
+            return Err("zero-cycle SRAM access latency".to_string());
+        }
+        Ok(())
+    }
+
     /// Access latency in cycles at the fixed design frequency.
     pub fn latency_cycles(&self) -> u32 {
         let kb = self.bytes as f64 / 1024.0;
@@ -99,6 +120,26 @@ impl MemorySpec {
             occupancy: 16,
             energy_nj: 20.0,
         }
+    }
+}
+
+impl MemorySpec {
+    /// Sanitizer hook: latency/occupancy/energy must be positive and
+    /// finite for the bandwidth model to make sense.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.latency == 0 || self.occupancy == 0 {
+            return Err(format!(
+                "memory latency {} / occupancy {} must be non-zero",
+                self.latency, self.occupancy
+            ));
+        }
+        if !(self.energy_nj.is_finite() && self.energy_nj > 0.0) {
+            return Err(format!(
+                "memory energy {} nJ is not a positive finite value",
+                self.energy_nj
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -178,5 +219,29 @@ mod tests {
         let mem = MemorySpec::standard();
         let l2 = SramSpec::ram(4 * 1024 * 1024).access_energy_nj();
         assert!(mem.energy_nj > 3.0 * l2);
+    }
+
+    #[test]
+    fn standard_specs_validate() {
+        MemorySpec::standard().validate().unwrap();
+        for kb in [8u64, 64, 512, 4096] {
+            SramSpec::ram(kb * 1024).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn degenerate_specs_fail_validation() {
+        assert!(MemorySpec {
+            latency: 0,
+            ..MemorySpec::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(MemorySpec {
+            energy_nj: f64::NAN,
+            ..MemorySpec::standard()
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -71,9 +71,7 @@ fn main() {
     // Verify in the real simulator (these 2 runs are the only extra cost).
     let profile = profiles.last().unwrap();
     let trace = TraceGenerator::new(profile).generate(spec.trace_len);
-    let opts = SimOptions {
-        warmup: spec.warmup,
-    };
+    let opts = SimOptions::with_warmup(spec.warmup);
     let before = simulate(&Config::baseline(), &trace, opts);
     let after = simulate(&current, &trace, opts);
     println!("\n                 baseline        found");

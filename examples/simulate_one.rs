@@ -12,7 +12,7 @@ fn main() {
         .find(|p| p.name == "gcc")
         .unwrap();
     let trace = TraceGenerator::new(&profile).generate(60_000);
-    let opts = SimOptions { warmup: 15_000 };
+    let opts = SimOptions::with_warmup(15_000);
 
     let big = Config {
         width: 8,

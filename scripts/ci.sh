@@ -14,4 +14,15 @@ cargo build --release --offline
 echo "== cargo test -q --offline =="
 cargo test -q --offline
 
+# The default test pass already sanitizes (debug builds default the
+# sanitizer on), but run once with the flag forced so the env-var path
+# itself can't bit-rot.
+echo "== ARCHDSE_SANITIZE=1 cargo test -q --offline =="
+ARCHDSE_SANITIZE=1 cargo test -q --offline
+
+# Smoke-run the bench harness (release, sanitizer off) so it keeps
+# compiling and running; DSE_QUICK trims it to a few seconds.
+echo "== DSE_QUICK=1 bench_sim smoke =="
+DSE_QUICK=1 cargo run --release --offline -q -p dse-bench --bin bench_sim
+
 echo "tier-1 gate passed"

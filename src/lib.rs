@@ -34,7 +34,7 @@
 //!     .find(|p| p.name == "gzip")
 //!     .unwrap();
 //! let trace = TraceGenerator::new(&profile).generate(12_000);
-//! let metrics = simulate(&Config::baseline(), &trace, SimOptions { warmup: 2_000 });
+//! let metrics = simulate(&Config::baseline(), &trace, SimOptions::with_warmup(2_000));
 //! assert!(metrics.cycles > 0.0);
 //! ```
 //!

@@ -107,7 +107,7 @@ fn find_profile(name: &str) -> Result<Profile, String> {
 
 fn cmd_simulate(args: &[String]) -> i32 {
     let Some(bench) = args.first() else {
-        eprintln!("usage: archdse simulate <benchmark> [key=value ...]");
+        eprintln!("usage: archdse simulate <benchmark> [--sanitize] [key=value ...]");
         return 2;
     };
     let profile = match find_profile(bench) {
@@ -117,7 +117,13 @@ fn cmd_simulate(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let cfg = match parse_config(&args[1..]) {
+    let sanitize = args[1..].iter().any(|a| a == "--sanitize");
+    let overrides: Vec<String> = args[1..]
+        .iter()
+        .filter(|a| *a != "--sanitize")
+        .cloned()
+        .collect();
+    let cfg = match parse_config(&overrides) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
@@ -125,7 +131,24 @@ fn cmd_simulate(args: &[String]) -> i32 {
         }
     };
     let trace = TraceGenerator::new(&profile).generate(60_000);
-    let (r, m) = archdse::sim::simulate_detailed(&cfg, &trace, SimOptions { warmup: 15_000 });
+    let options = SimOptions {
+        sanitize,
+        ..SimOptions::with_warmup(15_000)
+    };
+    let pipeline = archdse::sim::Pipeline::new(
+        &cfg,
+        &dse_space::ConstantParams::standard(),
+        &trace,
+        options,
+    );
+    let r = match pipeline.try_run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let m = archdse::sim::Metrics::from_result(&r);
     println!("benchmark : {bench}");
     println!("config    : {cfg}");
     println!("IPC       : {:.3}", r.ipc);

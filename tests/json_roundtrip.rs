@@ -21,7 +21,7 @@ fn config_round_trips_across_the_space() {
 fn metrics_round_trip_bit_exactly() {
     let profile = Profile::template("json", Suite::SpecCpu2000, 3);
     let trace = TraceGenerator::new(&profile).generate(8_000);
-    let m = simulate(&Config::baseline(), &trace, SimOptions { warmup: 1_000 });
+    let m = simulate(&Config::baseline(), &trace, SimOptions::with_warmup(1_000));
     let back: Metrics = json::from_str(&json::to_string(&m)).unwrap();
     // Bit-exact: the shortest round-trip float formatting loses nothing.
     assert_eq!(back.cycles.to_bits(), m.cycles.to_bits());
@@ -101,7 +101,7 @@ fn dataset_with_inconsistent_rows_is_rejected() {
 fn benchmark_data_round_trips() {
     let profile = Profile::template("bd", Suite::SpecCpu2000, 7);
     let trace = TraceGenerator::new(&profile).generate(6_000);
-    let m = simulate(&Config::baseline(), &trace, SimOptions { warmup: 1_000 });
+    let m = simulate(&Config::baseline(), &trace, SimOptions::with_warmup(1_000));
     let bd = BenchmarkData {
         name: "bd".to_string(),
         suite: Suite::SpecCpu2000,

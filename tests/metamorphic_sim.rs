@@ -1,0 +1,166 @@
+//! Metamorphic tests: relations between *pairs* of simulator runs that
+//! must hold regardless of the absolute numbers.
+//!
+//! Each test perturbs one input along an axis with a known directional
+//! effect and checks the outputs move the right way (or stay put):
+//!
+//! * longer trace, same program → phase-normalised metrics stable;
+//! * larger L2, everything else fixed → never more L2 misses;
+//! * wider machine, dependency-free work → never more cycles;
+//! * doubled leakage → strictly more energy.
+
+use archdse::prelude::*;
+use dse_sim::{simulate, Pipeline, SimOptions};
+use dse_space::ConstantParams;
+use dse_workload::{Instr, InstrKind, Trace};
+
+/// Phase-normalised metrics are length-invariant: doubling the measured
+/// trace of the same statistical program leaves cycles/energy per
+/// 10 M-instruction phase within a modest tolerance (the generator is a
+/// stationary process, so longer samples only tighten the estimate).
+#[test]
+fn trace_length_scaling_preserves_normalised_metrics() {
+    let profile = archdse::workload::suites::all_benchmarks()
+        .into_iter()
+        .find(|p| p.name == "gzip")
+        .unwrap();
+    let generate = |len: usize| TraceGenerator::new(&profile).generate(len);
+    let options = SimOptions::with_warmup(5_000);
+    let short = simulate(&Config::baseline(), &generate(20_000), options);
+    let long = simulate(&Config::baseline(), &generate(40_000), options);
+
+    let rel = |a: f64, b: f64| (a - b).abs() / b.abs();
+    assert!(
+        rel(short.cycles, long.cycles) < 0.15,
+        "normalised cycles drifted with trace length: {} vs {}",
+        short.cycles,
+        long.cycles
+    );
+    assert!(
+        rel(short.energy, long.energy) < 0.15,
+        "normalised energy drifted with trace length: {} vs {}",
+        short.energy,
+        long.energy
+    );
+}
+
+/// Enlarging only the L2 (same line size, same associativity policy, same
+/// L1s, same access stream) can only retain or evict-later lines: the
+/// number of L2 misses — equivalently main-memory accesses, which the
+/// sanitizer pins to L2 misses — must never increase.
+#[test]
+fn enlarging_l2_never_increases_l2_misses() {
+    let cons = ConstantParams::standard();
+    let profile = archdse::workload::suites::all_benchmarks()
+        .into_iter()
+        .find(|p| p.name == "gcc")
+        .unwrap();
+    let trace = TraceGenerator::new(&profile).generate(30_000);
+    let options = SimOptions {
+        warmup: 0,
+        sanitize: true,
+    };
+
+    let mut last_misses = u64::MAX;
+    for l2_kb in [512, 1024, 2048, 4096] {
+        let cfg = Config {
+            l2_kb,
+            ..Config::baseline()
+        };
+        assert!(cfg.is_legal());
+        let rec = Pipeline::new(&cfg, &cons, &trace, options)
+            .try_run_full()
+            .unwrap();
+        let misses = rec.counters.memory_accesses;
+        assert!(
+            misses <= last_misses,
+            "L2 {l2_kb} KB has {misses} misses, smaller L2 had {last_misses}"
+        );
+        last_misses = misses;
+    }
+}
+
+/// On a dependency-free all-ALU trace the only limit is machine
+/// bandwidth, so widening the machine (with ports scaled to match) must
+/// never cost cycles.
+#[test]
+fn widening_machine_never_increases_cycles_on_free_trace() {
+    let cons = ConstantParams::standard();
+    let instrs: Vec<Instr> = (0..4_000u32)
+        .map(|i| Instr {
+            kind: InstrKind::IntAlu,
+            src1: 0,
+            src2: 0,
+            pc: 0x40_0000 + (i % 64) * 4,
+            addr: 0,
+            taken: false,
+            target: 0,
+        })
+        .collect();
+    let trace = Trace {
+        name: "free".to_string(),
+        instrs,
+    };
+    let options = SimOptions {
+        warmup: 0,
+        sanitize: true,
+    };
+
+    let mut last_cycles = u64::MAX;
+    for width in [2u32, 4, 8] {
+        let cfg = Config {
+            width,
+            rf_read: 2 * width,
+            rf_write: width,
+            ..Config::baseline()
+        };
+        assert!(cfg.is_legal());
+        let rec = Pipeline::new(&cfg, &cons, &trace, options)
+            .try_run_full()
+            .unwrap();
+        assert!(
+            rec.result.cycles <= last_cycles,
+            "width {width} takes {} cycles, narrower machine took {last_cycles}",
+            rec.result.cycles
+        );
+        last_cycles = rec.result.cycles;
+    }
+}
+
+/// Energy is affine in the leakage coefficient with slope `cycles > 0`:
+/// doubling per-cycle leakage and repricing the same event counters must
+/// strictly increase total energy, by exactly `cycles × leakage`.
+#[test]
+fn doubling_leakage_strictly_increases_energy() {
+    let cons = ConstantParams::standard();
+    let profile = archdse::workload::suites::all_benchmarks()
+        .into_iter()
+        .find(|p| p.name == "sha")
+        .unwrap();
+    let trace = TraceGenerator::new(&profile).generate(20_000);
+    let rec = Pipeline::new(
+        &Config::baseline(),
+        &cons,
+        &trace,
+        SimOptions {
+            warmup: 0,
+            sanitize: true,
+        },
+    )
+    .try_run_full()
+    .unwrap();
+
+    let base = rec.counters.total_nj(&rec.model);
+    let mut leaky = rec.model.clone();
+    leaky.leakage_per_cycle *= 2.0;
+    let doubled = rec.counters.total_nj(&leaky);
+    assert!(
+        doubled > base,
+        "doubled leakage did not increase energy: {doubled} vs {base}"
+    );
+    let expect = base + rec.counters.cycles as f64 * rec.model.leakage_per_cycle;
+    assert!(
+        (doubled - expect).abs() <= 1e-9 * expect,
+        "leakage must enter energy affinely: {doubled} vs {expect}"
+    );
+}

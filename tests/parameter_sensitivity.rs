@@ -41,7 +41,7 @@ fn every_parameter_moves_the_metrics() {
             TraceGenerator::new(&p).generate(40_000)
         })
         .collect();
-    let opts = SimOptions { warmup: 10_000 };
+    let opts = SimOptions::with_warmup(10_000);
     let base = pivot();
 
     for param in Param::ALL {
@@ -86,7 +86,7 @@ fn register_file_is_a_first_order_performance_parameter() {
         .find(|p| p.name == "sixtrack")
         .unwrap();
     let trace = TraceGenerator::new(&p).generate(40_000);
-    let opts = SimOptions { warmup: 10_000 };
+    let opts = SimOptions::with_warmup(10_000);
     let starved = simulate(&pivot().with_param(Param::Rf, 40), &trace, opts);
     let ample = simulate(&pivot().with_param(Param::Rf, 160), &trace, opts);
     assert!(

@@ -30,7 +30,7 @@ fn prop_ipc_bounded_by_width_and_metrics_finite() {
         let cfg = sampled_config(seed);
         let profile = Profile::template("prop", Suite::SpecCpu2000, seed ^ 0xABCD);
         let trace = TraceGenerator::new(&profile).generate(6_000);
-        let (r, m) = archdse::sim::simulate_detailed(&cfg, &trace, SimOptions { warmup: 1_000 });
+        let (r, m) = archdse::sim::simulate_detailed(&cfg, &trace, SimOptions::with_warmup(1_000));
         assert!(r.ipc <= cfg.width as f64 + 1e-9, "seed {seed}: {cfg}");
         assert!(r.ipc > 0.0, "seed {seed}");
         assert!(m.cycles.is_finite() && m.cycles > 0.0, "seed {seed}");
@@ -55,8 +55,8 @@ fn prop_simulation_deterministic() {
         let cfg = sampled_config(seed);
         let profile = Profile::template("det", Suite::MiBench, seed);
         let trace = TraceGenerator::new(&profile).generate(4_000);
-        let a = simulate(&cfg, &trace, SimOptions { warmup: 500 });
-        let b = simulate(&cfg, &trace, SimOptions { warmup: 500 });
+        let a = simulate(&cfg, &trace, SimOptions::with_warmup(500));
+        let b = simulate(&cfg, &trace, SimOptions::with_warmup(500));
         assert_eq!(a, b, "seed {seed}: {cfg}");
     }
 }

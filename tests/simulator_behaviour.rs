@@ -11,7 +11,7 @@ fn trace_for(name: &str, len: usize) -> Trace {
     TraceGenerator::new(&p).generate(len)
 }
 
-const OPTS: SimOptions = SimOptions { warmup: 10_000 };
+const OPTS: SimOptions = SimOptions::with_warmup(10_000);
 
 #[test]
 fn bigger_dcache_cuts_miss_rate() {
