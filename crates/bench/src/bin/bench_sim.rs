@@ -1,22 +1,38 @@
 //! Performance bench: simulator throughput on representative workloads.
+//!
+//! Prints one line per row and records sims/sec and simulated cycles/sec.
+//! Set `DSE_BENCH_JSON=<path>` to also write the machine-readable report
+//! (this is how `BENCH_sim.json` is produced), and
+//! `DSE_BENCH_BASELINE=<path>` to compare against a committed report and
+//! exit non-zero on a >25 % median regression (the `scripts/ci.sh` gate).
 
-use dse_bench::harness::{bench, black_box, iters_for};
-use dse_sim::{simulate, SimOptions};
+use dse_bench::harness::{black_box, iters_for, Report};
+use dse_sim::{simulate, simulate_detailed, SimOptions};
 use dse_space::Config;
 use dse_workload::{suites, TraceGenerator};
 
 fn main() {
     let iters = iters_for(15, 3);
     let opts = SimOptions::with_warmup(2_000);
+    let mut report = Report::new();
     for name in ["gzip", "art", "sha"] {
         let profile = suites::all_benchmarks()
             .into_iter()
             .find(|p| p.name == name)
             .unwrap();
         let trace = TraceGenerator::new(&profile).generate(20_000);
-        bench(&format!("simulator/baseline/{name}/20k"), 2, iters, || {
-            black_box(simulate(black_box(&Config::baseline()), &trace, opts));
-        });
+        let cycles = simulate_detailed(&Config::baseline(), &trace, opts)
+            .0
+            .cycles;
+        report.bench(
+            &format!("simulator/baseline/{name}/20k"),
+            2,
+            iters,
+            Some(cycles),
+            || {
+                black_box(simulate(black_box(&Config::baseline()), &trace, opts));
+            },
+        );
     }
     let gzip = suites::spec2000()
         .into_iter()
@@ -38,16 +54,46 @@ fn main() {
         dcache_kb: 8,
         l2_kb: 256,
     };
-    bench("simulator/tiny-config/gzip/20k", 2, iters, || {
-        black_box(simulate(black_box(&tiny), &trace, opts));
-    });
+    let tiny_cycles = simulate_detailed(&tiny, &trace, opts).0.cycles;
+    report.bench(
+        "simulator/tiny-config/gzip/20k",
+        2,
+        iters,
+        Some(tiny_cycles),
+        || {
+            black_box(simulate(black_box(&tiny), &trace, opts));
+        },
+    );
 
     let gcc = suites::spec2000()
         .into_iter()
         .find(|p| p.name == "gcc")
         .unwrap();
     let generator = TraceGenerator::new(&gcc);
-    bench("trace-gen/gcc/20k", 2, iters, || {
+    report.bench("trace-gen/gcc/20k", 2, iters, None, || {
         black_box(generator.generate(black_box(20_000)));
     });
+
+    if let Ok(path) = std::env::var("DSE_BENCH_JSON") {
+        report.write_json(&path);
+    }
+    if let Ok(path) = std::env::var("DSE_BENCH_BASELINE") {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read bench baseline {path}: {e}"));
+        match report.regressions(&text, 0.25) {
+            Ok(msgs) if msgs.is_empty() => {
+                eprintln!("[bench] no median regression vs {path}");
+            }
+            Ok(msgs) => {
+                for m in &msgs {
+                    eprintln!("[bench] REGRESSION {m}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("[bench] {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

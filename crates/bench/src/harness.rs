@@ -13,7 +13,14 @@
 //! Bench binaries live in `src/bin/bench_*.rs` and are plain `cargo run
 //! --release -p dse-bench --bin bench_sim` targets; iteration counts can
 //! be scaled down for smoke runs with `DSE_QUICK=1`.
+//!
+//! A [`Report`] collects the per-row summaries plus throughput rates and
+//! environment metadata. Bench binaries write it as machine-readable JSON
+//! when `DSE_BENCH_JSON=<path>` is set, and compare their fresh medians
+//! against a committed baseline when `DSE_BENCH_BASELINE=<path>` is set,
+//! failing on a >25 % median regression (the CI perf gate).
 
+use dse_util::json::{Json, ToJson};
 use std::time::{Duration, Instant};
 
 /// Re-export so bench binaries keep the optimiser honest without naming
@@ -27,6 +34,8 @@ pub struct BenchResult {
     pub median: Duration,
     /// Interquartile range (p75 − p25): the robust spread measure.
     pub iqr: Duration,
+    /// 95th-percentile iteration time (tail latency).
+    pub p95: Duration,
     /// Fastest iteration.
     pub min: Duration,
     /// Slowest iteration.
@@ -57,6 +66,7 @@ pub fn measure<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> BenchResult
     BenchResult {
         median: pct(0.5),
         iqr: pct(0.75).saturating_sub(pct(0.25)),
+        p95: pct(0.95),
         min: samples[0],
         max: samples[samples.len() - 1],
         iters,
@@ -84,6 +94,162 @@ pub fn iters_for(full: usize, quick: usize) -> usize {
         quick
     } else {
         full
+    }
+}
+
+/// One named bench row with optional throughput rates, as collected into
+/// a [`Report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Row name as printed (e.g. `simulator/baseline/gzip/20k`).
+    pub name: String,
+    /// Timing summary.
+    pub result: BenchResult,
+    /// Simulations (or trace generations) per second, `1 / median`.
+    pub sims_per_sec: f64,
+    /// Simulated cycles per second of wall time, when the workload has a
+    /// cycle count (`None` for non-simulator rows).
+    pub cycles_per_sec: Option<f64>,
+}
+
+/// A machine-readable bench report: rows plus environment metadata.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    rows: Vec<BenchRecord>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs and prints one bench row and records it. `cycles_per_run`
+    /// (simulated cycles executed by one call of `f`) prices the
+    /// cycles/sec rate; pass `None` for rows that simulate nothing.
+    pub fn bench<F: FnMut()>(
+        &mut self,
+        name: &str,
+        warmup: usize,
+        iters: usize,
+        cycles_per_run: Option<u64>,
+        f: F,
+    ) -> BenchResult {
+        let r = bench(name, warmup, iters, f);
+        let secs = r.median.as_secs_f64();
+        self.rows.push(BenchRecord {
+            name: name.to_string(),
+            result: r,
+            sims_per_sec: 1.0 / secs,
+            cycles_per_sec: cycles_per_run.map(|c| c as f64 / secs),
+        });
+        r
+    }
+
+    /// The recorded rows.
+    pub fn rows(&self) -> &[BenchRecord] {
+        &self.rows
+    }
+
+    /// Serialises the report (row medians/percentiles, rates, and host
+    /// metadata) for `BENCH_sim.json`.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|rec| {
+                let r = rec.result;
+                Json::obj([
+                    ("name", rec.name.to_json()),
+                    ("median_ns", (r.median.as_nanos() as u64).to_json()),
+                    ("iqr_ns", (r.iqr.as_nanos() as u64).to_json()),
+                    ("p95_ns", (r.p95.as_nanos() as u64).to_json()),
+                    ("min_ns", (r.min.as_nanos() as u64).to_json()),
+                    ("max_ns", (r.max.as_nanos() as u64).to_json()),
+                    ("iters", r.iters.to_json()),
+                    ("sims_per_sec", rec.sims_per_sec.to_json()),
+                    (
+                        "cycles_per_sec",
+                        match rec.cycles_per_sec {
+                            Some(c) => c.to_json(),
+                            None => Json::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            (
+                "env",
+                Json::obj([
+                    ("os", std::env::consts::OS.to_json()),
+                    ("arch", std::env::consts::ARCH.to_json()),
+                    (
+                        "cpus",
+                        std::thread::available_parallelism()
+                            .map(|n| n.get())
+                            .unwrap_or(1)
+                            .to_json(),
+                    ),
+                    ("quick", crate::quick_mode().to_json()),
+                    ("harness", env!("CARGO_PKG_VERSION").to_json()),
+                ]),
+            ),
+            ("rows", Json::Arr(rows)),
+        ])
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written (a bench run asked for output
+    /// it cannot produce).
+    pub fn write_json(&self, path: &str) {
+        std::fs::write(path, format!("{}\n", self.to_json()))
+            .unwrap_or_else(|e| panic!("cannot write bench report {path}: {e}"));
+        eprintln!("[bench] wrote {path}");
+    }
+
+    /// Compares fresh medians against a baseline report previously written
+    /// by [`Report::write_json`]. Rows are matched by name; rows missing
+    /// on either side are skipped (new benches and retired benches don't
+    /// fail the gate). Returns one message per row whose median regressed
+    /// by more than `tolerance` (0.25 = +25 %).
+    ///
+    /// # Errors
+    ///
+    /// Returns the baseline parse failure as a message, so a corrupt
+    /// baseline fails the gate loudly instead of silently passing.
+    pub fn regressions(&self, baseline_text: &str, tolerance: f64) -> Result<Vec<String>, String> {
+        let base = Json::parse(baseline_text).map_err(|e| format!("bad baseline JSON: {e}"))?;
+        let rows = base
+            .field("rows")
+            .and_then(Json::as_array)
+            .map_err(|e| format!("bad baseline JSON: {e}"))?;
+        let mut msgs = Vec::new();
+        for rec in &self.rows {
+            let Some(b) = rows
+                .iter()
+                .find(|r| r.field("name").and_then(Json::as_str).ok() == Some(rec.name.as_str()))
+            else {
+                continue;
+            };
+            let base_ns = b
+                .field("median_ns")
+                .and_then(Json::as_u64)
+                .map_err(|e| format!("bad baseline row `{}`: {e}", rec.name))?;
+            let fresh_ns = rec.result.median.as_nanos() as u64;
+            let limit = base_ns as f64 * (1.0 + tolerance);
+            if fresh_ns as f64 > limit {
+                msgs.push(format!(
+                    "{}: median {fresh_ns}ns exceeds baseline {base_ns}ns by more than {:.0}%",
+                    rec.name,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        Ok(msgs)
     }
 }
 
@@ -128,5 +294,74 @@ mod tests {
         assert_eq!(fmt_duration(Duration::from_nanos(999)), "999ns");
         assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50ms");
         assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+
+    fn report_with(name: &str, median_ns: u64) -> Report {
+        let d = Duration::from_nanos(median_ns);
+        let mut rep = Report::new();
+        rep.rows.push(BenchRecord {
+            name: name.to_string(),
+            result: BenchResult {
+                median: d,
+                iqr: Duration::ZERO,
+                p95: d,
+                min: d,
+                max: d,
+                iters: 3,
+            },
+            sims_per_sec: 1e9 / median_ns as f64,
+            cycles_per_sec: None,
+        });
+        rep
+    }
+
+    #[test]
+    fn regression_gate_flags_only_real_regressions() {
+        let baseline = report_with("row/a", 1_000_000);
+        let text = baseline.to_json().to_string();
+
+        // +10% is within the 25% tolerance.
+        assert!(report_with("row/a", 1_100_000)
+            .regressions(&text, 0.25)
+            .unwrap()
+            .is_empty());
+        // +50% regresses.
+        let msgs = report_with("row/a", 1_500_000)
+            .regressions(&text, 0.25)
+            .unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("row/a"), "message names the row: {msgs:?}");
+        // A row absent from the baseline is skipped, not failed.
+        assert!(report_with("row/new", 9_000_000)
+            .regressions(&text, 0.25)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn regression_gate_rejects_corrupt_baseline() {
+        let rep = report_with("row/a", 1_000_000);
+        assert!(rep.regressions("not json", 0.25).is_err());
+        assert!(rep.regressions("{\"rows\": 3}", 0.25).is_err());
+    }
+
+    #[test]
+    fn report_json_has_rows_and_env() {
+        let rep = report_with("row/a", 2_000_000);
+        let j = rep.to_json();
+        let rows = j.field("rows").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].field("median_ns").and_then(Json::as_u64).unwrap(),
+            2_000_000
+        );
+        assert_eq!(
+            rows[0]
+                .field("sims_per_sec")
+                .and_then(Json::as_f64)
+                .unwrap(),
+            500.0
+        );
+        assert!(j.field("env").and_then(|e| e.field("os")).is_ok());
     }
 }

@@ -215,9 +215,13 @@ impl FromJson for SuiteDataset {
 
 impl SuiteDataset {
     /// Simulates `profiles` over a fresh uniform sample of legal
-    /// configurations (parallelised over configurations with
-    /// [`dse_util::par::par_map`]; thread count via `ARCHDSE_THREADS`).
-    /// Progress is reported on stderr since full generation takes minutes.
+    /// configurations. The whole benchmark × configuration grid (plus one
+    /// baseline cell per benchmark) is flattened into a single work list
+    /// and handed to one [`dse_util::par::par_map`] call (thread count via
+    /// `ARCHDSE_THREADS`): a thread finishing a cheap cell immediately
+    /// pulls work from *any* benchmark instead of idling at a
+    /// per-benchmark barrier. A one-line summary is reported on stderr
+    /// since full generation takes minutes.
     ///
     /// # Panics
     ///
@@ -251,32 +255,52 @@ impl SuiteDataset {
         let options = SimOptions::with_warmup(spec.warmup);
         let baseline_cfg = Config::baseline();
 
+        // One trace per benchmark, generated up front and shared read-only
+        // by every simulation of that benchmark.
+        let traces: Vec<_> = par_map(profiles, |p| {
+            TraceGenerator::new(p).generate(spec.trace_len)
+        });
+
+        // Flatten the benchmark × configuration grid into a single work
+        // list; the baseline rides along as a final pseudo-column so it is
+        // scheduled like any other cell.
+        let cols = configs.len() + 1;
+        let jobs: Vec<(usize, usize)> = (0..profiles.len())
+            .flat_map(|b| (0..cols).map(move |c| (b, c)))
+            .collect();
+        let t0 = std::time::Instant::now();
+        let cells: Vec<Result<Metrics, CheckError>> = par_map(&jobs, |&(b, c)| {
+            let cfg = configs.get(c).unwrap_or(&baseline_cfg);
+            try_simulate(cfg, &traces[b], options)
+        });
+        eprintln!(
+            "[dataset] {} benchmarks x {} configs (+{} baselines) = {} sims in {:.1}s",
+            profiles.len(),
+            configs.len(),
+            profiles.len(),
+            jobs.len(),
+            t0.elapsed().as_secs_f64()
+        );
+
+        // Regroup benchmark-major; `par_map` returns results in input
+        // order, so this is deterministic for any thread count.
+        let mut iter = cells.into_iter();
         let mut benchmarks = Vec::with_capacity(profiles.len());
         for p in profiles {
-            let trace = TraceGenerator::new(p).generate(spec.trace_len);
-            let t0 = std::time::Instant::now();
-            let results: Vec<Result<Metrics, CheckError>> =
-                par_map(&configs, |cfg| try_simulate(cfg, &trace, options));
-            let mut metrics = Vec::with_capacity(results.len());
-            for (cfg, r) in configs.iter().zip(results) {
-                metrics.push(r.map_err(|source| GenerateError {
-                    benchmark: p.name.to_string(),
-                    config: *cfg,
-                    source,
-                })?);
+            let mut metrics = Vec::with_capacity(cols);
+            for c in 0..cols {
+                let cfg = configs.get(c).copied().unwrap_or(baseline_cfg);
+                let m = iter
+                    .next()
+                    .expect("job list covers the grid")
+                    .map_err(|source| GenerateError {
+                        benchmark: p.name.to_string(),
+                        config: cfg,
+                        source,
+                    })?;
+                metrics.push(m);
             }
-            let baseline =
-                try_simulate(&baseline_cfg, &trace, options).map_err(|source| GenerateError {
-                    benchmark: p.name.to_string(),
-                    config: baseline_cfg,
-                    source,
-                })?;
-            eprintln!(
-                "[dataset] {:12} {} configs in {:.1}s",
-                p.name,
-                configs.len(),
-                t0.elapsed().as_secs_f64()
-            );
+            let baseline = metrics.pop().expect("baseline pseudo-column");
             benchmarks.push(BenchmarkData {
                 name: p.name.to_string(),
                 suite: p.suite,

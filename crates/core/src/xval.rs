@@ -107,6 +107,12 @@ pub struct CompareRow {
     pub ac_corr: Summary,
 }
 
+fn suite_rows(ds: &SuiteDataset, suite: Suite) -> Vec<usize> {
+    (0..ds.benchmarks.len())
+        .filter(|&i| ds.benchmarks[i].suite == suite)
+        .collect()
+}
+
 fn repeat_seed(root: u64, tag: u64, repeat: usize) -> u64 {
     let rng = Xoshiro256::seed_from(root ^ tag.wrapping_mul(0x9E37_79B9));
     rng.child(repeat as u64).next_u64()
@@ -178,16 +184,46 @@ fn model_pools(
 ///
 /// Panics if `ds` holds fewer than two benchmarks of `suite`.
 pub fn loo(ds: &SuiteDataset, suite: Suite, metric: Metric, cfg: &EvalConfig) -> Vec<ProgramEval> {
-    let rows: Vec<usize> = (0..ds.benchmarks.len())
-        .filter(|&i| ds.benchmarks[i].suite == suite)
-        .collect();
+    let rows = suite_rows(ds, suite);
     assert!(rows.len() >= 2, "need at least two benchmarks in the suite");
     let pools = model_pools(ds, metric, cfg);
     loo_with_pools(ds, &rows, metric, cfg, &pools)
 }
 
+/// One leave-one-out fold repetition: fit the offline ensemble from
+/// `pools[k]` on `rows` minus `target_row`, draw `r` responses of the
+/// target, and evaluate. Returns (train rmae, test rmae, correlation).
+#[allow(clippy::too_many_arguments)]
+fn loo_job(
+    ds: &SuiteDataset,
+    features: &[Vec<f64>],
+    rows: &[usize],
+    metric: Metric,
+    cfg: &EvalConfig,
+    pools: &[Vec<ProgramSpecificPredictor>],
+    target_row: usize,
+    k: usize,
+    r: usize,
+) -> (f64, f64, f64) {
+    let train_rows: Vec<usize> = rows.iter().copied().filter(|&x| x != target_row).collect();
+    let models: Vec<ProgramSpecificPredictor> =
+        train_rows.iter().map(|&x| pools[k][x].clone()).collect();
+    let offline = OfflineModel::from_parts(metric, train_rows, models);
+    let mut rng = Xoshiro256::seed_from(repeat_seed(cfg.seed, 0x1003 + target_row as u64, k));
+    let response_idxs = rng.sample_indices(ds.n_configs(), r);
+    let values: Vec<f64> = response_idxs
+        .iter()
+        .map(|&i| ds.benchmarks[target_row].metrics[i].get(metric))
+        .collect();
+    let predictor = offline.fit_responses(ds, &response_idxs, &values);
+    evaluate(&predictor, ds, features, target_row, metric, &response_idxs)
+}
+
 /// Leave-one-out body over explicit rows, reusing pre-trained per-repeat
-/// model pools (sweeps call this once per point without retraining).
+/// model pools. The program × repeat grid is flattened into one
+/// [`par_map`] work list so repeats of different programs fill the pool
+/// together; results regroup deterministically because `par_map` returns
+/// them in input order.
 fn loo_with_pools(
     ds: &SuiteDataset,
     rows: &[usize],
@@ -196,43 +232,22 @@ fn loo_with_pools(
     pools: &[Vec<ProgramSpecificPredictor>],
 ) -> Vec<ProgramEval> {
     let features = ds.features();
-    par_map(rows, |&target_row| {
-        let mut train_errs = Vec::with_capacity(cfg.repeats);
-        let mut test_errs = Vec::with_capacity(cfg.repeats);
-        let mut corrs = Vec::with_capacity(cfg.repeats);
-        for (k, pool) in pools.iter().enumerate() {
-            let train_rows: Vec<usize> =
-                rows.iter().copied().filter(|&r| r != target_row).collect();
-            let models: Vec<ProgramSpecificPredictor> =
-                train_rows.iter().map(|&r| pool[r].clone()).collect();
-            let offline = OfflineModel::from_parts(metric, train_rows, models);
-            let mut rng =
-                Xoshiro256::seed_from(repeat_seed(cfg.seed, 0x1003 + target_row as u64, k));
-            let response_idxs = rng.sample_indices(ds.n_configs(), cfg.r);
-            let values: Vec<f64> = response_idxs
-                .iter()
-                .map(|&i| ds.benchmarks[target_row].metrics[i].get(metric))
-                .collect();
-            let predictor = offline.fit_responses(ds, &response_idxs, &values);
-            let (tr, te, c) = evaluate(
-                &predictor,
-                ds,
-                &features,
-                target_row,
-                metric,
-                &response_idxs,
-            );
-            train_errs.push(tr);
-            test_errs.push(te);
-            corrs.push(c);
-        }
-        ProgramEval {
-            program: ds.benchmarks[target_row].name.clone(),
-            train_rmae: Summary::of(&train_errs),
-            test_rmae: Summary::of(&test_errs),
-            corr: Summary::of(&corrs),
-        }
-    })
+    let jobs: Vec<(usize, usize)> = rows
+        .iter()
+        .flat_map(|&row| (0..cfg.repeats).map(move |k| (row, k)))
+        .collect();
+    let results: Vec<(f64, f64, f64)> = par_map(&jobs, |&(row, k)| {
+        loo_job(ds, &features, rows, metric, cfg, pools, row, k, cfg.r)
+    });
+    rows.iter()
+        .zip(results.chunks(cfg.repeats))
+        .map(|(&row, chunk)| ProgramEval {
+            program: ds.benchmarks[row].name.clone(),
+            train_rmae: Summary::of(&chunk.iter().map(|x| x.0).collect::<Vec<f64>>()),
+            test_rmae: Summary::of(&chunk.iter().map(|x| x.1).collect::<Vec<f64>>()),
+            corr: Summary::of(&chunk.iter().map(|x| x.2).collect::<Vec<f64>>()),
+        })
+        .collect()
 }
 
 /// Cross-suite evaluation: train on every benchmark of `train_suite`,
@@ -248,12 +263,8 @@ pub fn cross_suite(
     metric: Metric,
     cfg: &EvalConfig,
 ) -> Vec<ProgramEval> {
-    let train_rows: Vec<usize> = (0..ds.benchmarks.len())
-        .filter(|&i| ds.benchmarks[i].suite == train_suite)
-        .collect();
-    let test_rows: Vec<usize> = (0..ds.benchmarks.len())
-        .filter(|&i| ds.benchmarks[i].suite == test_suite)
-        .collect();
+    let train_rows = suite_rows(ds, train_suite);
+    let test_rows = suite_rows(ds, test_suite);
     assert!(!train_rows.is_empty(), "training suite absent from dataset");
     assert!(!test_rows.is_empty(), "test suite absent from dataset");
     let features = ds.features();
@@ -306,6 +317,73 @@ pub fn cross_suite(
     })
 }
 
+/// One program-specific fit: train on `t` random samples of `row` and
+/// test on the rest. Returns (rmae, correlation) on the held-out space.
+fn ps_job(
+    ds: &SuiteDataset,
+    features: &[Vec<f64>],
+    metric: Metric,
+    cfg: &EvalConfig,
+    row: usize,
+    k: usize,
+    t: usize,
+) -> (f64, f64) {
+    let mut rng = Xoshiro256::seed_from(repeat_seed(cfg.seed, 0x9001 + row as u64, k));
+    let idx = rng.sample_indices(ds.n_configs(), t.min(ds.n_configs()));
+    let bench = &ds.benchmarks[row];
+    let tf: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
+    let tv: Vec<f64> = idx.iter().map(|&i| bench.metrics[i].get(metric)).collect();
+    let mlp = MlpConfig {
+        seed: rng.next_u64(),
+        ..cfg.mlp
+    };
+    let p = ProgramSpecificPredictor::train(&bench.name, metric, &tf, &tv, &mlp);
+    let mut mask = vec![false; ds.n_configs()];
+    for &i in &idx {
+        mask[i] = true;
+    }
+    let mut preds = Vec::new();
+    let mut actual = Vec::new();
+    for i in 0..ds.n_configs() {
+        if !mask[i] {
+            preds.push(p.predict(&features[i]));
+            actual.push(bench.metrics[i].get(metric));
+        }
+    }
+    (rmae(&preds, &actual), correlation(&preds, &actual))
+}
+
+/// Program-specific accuracy at each budget of `ts`, with the whole
+/// budget × program × repeat grid flattened into one [`par_map`] list.
+fn ps_points(
+    ds: &SuiteDataset,
+    rows: &[usize],
+    metric: Metric,
+    ts: &[usize],
+    cfg: &EvalConfig,
+) -> Vec<SweepPoint> {
+    let features = ds.features();
+    let jobs: Vec<(usize, usize, usize)> = ts
+        .iter()
+        .flat_map(|&t| {
+            rows.iter()
+                .flat_map(move |&row| (0..cfg.repeats).map(move |k| (t, row, k)))
+        })
+        .collect();
+    let results: Vec<(f64, f64)> = par_map(&jobs, |&(t, row, k)| {
+        ps_job(ds, &features, metric, cfg, row, k, t)
+    });
+    let per_point = rows.len() * cfg.repeats;
+    ts.iter()
+        .zip(results.chunks(per_point))
+        .map(|(&t, chunk)| SweepPoint {
+            x: t,
+            rmae: Summary::of(&chunk.iter().map(|x| x.0).collect::<Vec<f64>>()),
+            corr: Summary::of(&chunk.iter().map(|x| x.1).collect::<Vec<f64>>()),
+        })
+        .collect()
+}
+
 /// Evaluates a *program-specific* predictor trained on `t` samples of
 /// each program and tested on the rest, averaged over programs × repeats
 /// (Fig 9, and the program-specific side of Fig 13).
@@ -316,50 +394,13 @@ pub fn program_specific_accuracy(
     t: usize,
     cfg: &EvalConfig,
 ) -> SweepPoint {
-    let rows: Vec<usize> = (0..ds.benchmarks.len())
-        .filter(|&i| ds.benchmarks[i].suite == suite)
-        .collect();
-    let features = ds.features();
-    let jobs: Vec<(usize, usize)> = rows
-        .iter()
-        .flat_map(|&r| (0..cfg.repeats).map(move |k| (r, k)))
-        .collect();
-    let results: Vec<(f64, f64)> = par_map(&jobs, |&(row, k)| {
-        let mut rng = Xoshiro256::seed_from(repeat_seed(cfg.seed, 0x9001 + row as u64, k));
-        let idx = rng.sample_indices(ds.n_configs(), t.min(ds.n_configs()));
-        let bench = &ds.benchmarks[row];
-        let tf: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
-        let tv: Vec<f64> = idx.iter().map(|&i| bench.metrics[i].get(metric)).collect();
-        let mlp = MlpConfig {
-            seed: rng.next_u64(),
-            ..cfg.mlp
-        };
-        let p = ProgramSpecificPredictor::train(&bench.name, metric, &tf, &tv, &mlp);
-        let mut mask = vec![false; ds.n_configs()];
-        for &i in &idx {
-            mask[i] = true;
-        }
-        let mut preds = Vec::new();
-        let mut actual = Vec::new();
-        for i in 0..ds.n_configs() {
-            if !mask[i] {
-                preds.push(p.predict(&features[i]));
-                actual.push(bench.metrics[i].get(metric));
-            }
-        }
-        (rmae(&preds, &actual), correlation(&preds, &actual))
-    });
-    let errs: Vec<f64> = results.iter().map(|r| r.0).collect();
-    let corrs: Vec<f64> = results.iter().map(|r| r.1).collect();
-    SweepPoint {
-        x: t,
-        rmae: Summary::of(&errs),
-        corr: Summary::of(&corrs),
-    }
+    let rows = suite_rows(ds, suite);
+    ps_points(ds, &rows, metric, &[t], cfg).remove(0)
 }
 
 /// Sweeps the number of training simulations T for the program-specific
-/// predictors (Fig 9).
+/// predictors (Fig 9) as one flattened work list over every (T, program,
+/// repeat) cell.
 pub fn sweep_t(
     ds: &SuiteDataset,
     suite: Suite,
@@ -367,8 +408,52 @@ pub fn sweep_t(
     ts: &[usize],
     cfg: &EvalConfig,
 ) -> Vec<SweepPoint> {
-    ts.iter()
-        .map(|&t| program_specific_accuracy(ds, suite, metric, t, cfg))
+    let rows = suite_rows(ds, suite);
+    ps_points(ds, &rows, metric, ts, cfg)
+}
+
+/// Architecture-centric sweep points for each response count of `rs`,
+/// with the response-count × program × repeat grid flattened into one
+/// [`par_map`] list (the pre-trained pools are shared by every cell).
+/// Each point averages the per-program repeat means, matching
+/// [`loo_with_pools`]' summaries.
+fn arch_points(
+    ds: &SuiteDataset,
+    rows: &[usize],
+    metric: Metric,
+    rs: &[usize],
+    cfg: &EvalConfig,
+    pools: &[Vec<ProgramSpecificPredictor>],
+) -> Vec<SweepPoint> {
+    let features = ds.features();
+    let jobs: Vec<(usize, usize, usize)> = rs
+        .iter()
+        .flat_map(|&r| {
+            rows.iter()
+                .flat_map(move |&row| (0..cfg.repeats).map(move |k| (r, row, k)))
+        })
+        .collect();
+    let results: Vec<(f64, f64, f64)> = par_map(&jobs, |&(r, row, k)| {
+        loo_job(ds, &features, rows, metric, cfg, pools, row, k, r)
+    });
+    let per_point = rows.len() * cfg.repeats;
+    rs.iter()
+        .zip(results.chunks(per_point))
+        .map(|(&r, chunk)| {
+            let errs: Vec<f64> = chunk
+                .chunks(cfg.repeats)
+                .map(|per_row| mean(&per_row.iter().map(|x| x.1).collect::<Vec<f64>>()))
+                .collect();
+            let corrs: Vec<f64> = chunk
+                .chunks(cfg.repeats)
+                .map(|per_row| mean(&per_row.iter().map(|x| x.2).collect::<Vec<f64>>()))
+                .collect();
+            SweepPoint {
+                x: r,
+                rmae: Summary::of(&errs),
+                corr: Summary::of(&corrs),
+            }
+        })
         .collect()
 }
 
@@ -382,33 +467,14 @@ pub fn arch_centric_accuracy(
     cfg: &EvalConfig,
 ) -> SweepPoint {
     let pools = model_pools(ds, metric, cfg);
-    arch_point(ds, suite, metric, r, cfg, &pools)
-}
-
-fn arch_point(
-    ds: &SuiteDataset,
-    suite: Suite,
-    metric: Metric,
-    r: usize,
-    cfg: &EvalConfig,
-    pools: &[Vec<ProgramSpecificPredictor>],
-) -> SweepPoint {
-    let rows: Vec<usize> = (0..ds.benchmarks.len())
-        .filter(|&i| ds.benchmarks[i].suite == suite)
-        .collect();
-    let evals = loo_with_pools(ds, &rows, metric, &EvalConfig { r, ..cfg.clone() }, pools);
-    let errs: Vec<f64> = evals.iter().map(|e| e.test_rmae.mean).collect();
-    let corrs: Vec<f64> = evals.iter().map(|e| e.corr.mean).collect();
-    SweepPoint {
-        x: r,
-        rmae: Summary::of(&errs),
-        corr: Summary::of(&corrs),
-    }
+    let rows = suite_rows(ds, suite);
+    arch_points(ds, &rows, metric, &[r], cfg, &pools).remove(0)
 }
 
 /// Sweeps the number of responses R for the architecture-centric model
 /// (Fig 10). The offline ensembles are trained once and shared across
-/// every point of the sweep (they do not depend on R).
+/// every point of the sweep (they do not depend on R), and all points'
+/// folds run as a single flattened work list.
 pub fn sweep_r(
     ds: &SuiteDataset,
     suite: Suite,
@@ -417,12 +483,12 @@ pub fn sweep_r(
     cfg: &EvalConfig,
 ) -> Vec<SweepPoint> {
     let pools = model_pools(ds, metric, cfg);
-    rs.iter()
-        .map(|&r| arch_point(ds, suite, metric, r, cfg, &pools))
-        .collect()
+    let rows = suite_rows(ds, suite);
+    arch_points(ds, &rows, metric, rs, cfg, &pools)
 }
 
-/// Head-to-head comparison at equal simulation budgets (Fig 13). The
+/// Head-to-head comparison at equal simulation budgets (Fig 13). Both
+/// sides sweep every budget through one flattened work list each; the
 /// architecture-centric offline ensembles are shared across budgets.
 pub fn compare(
     ds: &SuiteDataset,
@@ -432,24 +498,25 @@ pub fn compare(
     cfg: &EvalConfig,
 ) -> Vec<CompareRow> {
     let pools = model_pools(ds, metric, cfg);
+    let rows = suite_rows(ds, suite);
+    let ps = ps_points(ds, &rows, metric, sims, cfg);
+    let ac = arch_points(ds, &rows, metric, sims, cfg, &pools);
     sims.iter()
-        .map(|&s| {
-            let ps = program_specific_accuracy(ds, suite, metric, s, cfg);
-            let ac = arch_point(ds, suite, metric, s, cfg, &pools);
-            CompareRow {
-                sims: s,
-                ps_rmae: ps.rmae,
-                ps_corr: ps.corr,
-                ac_rmae: ac.rmae,
-                ac_corr: ac.corr,
-            }
+        .zip(ps.into_iter().zip(ac))
+        .map(|(&s, (ps, ac))| CompareRow {
+            sims: s,
+            ps_rmae: ps.rmae,
+            ps_corr: ps.corr,
+            ac_rmae: ac.rmae,
+            ac_corr: ac.corr,
         })
         .collect()
 }
 
 /// Accuracy versus the number of offline training programs (Fig 14):
 /// for each left-out program, `n` training programs are drawn at random
-/// from the remainder.
+/// from the remainder. All (n, program, repeat) cells run as one
+/// flattened [`par_map`] work list.
 pub fn sweep_train_programs(
     ds: &SuiteDataset,
     suite: Suite,
@@ -457,59 +524,59 @@ pub fn sweep_train_programs(
     ns: &[usize],
     cfg: &EvalConfig,
 ) -> Vec<SweepPoint> {
-    let rows: Vec<usize> = (0..ds.benchmarks.len())
-        .filter(|&i| ds.benchmarks[i].suite == suite)
-        .collect();
+    let rows = suite_rows(ds, suite);
+    for &n in ns {
+        assert!(
+            n >= 1 && n < rows.len(),
+            "training-set size {n} outside [1, {})",
+            rows.len()
+        );
+    }
     let pools = model_pools(ds, metric, cfg);
     let features = ds.features();
 
+    let jobs: Vec<(usize, usize, usize)> = ns
+        .iter()
+        .flat_map(|&n| {
+            rows.iter()
+                .flat_map(move |&row| (0..cfg.repeats).map(move |k| (n, row, k)))
+        })
+        .collect();
+    let results: Vec<(f64, f64)> = par_map(&jobs, |&(n, target_row, k)| {
+        let mut rng = Xoshiro256::seed_from(repeat_seed(
+            cfg.seed,
+            0x1400 + target_row as u64 + ((n as u64) << 8),
+            k,
+        ));
+        let others: Vec<usize> = rows.iter().copied().filter(|&r| r != target_row).collect();
+        let chosen = rng.sample_indices(others.len(), n);
+        let train_rows: Vec<usize> = chosen.iter().map(|&i| others[i]).collect();
+        let models: Vec<ProgramSpecificPredictor> =
+            train_rows.iter().map(|&r| pools[k][r].clone()).collect();
+        let offline = OfflineModel::from_parts(metric, train_rows, models);
+        let response_idxs = rng.sample_indices(ds.n_configs(), cfg.r);
+        let values: Vec<f64> = response_idxs
+            .iter()
+            .map(|&i| ds.benchmarks[target_row].metrics[i].get(metric))
+            .collect();
+        let predictor = offline.fit_responses(ds, &response_idxs, &values);
+        let (_, te, c) = evaluate(
+            &predictor,
+            ds,
+            &features,
+            target_row,
+            metric,
+            &response_idxs,
+        );
+        (te, c)
+    });
+    let per_point = rows.len() * cfg.repeats;
     ns.iter()
-        .map(|&n| {
-            assert!(
-                n >= 1 && n < rows.len(),
-                "training-set size {n} outside [1, {})",
-                rows.len()
-            );
-            let jobs: Vec<(usize, usize)> = rows
-                .iter()
-                .flat_map(|&r| (0..cfg.repeats).map(move |k| (r, k)))
-                .collect();
-            let results: Vec<(f64, f64)> = par_map(&jobs, |&(target_row, k)| {
-                let mut rng = Xoshiro256::seed_from(repeat_seed(
-                    cfg.seed,
-                    0x1400 + target_row as u64 + ((n as u64) << 8),
-                    k,
-                ));
-                let others: Vec<usize> =
-                    rows.iter().copied().filter(|&r| r != target_row).collect();
-                let chosen = rng.sample_indices(others.len(), n);
-                let train_rows: Vec<usize> = chosen.iter().map(|&i| others[i]).collect();
-                let models: Vec<ProgramSpecificPredictor> =
-                    train_rows.iter().map(|&r| pools[k][r].clone()).collect();
-                let offline = OfflineModel::from_parts(metric, train_rows, models);
-                let response_idxs = rng.sample_indices(ds.n_configs(), cfg.r);
-                let values: Vec<f64> = response_idxs
-                    .iter()
-                    .map(|&i| ds.benchmarks[target_row].metrics[i].get(metric))
-                    .collect();
-                let predictor = offline.fit_responses(ds, &response_idxs, &values);
-                let (_, te, c) = evaluate(
-                    &predictor,
-                    ds,
-                    &features,
-                    target_row,
-                    metric,
-                    &response_idxs,
-                );
-                (te, c)
-            });
-            let errs: Vec<f64> = results.iter().map(|r| r.0).collect();
-            let corrs: Vec<f64> = results.iter().map(|r| r.1).collect();
-            SweepPoint {
-                x: n,
-                rmae: Summary::of(&errs),
-                corr: Summary::of(&corrs),
-            }
+        .zip(results.chunks(per_point))
+        .map(|(&n, chunk)| SweepPoint {
+            x: n,
+            rmae: Summary::of(&chunk.iter().map(|x| x.0).collect::<Vec<f64>>()),
+            corr: Summary::of(&chunk.iter().map(|x| x.1).collect::<Vec<f64>>()),
         })
         .collect()
 }

@@ -154,6 +154,8 @@ impl Gshare {
 /// Direct-mapped branch target buffer with tags.
 #[derive(Debug, Clone)]
 pub struct Btb {
+    /// Stores `pc + 1` so that `0` marks an empty slot and the array
+    /// starts life on zero pages (no `u64::MAX` memset per construction).
     tags: Vec<u64>,
     targets: Vec<u32>,
     mask: u64,
@@ -171,7 +173,7 @@ impl Btb {
             "BTB must be a positive power of two"
         );
         Self {
-            tags: vec![u64::MAX; entries as usize],
+            tags: vec![0; entries as usize],
             targets: vec![0; entries as usize],
             mask: entries - 1,
         }
@@ -184,7 +186,7 @@ impl Btb {
     /// Looks up the predicted target for the branch at `pc`.
     pub fn lookup(&self, pc: u64) -> Option<u32> {
         let idx = self.index(pc);
-        if self.tags[idx] == pc {
+        if self.tags[idx] == pc + 1 {
             Some(self.targets[idx])
         } else {
             None
@@ -194,21 +196,22 @@ impl Btb {
     /// Installs or refreshes the target of a taken branch.
     pub fn update(&mut self, pc: u64, target: u32) {
         let idx = self.index(pc);
-        self.tags[idx] = pc;
+        self.tags[idx] = pc + 1;
         self.targets[idx] = target;
     }
 
     /// Sanitizer hook: every valid tag must live in the slot its PC
     /// indexes to, otherwise lookups would silently fail or alias.
     pub fn check_invariants(&self) -> Result<(), CheckError> {
-        for (i, &tag) in self.tags.iter().enumerate() {
-            if tag != u64::MAX && self.index(tag) != i {
+        for (i, &stored) in self.tags.iter().enumerate() {
+            if stored != 0 && self.index(stored - 1) != i {
+                let pc = stored - 1;
                 return Err(CheckError::new(
                     0,
                     "btb-tag-placement",
                     format!(
-                        "pc {tag:#x} stored in slot {i}, indexes to {}",
-                        self.index(tag)
+                        "pc {pc:#x} stored in slot {i}, indexes to {}",
+                        self.index(pc)
                     ),
                 ));
             }

@@ -31,7 +31,9 @@ pub struct Cache {
     line_shift: u32,
     set_mask: u64,
     assoc: usize,
-    /// `tags[set * assoc + way]`; `u64::MAX` marks an invalid way.
+    /// `tags[set * assoc + way]`, storing `line + 1` so that `0` marks an
+    /// invalid way and the array starts life on zero pages instead of
+    /// paying a `u64::MAX` memset per construction.
     tags: Vec<u64>,
     /// LRU timestamps parallel to `tags`.
     stamps: Vec<u64>,
@@ -68,7 +70,7 @@ impl Cache {
             line_shift: line_bytes.trailing_zeros(),
             set_mask: sets - 1,
             assoc: assoc as usize,
-            tags: vec![u64::MAX; total],
+            tags: vec![0; total],
             stamps: vec![0; total],
             tick: 0,
             accesses: 0,
@@ -86,16 +88,17 @@ impl Cache {
         self.accesses += 1;
         self.tick += 1;
         let line = addr >> self.line_shift;
+        let stored = line + 1;
         let set = (line & self.set_mask) as usize;
         let base = set * self.assoc;
         let ways = &mut self.tags[base..base + self.assoc];
-        if let Some(w) = ways.iter().position(|&t| t == line) {
+        if let Some(w) = ways.iter().position(|&t| t == stored) {
             self.stamps[base + w] = self.tick;
             return CacheOutcome::Hit;
         }
         self.misses += 1;
         // Victim: invalid way first, else least recently used.
-        let victim = match ways.iter().position(|&t| t == u64::MAX) {
+        let victim = match ways.iter().position(|&t| t == 0) {
             Some(w) => w,
             None => {
                 let mut lru = 0;
@@ -107,7 +110,7 @@ impl Cache {
                 lru
             }
         };
-        self.tags[base + victim] = line;
+        self.tags[base + victim] = stored;
         self.stamps[base + victim] = self.tick;
         CacheOutcome::Miss
     }
@@ -117,7 +120,7 @@ impl Cache {
         let line = addr >> self.line_shift;
         let set = (line & self.set_mask) as usize;
         let base = set * self.assoc;
-        self.tags[base..base + self.assoc].contains(&line)
+        self.tags[base..base + self.assoc].contains(&(line + 1))
     }
 
     /// Total accesses so far.
@@ -152,10 +155,11 @@ impl Cache {
                 ),
             ));
         }
-        for (i, &tag) in self.tags.iter().enumerate() {
-            if tag == u64::MAX {
+        for (i, &stored) in self.tags.iter().enumerate() {
+            if stored == 0 {
                 continue;
             }
+            let tag = stored - 1;
             let set = (i / self.assoc) as u64;
             if tag & self.set_mask != set {
                 return Err(CheckError::new(

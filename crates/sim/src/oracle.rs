@@ -35,7 +35,7 @@
 use crate::energy::{EnergyCounters, EnergyModel};
 use crate::timing::{MemorySpec, SramSpec};
 use dse_space::{Config, ConstantParams};
-use dse_workload::{Instr, InstrKind, Trace};
+use dse_workload::{InstrKind, Trace};
 
 /// Event counts that are properties of the trace alone (independent of
 /// scheduling and cache state), which the out-of-order simulator must
@@ -115,21 +115,11 @@ fn min_latency(kind: InstrKind, cons: &ConstantParams, l1d_lat: u64) -> u64 {
     }
 }
 
-fn fu_class(kind: InstrKind) -> usize {
-    match kind {
-        InstrKind::IntAlu | InstrKind::Branch | InstrKind::Load | InstrKind::Store => 0,
-        InstrKind::IntMul | InstrKind::IntDiv => 1,
-        InstrKind::FpAlu => 2,
-        InstrKind::FpMul | InstrKind::FpDiv => 3,
-    }
-}
-
 /// Analyses `trace` under `cfg`, producing exact event counts and
 /// cycle/energy bounds for any run of the out-of-order simulator with
 /// **zero warm-up** (so the measured portion is the whole trace).
 pub fn analyze(cfg: &Config, cons: &ConstantParams, trace: &Trace) -> OracleReport {
-    let instrs: &[Instr] = &trace.instrs;
-    let n = instrs.len();
+    let n = trace.len();
     let l1d_lat = SramSpec::ram(cfg.dcache_kb as u64 * 1024).latency_cycles() as u64;
     let l2_lat = SramSpec::ram(cfg.l2_kb as u64 * 1024).latency_cycles() as u64;
     let mem = MemorySpec::standard();
@@ -156,12 +146,12 @@ pub fn analyze(cfg: &Config, cons: &ConstantParams, trace: &Trace) -> OracleRepo
     let mut last_line = u64::MAX;
     let line_bytes = cons.l1_line_bytes as u64;
 
-    for (i, ins) in instrs.iter().enumerate() {
+    for (i, ins) in trace.iter().enumerate() {
         counts.rf_reads += (ins.src1 > 0) as u64 + (ins.src2 > 0) as u64;
         counts.rf_writes += ins.kind.has_dest() as u64;
         counts.mem_ops += ins.kind.is_mem() as u64;
         counts.branches += (ins.kind == InstrKind::Branch) as u64;
-        counts.fu_ops[fu_class(ins.kind)] += 1;
+        counts.fu_ops[ins.kind.fu_class()] += 1;
 
         let dep = |d: u32| {
             if d == 0 || (d as usize) > i {
@@ -197,13 +187,13 @@ pub fn analyze(cfg: &Config, cons: &ConstantParams, trace: &Trace) -> OracleRepo
     let worst_mem = l1d_lat + worst_fetch;
     let frontend = cons.frontend_depth as u64;
     let mut cycles_hi = 64u64; // fill/drain allowance
-    for ins in instrs {
-        let exec = match ins.kind {
+    for &kind in trace.kinds() {
+        let exec = match kind {
             InstrKind::Load | InstrKind::Store => worst_mem,
             k => min_latency(k, cons, l1d_lat),
         };
         cycles_hi += worst_fetch + frontend + exec + 1;
-        if ins.kind == InstrKind::Branch {
+        if kind == InstrKind::Branch {
             cycles_hi += frontend; // mispredict refill
         }
     }
@@ -259,7 +249,7 @@ pub fn analyze(cfg: &Config, cons: &ConstantParams, trace: &Trace) -> OracleRepo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dse_workload::{Profile, Suite, TraceGenerator};
+    use dse_workload::{Instr, Profile, Suite, TraceGenerator};
 
     fn demo_trace(len: usize, seed: u64) -> Trace {
         let p = Profile::template("oracle", Suite::SpecCpu2000, seed);
@@ -300,10 +290,7 @@ mod tests {
                 target: 0,
             })
             .collect();
-        let t = Trace {
-            name: "chain".to_string(),
-            instrs,
-        };
+        let t = Trace::new("chain", instrs);
         let r = analyze(&Config::baseline(), &ConstantParams::standard(), &t);
         assert_eq!(r.cycles_lo, 100);
     }
@@ -321,10 +308,7 @@ mod tests {
                 target: 0,
             })
             .collect();
-        let t = Trace {
-            name: "par".to_string(),
-            instrs,
-        };
+        let t = Trace::new("par", instrs);
         let cfg = Config {
             width: 8,
             rf_read: 16,

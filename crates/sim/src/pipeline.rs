@@ -19,6 +19,38 @@
 //! * in-order commit of `width` instructions per cycle;
 //! * a two-level cache hierarchy with latencies from the Cacti-like model
 //!   and bandwidth-limited L2/memory (overlapping misses serialise).
+//!
+//! # Hot-loop memory layout
+//!
+//! The steady-state cycle loop performs **zero heap allocation**; every
+//! structure is a fixed-capacity buffer sized from the [`Config`] at
+//! construction:
+//!
+//! * the trace is borrowed as structure-of-arrays columns (shared by all
+//!   sweep simulations of a benchmark), including a precomputed decode
+//!   byte per instruction ([`dse_workload::meta`]);
+//! * the ROB and fetch queue hold *consecutive* trace positions by
+//!   construction (fetch, dispatch and commit are all in program order),
+//!   so both are plain counters: ROB = `[committed, dispatched)`,
+//!   fetch queue = `[dispatched, next_fetch)`;
+//! * completion times live in a power-of-two ring indexed by trace
+//!   position, sized to cover the in-flight window (ROB + fetch queue);
+//!   positions below the commit watermark are complete by definition;
+//! * the issue queue is a fixed array compacted in program order during
+//!   the issue scan (replacing `Vec::remove`);
+//! * the wakeup heap is a tagged wheel indexed by completion cycle: slot
+//!   `t & (WHEEL-1)` holds `t` while a completion is scheduled there, and
+//!   the issue stage probes exactly one slot per cycle.
+//!
+//! On top of the layout, the cycle loop fast-forwards over provably idle
+//! cycles ([`Pipeline::idle_skip`]): the issue scan publishes
+//! conservative [`PENDING`]-flagged completion lower bounds for unissued
+//! entries, caches a per-entry ready bound (`iq_ready`) with a
+//! queue-wide minimum (`iq_min_ready`) that elides fruitless scans, and
+//! a monotone `wake_floor` frontier bounds the wheel scan. All bounds
+//! are conservative — they move *when* work is examined, never what it
+//! computes — so metrics are bit-identical to stepping every cycle
+//! (pinned by `tests/golden_sim.rs`).
 
 use crate::branch::{Btb, Gshare};
 use crate::cache::{Cache, CacheOutcome};
@@ -26,16 +58,39 @@ use crate::check::{self, Bounds, CheckError, InvariantChecker, Occupancy};
 use crate::energy::{EnergyCounters, EnergyModel};
 use crate::timing::{MemorySpec, SramSpec};
 use dse_space::{Config, ConstantParams};
-use dse_workload::{Instr, InstrKind, Trace};
-use std::collections::VecDeque;
-
+use dse_workload::{meta, InstrKind, Trace};
 /// Architectural registers reserved out of the physical register file.
 const ARCH_REGS: u32 = 32;
 /// Fetch-queue capacity in multiples of the width.
 const FETCH_QUEUE_WIDTHS: usize = 4;
-/// Size of the writeback-port reservation ring (must exceed the longest
-/// possible completion horizon).
-const WB_RING: usize = 1 << 15;
+/// Size of the writeback-port reservation ring. Must exceed the span of
+/// *live* (still-future) reservations: every reservation lies within
+/// `(cycle, cycle + max completion latency]`, where the worst case is a
+/// memory access behind an LSQ-bounded L2 bandwidth queue — a few
+/// thousand cycles, comfortably below this. Stale (past) slot values can
+/// never equal a future probe cycle, so they need no clearing. Kept small
+/// on purpose: the ring is probed at random offsets per issued result,
+/// and at 8 Ki entries it stays resident in the host cache.
+const WB_RING: usize = 1 << 13;
+/// Size of the wakeup wheel; shares the writeback ring's horizon bound
+/// (every scheduled wakeup is strictly in the future and closer than
+/// this, so each event's slot is unambiguous; beyond-horizon events spill
+/// to `wheel_overflow` and migrate lazily).
+const WAKE_WHEEL: usize = WB_RING;
+/// Largest per-class functional-unit pool (`int_alu` = width ≤ 8).
+const MAX_FU: usize = 8;
+/// High bit of a completion-ring slot: the value is a *lower bound* on an
+/// unissued instruction's completion (published by the issue scan for its
+/// dependants), not a scheduled completion. Flagged values exceed every
+/// reachable cycle, so commit, fetch-unblock, branch-retire and idle-skip
+/// treat them exactly like the `u64::MAX` "unscheduled" sentinel; only
+/// the issue scan strips the flag to chain readiness bounds.
+const PENDING: u64 = 1 << 63;
+/// Upper bound on one idle fast-forward step ([`Pipeline::idle_skip`]):
+/// small enough that lazily-migrated beyond-horizon completions are never
+/// overrun and a fruitless wheel scan stays cheap, large enough to clear
+/// any realistic memory-stall gap in one step.
+const MAX_IDLE_SKIP: u64 = 4096;
 
 /// Options controlling a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,8 +172,17 @@ struct MissRateSnapshot {
 pub struct Pipeline<'t> {
     cfg: Config,
     cons: ConstantParams,
-    trace: &'t [Instr],
     options: SimOptions,
+
+    // Borrowed structure-of-arrays trace columns.
+    kinds: &'t [InstrKind],
+    src1: &'t [u32],
+    src2: &'t [u32],
+    pcs: &'t [u32],
+    addrs: &'t [u64],
+    takens: &'t [bool],
+    targets: &'t [u32],
+    metas: &'t [u8],
 
     icache: Cache,
     dcache: Cache,
@@ -131,42 +195,85 @@ pub struct Pipeline<'t> {
     l1d_lat: u64,
     l2_lat: u64,
     mem: MemorySpec,
+    /// `log2(l1_line_bytes)`: fetch derives the I-cache line by shift.
+    l1_line_shift: u32,
 
     cycle: u64,
-    /// Completion (result-available) cycle per trace index; `u64::MAX`
-    /// until scheduled.
-    complete: Vec<u64>,
-    rob: VecDeque<usize>,
-    iq: Vec<usize>,
+    /// Completion (result-available) cycle per in-flight trace position,
+    /// a power-of-two ring indexed by `idx & cmask`; `u64::MAX` from fetch
+    /// until scheduled. Positions below `committed` are complete by
+    /// definition (commit requires completion), so the window
+    /// `[committed, next_fetch)` — which the ring is sized to cover — is
+    /// the only range ever consulted.
+    complete: Box<[u64]>,
+    cmask: usize,
+
+    /// In-order stage cursors over trace positions. The ROB is
+    /// `[committed, dispatched)` and the fetch queue `[dispatched,
+    /// next_fetch)`; both hold consecutive positions by construction, so
+    /// the counters replace the queues outright.
+    committed: usize,
+    dispatched: usize,
+    next_fetch: usize,
+
+    /// Issue-queue positions in dispatch (program) order; fixed capacity
+    /// `cfg.iq`, compacted in place by the issue scan.
+    iq: Box<[u32]>,
+    /// Cached earliest-ready lower bound per `iq` entry, compacted
+    /// alongside it. `0` = not yet known; an unexpired bound rules an
+    /// entry out on a single compare, an expired one forces a re-probe of
+    /// the completion ring (bounds under [`PENDING`] are conservative).
+    iq_ready: Box<[u64]>,
+    iq_len: usize,
     lsq_occ: u32,
     phys_used: u32,
     rename_regs: u32,
 
-    fetch_q: VecDeque<usize>,
-    next_fetch: usize,
     fetch_stall_until: u64,
     fetch_blocked_on: Option<usize>,
     last_fetch_line: u64,
-    unresolved: Vec<usize>,
+    /// In-flight (unresolved) branch positions; fixed capacity
+    /// `cfg.max_branches`.
+    unresolved: Box<[u32]>,
+    unresolved_len: usize,
 
     /// Per-FU-class `busy_until` times: int ALU, int mul/div, FP ALU,
-    /// FP mul/div.
-    fu_busy: [Vec<u64>; 4],
+    /// FP mul/div. Fixed arrays; `fu_len` holds the pool sizes.
+    fu_busy: [[u64; MAX_FU]; 4],
+    fu_len: [u8; 4],
 
-    /// Writeback-port reservations: `(cycle_tag, used_ports)` ring.
-    wb_ring: Vec<(u64, u32)>,
+    /// Writeback-port reservations, a ring indexed by cycle: a slot is
+    /// live while `wb_tag` holds its cycle (0 = free: reservations are
+    /// strictly positive cycles), with `wb_used` ports taken. Zeroed
+    /// arrays keep construction on the allocator's zero-page fast path.
+    wb_tag: Box<[u64]>,
+    wb_used: Box<[u32]>,
 
     l2_free_at: u64,
     mem_free_at: u64,
 
-    committed: usize,
     /// Set when an issue attempt failed on a structural hazard (ports,
     /// units, width); forces a rescan next cycle.
     structural_block: bool,
     /// Whether anything was dispatched or completed since the last scan.
     scan_dirty: bool,
-    /// Sorted queue of scheduled completion times not yet reached.
-    wake: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
+    /// Wakeup wheel: slot `t & (WAKE_WHEEL-1)` holds `t` while a
+    /// completion is scheduled at cycle `t`. Stale tags are simply never
+    /// equal to the probing cycle, so no clearing pass is needed.
+    wheel: Box<[u64]>,
+    /// Completions scheduled beyond the wheel horizon (unreachable for
+    /// legal configurations; kept so the wheel cannot silently alias).
+    wheel_overflow: Vec<u64>,
+    /// Scan frontier for [`Pipeline::idle_skip`]: no wheel slot holds a
+    /// value `v` with `cycle < v < wake_floor`. Lowered whenever a wake is
+    /// scheduled below it, raised as idle scans prove ranges empty — so
+    /// consecutive skips never re-read slots already known to be clear.
+    wake_floor: u64,
+    /// Minimum of `iq_ready` over the current queue (`u64::MAX` when
+    /// empty): a lower bound on the earliest cycle *any* queued entry can
+    /// become ready. A wakeup below it provably issues nothing, so both
+    /// the issue scan and the idle fast-forward ignore such events.
+    iq_min_ready: u64,
 
     /// Invariant sanitizer; `None` when disabled, so the per-hook cost of
     /// a non-sanitized run is one skipped `Option` branch.
@@ -192,7 +299,22 @@ impl<'t> Pipeline<'t> {
             trace.len(),
             options.warmup
         );
+        assert!(trace.len() < u32::MAX as usize, "trace positions fit u32");
         let fu_cfg = cfg.functional_units();
+        let fu_len = [
+            fu_cfg.int_alu as u8,
+            fu_cfg.int_mul as u8,
+            fu_cfg.fp_alu as u8,
+            fu_cfg.fp_mul as u8,
+        ];
+        assert!(
+            fu_len.iter().all(|&c| c as usize <= MAX_FU),
+            "functional-unit pool exceeds MAX_FU"
+        );
+        assert!(
+            cons.l1_line_bytes.is_power_of_two(),
+            "l1 line bytes must be a power of two"
+        );
         let l1d_spec = SramSpec::ram(cfg.dcache_kb as u64 * 1024);
         let l2_spec = SramSpec::ram(cfg.l2_kb as u64 * 1024);
         let sanitize = options.sanitize || check::sanitize_default();
@@ -212,11 +334,23 @@ impl<'t> Pipeline<'t> {
         } else {
             None
         };
+        let fetch_cap = FETCH_QUEUE_WIDTHS * cfg.width as usize;
+        // The completion ring must cover every position in
+        // `[committed, next_fetch)` plus slack for same-cycle transitions.
+        let window = cfg.rob as usize + fetch_cap + 2 * cfg.width as usize;
+        let csize = window.next_power_of_two();
         Self {
             cfg: *cfg,
             cons: *cons,
-            trace: &trace.instrs,
             options,
+            kinds: trace.kinds(),
+            src1: trace.src1s(),
+            src2: trace.src2s(),
+            pcs: trace.pcs(),
+            addrs: trace.addrs(),
+            takens: trace.takens(),
+            targets: trace.targets(),
+            metas: trace.metas(),
             icache: Cache::new(
                 cfg.icache_kb as u64 * 1024,
                 cons.l1_line_bytes,
@@ -235,32 +369,36 @@ impl<'t> Pipeline<'t> {
             l1d_lat: l1d_spec.latency_cycles() as u64,
             l2_lat: l2_spec.latency_cycles() as u64,
             mem: MemorySpec::standard(),
+            l1_line_shift: cons.l1_line_bytes.trailing_zeros(),
             cycle: 0,
-            complete: vec![u64::MAX; trace.len()],
-            rob: VecDeque::with_capacity(cfg.rob as usize),
-            iq: Vec::with_capacity(cfg.iq as usize),
+            complete: vec![u64::MAX; csize].into_boxed_slice(),
+            cmask: csize - 1,
+            committed: 0,
+            dispatched: 0,
+            next_fetch: 0,
+            iq: vec![0; cfg.iq as usize].into_boxed_slice(),
+            iq_ready: vec![0; cfg.iq as usize].into_boxed_slice(),
+            iq_len: 0,
             lsq_occ: 0,
             phys_used: 0,
             rename_regs: cfg.rf.saturating_sub(ARCH_REGS).max(4),
-            fetch_q: VecDeque::with_capacity(FETCH_QUEUE_WIDTHS * cfg.width as usize),
-            next_fetch: 0,
             fetch_stall_until: 0,
             fetch_blocked_on: None,
             last_fetch_line: u64::MAX,
-            unresolved: Vec::with_capacity(cfg.max_branches as usize),
-            fu_busy: [
-                vec![0; fu_cfg.int_alu as usize],
-                vec![0; fu_cfg.int_mul as usize],
-                vec![0; fu_cfg.fp_alu as usize],
-                vec![0; fu_cfg.fp_mul as usize],
-            ],
-            wb_ring: vec![(u64::MAX, 0); WB_RING],
+            unresolved: vec![0; cfg.max_branches as usize].into_boxed_slice(),
+            unresolved_len: 0,
+            fu_busy: [[0; MAX_FU]; 4],
+            fu_len,
+            wb_tag: vec![0; WB_RING].into_boxed_slice(),
+            wb_used: vec![0; WB_RING].into_boxed_slice(),
             l2_free_at: 0,
             mem_free_at: 0,
-            committed: 0,
             structural_block: false,
             scan_dirty: true,
-            wake: std::collections::BinaryHeap::new(),
+            wheel: vec![0; WAKE_WHEEL].into_boxed_slice(),
+            wake_floor: 1,
+            iq_min_ready: u64::MAX,
+            wheel_overflow: Vec::with_capacity(16),
             checker: sanitize.then(InvariantChecker::new),
             check_fail,
         }
@@ -281,14 +419,62 @@ impl<'t> Pipeline<'t> {
     /// Current occupancy snapshot for the sanitizer.
     fn occupancy(&self) -> Occupancy {
         Occupancy {
-            rob: self.rob.len(),
-            iq: self.iq.len(),
+            rob: self.dispatched - self.committed,
+            iq: self.iq_len,
             lsq: self.lsq_occ,
             phys: self.phys_used,
-            fetch_q: self.fetch_q.len(),
-            branches: self.unresolved.len(),
+            fetch_q: self.next_fetch - self.dispatched,
+            branches: self.unresolved_len,
             fetched: self.next_fetch,
             committed: self.committed,
+        }
+    }
+
+    /// Completion cycle of in-flight position `idx` (ring lookup).
+    #[inline]
+    fn completion(&self, idx: usize) -> u64 {
+        self.complete[idx & self.cmask]
+    }
+
+    /// Earliest cycle at which the operand `d` instructions back from
+    /// `idx` can become available: 0 when absent or already committed
+    /// (ready now), the scheduled completion once the producer has issued,
+    /// a [`PENDING`]-published lower bound while it sits in the IQ, and
+    /// `cycle + 1` when nothing is known. The operand is ready exactly
+    /// when the bound is `<= self.cycle` (unknown/pending bounds are
+    /// always in the future).
+    #[inline]
+    fn op_bound(&self, idx: usize, d: u32) -> u64 {
+        if d == 0 {
+            return 0;
+        }
+        let p = idx - d as usize;
+        if p < self.committed {
+            return 0;
+        }
+        let v = self.complete[p & self.cmask];
+        if v == u64::MAX {
+            self.cycle + 1
+        } else if v & PENDING != 0 {
+            // An expired lower bound proves nothing: the producer is still
+            // unissued, so the operand is at least a cycle away.
+            (v & !PENDING).max(self.cycle + 1)
+        } else {
+            v
+        }
+    }
+
+    /// Schedules a wakeup probe for completion cycle `t` (strictly in the
+    /// future: every latency is ≥ 1 cycle).
+    #[inline]
+    fn wake_at(&mut self, t: u64) {
+        if t - self.cycle < WAKE_WHEEL as u64 {
+            self.wheel[(t as usize) & (WAKE_WHEEL - 1)] = t;
+            if t < self.wake_floor {
+                self.wake_floor = t;
+            }
+        } else {
+            self.wheel_overflow.push(t);
         }
     }
 
@@ -322,12 +508,13 @@ impl<'t> Pipeline<'t> {
     /// run against an independent reference (see [`crate::oracle`]).
     pub fn try_run_full(mut self) -> Result<RunRecord, CheckError> {
         let warmup = self.options.warmup;
+        let n = self.kinds.len();
         let mut warm_counters: Option<EnergyCounters> = None;
         let mut warm_cycle = 0u64;
         let mut warm_rates: Option<MissRateSnapshot> = None;
         let mut last_commit_cycle = 0u64;
 
-        while self.committed < self.trace.len() {
+        while self.committed < n {
             self.cycle += 1;
             self.counters.cycles += 1;
 
@@ -340,7 +527,7 @@ impl<'t> Pipeline<'t> {
                 "pipeline deadlock at cycle {} (committed {}/{}, cfg {})",
                 self.cycle,
                 self.committed,
-                self.trace.len(),
+                n,
                 self.cfg
             );
 
@@ -362,6 +549,15 @@ impl<'t> Pipeline<'t> {
                 warm_cycle = self.cycle;
                 warm_rates = Some(self.rates_snapshot());
             }
+
+            // Event-driven fast-forward: jump the clock over cycles in
+            // which no stage can act. Skipped cycles mutate no state, so
+            // results are bit-identical to stepping through them.
+            if self.committed < n {
+                let skip = self.idle_skip();
+                self.cycle += skip;
+                self.counters.cycles += skip;
+            }
         }
 
         if let Some(chk) = self.checker.take() {
@@ -370,7 +566,7 @@ impl<'t> Pipeline<'t> {
 
         let warm_counters = warm_counters.unwrap_or_default();
         let measured = self.counters.since(&warm_counters);
-        let instructions = (self.trace.len() - warmup.min(self.trace.len())) as u64;
+        let instructions = (n - warmup.min(n)) as u64;
         let cycles = self.cycle - warm_cycle;
         let energy_nj = measured.total_nj(&self.energy_model);
         let zero = MissRateSnapshot {
@@ -416,7 +612,7 @@ impl<'t> Pipeline<'t> {
         Ok(RunRecord {
             result,
             counters: measured,
-            model: self.energy_model.clone(),
+            model: self.energy_model,
         })
     }
 
@@ -425,8 +621,8 @@ impl<'t> Pipeline<'t> {
     /// all agree. Uses the *full-run* counters, before any warm-up
     /// subtraction, so the comparison is exact.
     fn final_checks(&self, chk: &InvariantChecker) -> Result<(), CheckError> {
-        let n = self.trace.len() as u64;
-        chk.on_finish(self.trace.len())?;
+        let n = self.kinds.len() as u64;
+        chk.on_finish(self.kinds.len())?;
 
         // Per-structure self-consistency.
         self.icache.check_invariants("l1i")?;
@@ -478,30 +674,135 @@ impl<'t> Pipeline<'t> {
         }
     }
 
+    /// Length of an exact idle fast-forward from the current end-of-cycle
+    /// state: how many upcoming cycles provably pass with *no* stage able
+    /// to act, so the run loop may advance the clock over them in one
+    /// step. Returns 0 whenever any stage might act next cycle.
+    ///
+    /// The per-stage obligations are local:
+    ///
+    /// * issue acts only on a wakeup-wheel event, a pending rescan
+    ///   (`scan_dirty`) or a structural retry (`structural_block`);
+    /// * commit acts only when the ROB head's completion cycle arrives —
+    ///   known from the ring, or wake-gated for an unissued head;
+    /// * dispatch acts only when the fetch queue is non-empty and its head
+    ///   clears the ROB/IQ/LSQ/register caps, all of which change only
+    ///   via commit, issue or fetch;
+    /// * fetch acts only when unblocked (mispredict resolution is a wheel
+    ///   event), unstalled (`fetch_stall_until` is known), the queue has
+    ///   room (dispatch-gated) and trace instructions remain. Deferring
+    ///   its per-cycle resolved-branch retire is invisible: the retained
+    ///   set at the landing cycle is the same either way, and no fetch
+    ///   (hence no ring reuse) happens in between.
+    ///
+    /// Skipped cycles therefore mutate no state — every counter, cache,
+    /// predictor and queue is bit-identical to stepping one by one; only
+    /// the clock advances, by the same amount either way. (The method is
+    /// `&mut self` solely to advance the `wake_floor` scan frontier, a
+    /// pure cache over the wheel's contents.)
+    fn idle_skip(&mut self) -> u64 {
+        if self.scan_dirty || self.structural_block {
+            return 0;
+        }
+        // Dispatch must be unable to act on the current head.
+        if self.dispatched < self.next_fetch {
+            let m = self.metas[self.dispatched];
+            let blocked = self.dispatched - self.committed >= self.cfg.rob as usize
+                || self.iq_len >= self.cfg.iq as usize
+                || (m & meta::IS_MEM != 0 && self.lsq_occ >= self.cfg.lsq)
+                || (m & meta::HAS_DEST != 0 && self.phys_used >= self.rename_regs);
+            if !blocked {
+                return 0;
+            }
+        }
+        // Fetch must be inert.
+        let mut bound = self.cycle + MAX_IDLE_SKIP;
+        if let Some(b) = self.fetch_blocked_on {
+            let done = self.completion(b);
+            if done <= self.cycle {
+                return 0; // resolves on the next fetch call
+            }
+            // An issued mispredict resolves at its exact completion; its
+            // wakeup may be filtered below as fruitless for the IQ, so
+            // bound the skip here. (Unissued: gated by `iq_min_ready`.)
+            if done != u64::MAX && done & PENDING == 0 {
+                bound = bound.min(done);
+            }
+        } else if self.cycle < self.fetch_stall_until {
+            bound = bound.min(self.fetch_stall_until);
+        } else if self.next_fetch < self.kinds.len()
+            && self.next_fetch - self.dispatched < FETCH_QUEUE_WIDTHS * self.cfg.width as usize
+        {
+            // Fetch can act (conservatively includes branch-limit waits).
+            return 0;
+        }
+        // The ROB head's completion bounds the skip; an unissued head
+        // commits only after a wake-driven issue. A width-limited commit
+        // can leave the head already complete (`done <= cycle`), in which
+        // case commit acts next cycle and the skip collapses to zero.
+        if self.committed < self.dispatched {
+            let done = self.completion(self.committed);
+            if done != u64::MAX {
+                if done <= self.cycle {
+                    return 0;
+                }
+                bound = bound.min(done);
+            }
+        }
+        // Beyond-horizon completions migrate lazily in issue(); never
+        // skip past one (the list is almost always empty).
+        for &t in &self.wheel_overflow {
+            bound = bound.min(t);
+        }
+        // The earliest scheduled wakeup bounds everything else: scan the
+        // wheel across the candidate gap. The scan costs one slot read
+        // per skipped cycle — far below a full pipeline step — and the
+        // `wake_floor` frontier makes it incremental: slots a previous
+        // scan already proved empty are never re-read. Wakeups below
+        // `iq_min_ready` are skipped over: the issue scan they would
+        // trigger is provably fruitless, and every other stage's
+        // obligation is bounded explicitly above. A filtered wakeup ends
+        // up behind the landing cycle (`target - 1`), so advancing the
+        // frontier over it can never hide a still-future event.
+        let mut target = bound;
+        let mut t = (self.cycle + 1).max(self.wake_floor);
+        while t < target {
+            if self.wheel[(t as usize) & (WAKE_WHEEL - 1)] == t && t >= self.iq_min_ready {
+                target = t;
+            }
+            t += 1;
+        }
+        self.wake_floor = target;
+        target - (self.cycle + 1)
+    }
+
     // ------------------------------------------------------------------
     // Commit
     // ------------------------------------------------------------------
     fn commit(&mut self) -> u32 {
         let mut n = 0;
         while n < self.cfg.width {
-            let Some(&idx) = self.rob.front() else { break };
-            if self.complete[idx] > self.cycle {
+            if self.committed >= self.dispatched {
+                break; // ROB empty
+            }
+            let idx = self.committed;
+            let done = self.completion(idx);
+            if done > self.cycle {
                 break;
             }
-            self.rob.pop_front();
             if self.checker.is_some() {
-                let (complete, cycle) = (self.complete[idx], self.cycle);
+                let cycle = self.cycle;
                 if let Some(chk) = self.checker.as_mut() {
-                    if let Err(e) = chk.on_commit(idx, complete, cycle) {
+                    if let Err(e) = chk.on_commit(idx, done, cycle) {
                         self.check_fail.get_or_insert(e);
                     }
                 }
             }
-            let ins = &self.trace[idx];
-            if ins.kind.is_mem() {
+            let m = self.metas[idx];
+            if m & meta::IS_MEM != 0 {
                 self.lsq_occ -= 1;
             }
-            if ins.kind.has_dest() {
+            if m & meta::HAS_DEST != 0 {
                 self.phys_used -= 1;
             }
             self.counters.rob_reads += 1;
@@ -515,76 +816,133 @@ impl<'t> Pipeline<'t> {
     // Issue
     // ------------------------------------------------------------------
     fn issue(&mut self) {
-        // Drain expired wakeups; a scan is only worthwhile when something
+        // Probe the wakeup wheel; a scan is only worthwhile when something
         // changed (a completion landed, a dispatch happened, or the last
         // scan failed on a structural hazard that time alone resolves).
-        let mut woke = false;
-        while let Some(&std::cmp::Reverse(t)) = self.wake.peek() {
-            if t <= self.cycle {
-                self.wake.pop();
-                woke = true;
-            } else {
-                break;
+        let mut woke = self.wheel[(self.cycle as usize) & (WAKE_WHEEL - 1)] == self.cycle;
+        if !self.wheel_overflow.is_empty() {
+            let cycle = self.cycle;
+            let mut i = 0;
+            while i < self.wheel_overflow.len() {
+                let t = self.wheel_overflow[i];
+                if t <= cycle {
+                    woke = true;
+                    self.wheel_overflow.swap_remove(i);
+                } else if t - cycle < WAKE_WHEEL as u64 {
+                    self.wheel[(t as usize) & (WAKE_WHEEL - 1)] = t;
+                    if t < self.wake_floor {
+                        self.wake_floor = t;
+                    }
+                    self.wheel_overflow.swap_remove(i);
+                } else {
+                    i += 1;
+                }
             }
         }
         if !woke && !self.scan_dirty && !self.structural_block {
             return;
         }
+        // A wakeup with every cached ready bound still in the future is
+        // provably fruitless: bounds are conservative (an entry is never
+        // ready before its bound), so the scan would keep every entry and
+        // issue nothing. Bounds affect only when work happens, never its
+        // outcome, so eliding the scan is bit-exact.
+        if !self.scan_dirty && !self.structural_block && self.iq_min_ready > self.cycle {
+            return;
+        }
         self.scan_dirty = false;
         self.structural_block = false;
 
+        let cycle = self.cycle;
+        let mut min = u64::MAX;
         let mut issued = 0u32;
         let mut reads_used = 0u32;
         let mut mem_ports_used = 0u32;
-        let mut i = 0;
-        while i < self.iq.len() && issued < self.cfg.width {
-            let idx = self.iq[i];
-            let ins = self.trace[idx];
+        let len = self.iq_len;
+        let mut r = 0usize;
+        let mut w = 0usize;
+        while r < len {
+            if issued >= self.cfg.width {
+                break;
+            }
+            let idx = self.iq[r] as usize;
+            let rt = self.iq_ready[r];
+            r += 1;
 
-            // Operand readiness (results forward the cycle they complete).
-            let ready = |d: u32| d == 0 || self.complete[idx - d as usize] <= self.cycle;
-            if !(ready(ins.src1) && ready(ins.src2)) {
-                i += 1;
+            // Operand readiness (results forward the cycle they complete):
+            // an unexpired cached lower bound rules the entry out on one
+            // compare; otherwise re-derive the bound from the ring.
+            if rt > cycle {
+                self.iq[w] = idx as u32;
+                self.iq_ready[w] = rt;
+                min = min.min(rt);
+                w += 1;
+                continue;
+            }
+            let d1 = self.src1[idx];
+            let d2 = self.src2[idx];
+            let rt = self.op_bound(idx, d1).max(self.op_bound(idx, d2));
+            if rt > cycle {
+                // Not ready: cache the ready bound and publish a completion
+                // lower bound (ready + 1 = issue + minimum latency) so that
+                // dependants — later in this same program-ordered scan and
+                // in later scans — bound whole chains without re-probing.
+                self.iq[w] = idx as u32;
+                self.iq_ready[w] = rt;
+                self.complete[idx & self.cmask] = (rt + 1) | PENDING;
+                min = min.min(rt);
+                w += 1;
                 continue;
             }
 
             // Register-file read ports.
-            let nsrc = (ins.src1 > 0) as u32 + (ins.src2 > 0) as u32;
+            let nsrc = (d1 > 0) as u32 + (d2 > 0) as u32;
             if reads_used + nsrc > self.cfg.rf_read {
                 self.structural_block = true;
-                i += 1;
+                self.iq[w] = idx as u32;
+                self.iq_ready[w] = rt;
+                min = min.min(rt);
+                w += 1;
                 continue;
             }
 
             // Cache ports for memory operations.
-            if ins.kind.is_mem() && mem_ports_used >= self.cons.mem_ports {
+            let m = self.metas[idx];
+            if m & meta::IS_MEM != 0 && mem_ports_used >= self.cons.mem_ports {
                 self.structural_block = true;
-                i += 1;
+                self.iq[w] = idx as u32;
+                self.iq_ready[w] = rt;
+                min = min.min(rt);
+                w += 1;
                 continue;
             }
 
             // Functional unit.
-            let class = fu_class(ins.kind);
-            let Some(unit) = self.fu_busy[class].iter().position(|&b| b <= self.cycle) else {
+            let class = (m & meta::FU_MASK) as usize;
+            let pool = self.fu_len[class] as usize;
+            let Some(unit) = self.fu_busy[class][..pool].iter().position(|&b| b <= cycle) else {
                 self.structural_block = true;
-                i += 1;
+                self.iq[w] = idx as u32;
+                self.iq_ready[w] = rt;
+                min = min.min(rt);
+                w += 1;
                 continue;
             };
 
             // --- the instruction issues ---
-            let (exec_done, unit_busy_until) = self.execute_latency(&ins);
+            let (exec_done, unit_busy_until) = self.execute_latency(self.kinds[idx], idx);
             self.fu_busy[class][unit] = unit_busy_until;
             reads_used += nsrc;
             self.counters.rf_reads += nsrc as u64;
             self.counters.iq_wakeups += 1;
             self.counters.fu_ops[class] += 1;
-            if ins.kind.is_mem() {
+            if m & meta::IS_MEM != 0 {
                 mem_ports_used += 1;
                 self.counters.lsq_searches += 1;
             }
 
             // Writeback port reservation for result-producing instructions.
-            let done = if ins.kind.has_dest() {
+            let done = if m & meta::HAS_DEST != 0 {
                 let slot = self.reserve_wb(exec_done);
                 self.counters.rf_writes += 1;
                 self.counters.rob_writes += 1;
@@ -592,14 +950,23 @@ impl<'t> Pipeline<'t> {
             } else {
                 exec_done
             };
-            self.complete[idx] = done;
-            self.wake.push(std::cmp::Reverse(done));
-            self.iq.remove(i);
+            self.complete[idx & self.cmask] = done;
+            self.wake_at(done);
             issued += 1;
             if issued == self.cfg.width {
                 self.structural_block = true; // width-limited: retry next cycle
             }
         }
+        // Compact the unexamined tail (the scan stopped at the width limit).
+        while r < len {
+            self.iq[w] = self.iq[r];
+            self.iq_ready[w] = self.iq_ready[r];
+            min = min.min(self.iq_ready[w]);
+            r += 1;
+            w += 1;
+        }
+        self.iq_len = w;
+        self.iq_min_ready = min;
 
         if let Some(chk) = self.checker.as_ref() {
             if let Err(e) = chk.on_issue(
@@ -614,11 +981,11 @@ impl<'t> Pipeline<'t> {
         }
     }
 
-    /// Returns `(result_ready_cycle, fu_busy_until)` for an instruction
-    /// issuing this cycle.
-    fn execute_latency(&mut self, ins: &Instr) -> (u64, u64) {
+    /// Returns `(result_ready_cycle, fu_busy_until)` for the instruction
+    /// at trace position `idx` issuing this cycle.
+    fn execute_latency(&mut self, kind: InstrKind, idx: usize) -> (u64, u64) {
         let c = self.cycle;
-        match ins.kind {
+        match kind {
             InstrKind::IntAlu | InstrKind::Branch => (c + self.cons.int_alu_latency as u64, c + 1),
             InstrKind::IntMul => (c + self.cons.int_mul_latency as u64, c + 1),
             InstrKind::IntDiv => {
@@ -632,14 +999,14 @@ impl<'t> Pipeline<'t> {
                 (c + l, c + l) // non-pipelined
             }
             InstrKind::Load => {
-                let ready = self.data_access(ins.addr, c);
+                let ready = self.data_access(self.addrs[idx], c);
                 (ready, c + 1)
             }
             InstrKind::Store => {
                 // The store writes its buffer entry in one cycle; the cache
                 // update (and any miss traffic) happens off the critical
                 // path but still consumes hierarchy bandwidth and energy.
-                let _ = self.data_access(ins.addr, c);
+                let _ = self.data_access(self.addrs[idx], c);
                 (c + 1, c + 1)
             }
         }
@@ -677,15 +1044,16 @@ impl<'t> Pipeline<'t> {
         let ports = self.cfg.rf_write;
         let mut t = at;
         loop {
-            let slot = &mut self.wb_ring[(t as usize) & (WB_RING - 1)];
-            if slot.0 != t {
-                *slot = (t, 1);
+            let slot = (t as usize) & (WB_RING - 1);
+            if self.wb_tag[slot] != t {
+                self.wb_tag[slot] = t;
+                self.wb_used[slot] = 1;
                 return t;
             }
-            if slot.1 < ports {
-                slot.1 += 1;
+            if self.wb_used[slot] < ports {
+                self.wb_used[slot] += 1;
                 if let Some(chk) = self.checker.as_ref() {
-                    if let Err(e) = chk.on_writeback_grant(slot.1, ports, t) {
+                    if let Err(e) = chk.on_writeback_grant(self.wb_used[slot], ports, t) {
                         self.check_fail.get_or_insert(e);
                     }
                 }
@@ -704,26 +1072,33 @@ impl<'t> Pipeline<'t> {
     // Dispatch (rename)
     // ------------------------------------------------------------------
     fn dispatch(&mut self) {
+        let rob_cap = self.cfg.rob as usize;
+        let iq_cap = self.cfg.iq as usize;
         let mut n = 0;
         while n < self.cfg.width {
-            let Some(&idx) = self.fetch_q.front() else {
-                break;
-            };
-            let ins = self.trace[idx];
-            if self.rob.len() >= self.cfg.rob as usize
-                || self.iq.len() >= self.cfg.iq as usize
-                || (ins.kind.is_mem() && self.lsq_occ >= self.cfg.lsq)
-                || (ins.kind.has_dest() && self.phys_used >= self.rename_regs)
+            if self.dispatched >= self.next_fetch {
+                break; // fetch queue empty
+            }
+            let idx = self.dispatched;
+            let m = self.metas[idx];
+            let is_mem = m & meta::IS_MEM != 0;
+            let has_dest = m & meta::HAS_DEST != 0;
+            if self.dispatched - self.committed >= rob_cap
+                || self.iq_len >= iq_cap
+                || (is_mem && self.lsq_occ >= self.cfg.lsq)
+                || (has_dest && self.phys_used >= self.rename_regs)
             {
                 break;
             }
-            self.fetch_q.pop_front();
-            self.rob.push_back(idx);
-            self.iq.push(idx);
-            if ins.kind.is_mem() {
+            self.dispatched += 1;
+            self.iq[self.iq_len] = idx as u32;
+            self.iq_ready[self.iq_len] = 0;
+            self.iq_min_ready = 0;
+            self.iq_len += 1;
+            if is_mem {
                 self.lsq_occ += 1;
             }
-            if ins.kind.has_dest() {
+            if has_dest {
                 self.phys_used += 1;
             }
             self.counters.renamed += 1;
@@ -741,8 +1116,9 @@ impl<'t> Pipeline<'t> {
         // A mispredicted branch blocks fetch until it resolves, then the
         // front end refills.
         if let Some(b) = self.fetch_blocked_on {
-            if self.complete[b] != u64::MAX && self.complete[b] <= self.cycle {
-                self.fetch_stall_until = self.complete[b] + self.cons.frontend_depth as u64;
+            let done = self.completion(b);
+            if done != u64::MAX && done <= self.cycle {
+                self.fetch_stall_until = done + self.cons.frontend_depth as u64;
                 self.fetch_blocked_on = None;
             } else {
                 return;
@@ -751,50 +1127,67 @@ impl<'t> Pipeline<'t> {
         if self.cycle < self.fetch_stall_until {
             return;
         }
-        self.unresolved.retain(|&b| self.complete[b] > self.cycle);
+        // Retire resolved branches from the in-flight set (in place, in
+        // order). Entries may already be committed; their ring slots are
+        // still intact because no fetch has happened since they resolved.
+        {
+            let mut w = 0usize;
+            for r in 0..self.unresolved_len {
+                let b = self.unresolved[r];
+                if self.complete[(b as usize) & self.cmask] > self.cycle {
+                    self.unresolved[w] = b;
+                    w += 1;
+                }
+            }
+            self.unresolved_len = w;
+        }
 
         let cap = FETCH_QUEUE_WIDTHS * self.cfg.width as usize;
+        let n = self.kinds.len();
         let mut fetched = 0;
         while fetched < self.cfg.width
-            && self.fetch_q.len() < cap
-            && self.next_fetch < self.trace.len()
+            && self.next_fetch - self.dispatched < cap
+            && self.next_fetch < n
         {
             let idx = self.next_fetch;
-            let ins = self.trace[idx];
+            let pc = self.pcs[idx] as u64;
 
             // I-cache: one access per new line.
-            let line = (ins.pc as u64) / self.cons.l1_line_bytes as u64;
+            let line = pc >> self.l1_line_shift;
             if line != self.last_fetch_line {
                 self.counters.icache_accesses += 1;
-                let outcome = self.icache.access(ins.pc as u64);
+                let outcome = self.icache.access(pc);
                 self.last_fetch_line = line;
                 if outcome == CacheOutcome::Miss {
-                    let ready = self.l2_access(ins.pc as u64, self.cycle);
+                    let ready = self.l2_access(pc, self.cycle);
                     self.fetch_stall_until = ready;
                     return;
                 }
             }
 
-            if ins.kind == InstrKind::Branch {
-                if self.unresolved.len() >= self.cfg.max_branches as usize {
+            if self.metas[idx] & meta::IS_BRANCH != 0 {
+                if self.unresolved_len >= self.cfg.max_branches as usize {
                     return; // in-flight branch limit
                 }
                 self.counters.bpred_accesses += 1;
                 self.counters.btb_accesses += 1;
-                let pred_taken = self.gshare.predict(ins.pc as u64);
-                let btb_target = self.btb.lookup(ins.pc as u64);
+                let taken = self.takens[idx];
+                let target = self.targets[idx];
+                let pred_taken = self.gshare.predict(pc);
+                let btb_target = self.btb.lookup(pc);
                 // A taken prediction is only useful with a correct target.
-                let correct = if ins.taken {
-                    pred_taken && btb_target == Some(ins.target)
+                let correct = if taken {
+                    pred_taken && btb_target == Some(target)
                 } else {
                     !pred_taken
                 };
-                self.gshare.update(ins.pc as u64, ins.taken);
-                if ins.taken {
-                    self.btb.update(ins.pc as u64, ins.target);
+                self.gshare.update(pc, taken);
+                if taken {
+                    self.btb.update(pc, target);
                 }
-                self.unresolved.push(idx);
-                self.fetch_q.push_back(idx);
+                self.unresolved[self.unresolved_len] = idx as u32;
+                self.unresolved_len += 1;
+                self.complete[idx & self.cmask] = u64::MAX;
                 self.counters.fetched += 1;
                 self.next_fetch += 1;
                 fetched += 1;
@@ -802,14 +1195,14 @@ impl<'t> Pipeline<'t> {
                     self.fetch_blocked_on = Some(idx);
                     return;
                 }
-                if ins.taken {
+                if taken {
                     // Redirect: correctly-predicted taken branches end the
                     // fetch group.
                     self.last_fetch_line = u64::MAX;
                     return;
                 }
             } else {
-                self.fetch_q.push_back(idx);
+                self.complete[idx & self.cmask] = u64::MAX;
                 self.counters.fetched += 1;
                 self.next_fetch += 1;
                 fetched += 1;
@@ -818,25 +1211,13 @@ impl<'t> Pipeline<'t> {
     }
 }
 
-fn fu_class(kind: InstrKind) -> usize {
-    match kind {
-        InstrKind::IntAlu | InstrKind::Branch | InstrKind::Load | InstrKind::Store => 0,
-        InstrKind::IntMul | InstrKind::IntDiv => 1,
-        InstrKind::FpAlu => 2,
-        InstrKind::FpMul | InstrKind::FpDiv => 3,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dse_workload::Trace;
+    use dse_workload::{Instr, Trace};
 
     fn mk_trace(instrs: Vec<Instr>) -> Trace {
-        Trace {
-            name: "unit".to_string(),
-            instrs,
-        }
+        Trace::new("unit", instrs)
     }
 
     fn alu(pc: u32) -> Instr {

@@ -45,4 +45,4 @@ pub mod suites;
 pub mod trace;
 
 pub use profile::{BranchClass, Profile, Suite};
-pub use trace::{Instr, InstrKind, Trace, TraceGenerator};
+pub use trace::{meta, Instr, InstrKind, Trace, TraceGenerator};

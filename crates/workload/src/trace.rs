@@ -57,6 +57,45 @@ impl InstrKind {
     pub fn has_dest(self) -> bool {
         !matches!(self, InstrKind::Store | InstrKind::Branch)
     }
+
+    /// Functional-unit class: 0 int ALU / branch / memory, 1 int mul-div,
+    /// 2 FP ALU, 3 FP mul-div (Table 2b's width-scaled unit pools).
+    pub fn fu_class(self) -> usize {
+        match self {
+            InstrKind::IntAlu | InstrKind::Branch | InstrKind::Load | InstrKind::Store => 0,
+            InstrKind::IntMul | InstrKind::IntDiv => 1,
+            InstrKind::FpAlu => 2,
+            InstrKind::FpMul | InstrKind::FpDiv => 3,
+        }
+    }
+}
+
+/// Packed per-instruction decode byte, precomputed once per trace so the
+/// simulator's hot loop reads one byte instead of matching on
+/// [`InstrKind`] repeatedly. See [`meta`] for the bit layout.
+pub mod meta {
+    use super::InstrKind;
+
+    /// Bits 0–1: functional-unit class ([`InstrKind::fu_class`]).
+    pub const FU_MASK: u8 = 0b11;
+    /// Bit 2: accesses data memory.
+    pub const IS_MEM: u8 = 1 << 2;
+    /// Bit 3: produces a register result.
+    pub const HAS_DEST: u8 = 1 << 3;
+    /// Bit 4: conditional branch.
+    pub const IS_BRANCH: u8 = 1 << 4;
+
+    /// Packs the decode byte for one instruction kind.
+    pub fn pack(kind: InstrKind) -> u8 {
+        (kind.fu_class() as u8)
+            | if kind.is_mem() { IS_MEM } else { 0 }
+            | if kind.has_dest() { HAS_DEST } else { 0 }
+            | if kind == InstrKind::Branch {
+                IS_BRANCH
+            } else {
+                0
+            }
+    }
 }
 
 /// One dynamic instruction of a trace.
@@ -80,31 +119,139 @@ pub struct Instr {
 }
 
 /// A dynamic instruction trace for one benchmark.
+///
+/// Stored as a structure of arrays: each [`Instr`] field lives in its own
+/// column, plus a precomputed [`meta`] decode byte per instruction. The
+/// simulator borrows the columns immutably, so one trace generated per
+/// benchmark is shared by every sweep simulation, and the hot loop touches
+/// only the columns a stage needs (issue reads dependencies and the decode
+/// byte, fetch reads PCs — never the full 40-byte instruction record).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Benchmark name.
     pub name: String,
-    /// The instructions in program (commit) order.
-    pub instrs: Vec<Instr>,
+    kinds: Vec<InstrKind>,
+    src1: Vec<u32>,
+    src2: Vec<u32>,
+    pcs: Vec<u32>,
+    addrs: Vec<u64>,
+    takens: Vec<bool>,
+    targets: Vec<u32>,
+    metas: Vec<u8>,
 }
 
 impl Trace {
+    /// Builds a trace from instructions in program (commit) order.
+    pub fn new(name: impl Into<String>, instrs: impl IntoIterator<Item = Instr>) -> Self {
+        let it = instrs.into_iter();
+        let mut t = Self::with_capacity(name, it.size_hint().0);
+        for ins in it {
+            t.push(ins);
+        }
+        t
+    }
+
+    /// An empty trace with room for `cap` instructions.
+    pub fn with_capacity(name: impl Into<String>, cap: usize) -> Self {
+        Self {
+            name: name.into(),
+            kinds: Vec::with_capacity(cap),
+            src1: Vec::with_capacity(cap),
+            src2: Vec::with_capacity(cap),
+            pcs: Vec::with_capacity(cap),
+            addrs: Vec::with_capacity(cap),
+            takens: Vec::with_capacity(cap),
+            targets: Vec::with_capacity(cap),
+            metas: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one instruction, deriving its decode byte.
+    pub fn push(&mut self, ins: Instr) {
+        self.kinds.push(ins.kind);
+        self.src1.push(ins.src1);
+        self.src2.push(ins.src2);
+        self.pcs.push(ins.pc);
+        self.addrs.push(ins.addr);
+        self.takens.push(ins.taken);
+        self.targets.push(ins.target);
+        self.metas.push(meta::pack(ins.kind));
+    }
+
     /// Number of instructions.
     pub fn len(&self) -> usize {
-        self.instrs.len()
+        self.kinds.len()
     }
 
     /// Whether the trace is empty.
     pub fn is_empty(&self) -> bool {
-        self.instrs.is_empty()
+        self.kinds.is_empty()
+    }
+
+    /// The instruction at position `i`, reassembled from the columns.
+    pub fn get(&self, i: usize) -> Instr {
+        Instr {
+            kind: self.kinds[i],
+            src1: self.src1[i],
+            src2: self.src2[i],
+            pc: self.pcs[i],
+            addr: self.addrs[i],
+            taken: self.takens[i],
+            target: self.targets[i],
+        }
+    }
+
+    /// Iterates the instructions in program order (by value, reassembled).
+    pub fn iter(&self) -> impl Iterator<Item = Instr> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Instruction-kind column.
+    pub fn kinds(&self) -> &[InstrKind] {
+        &self.kinds
+    }
+
+    /// First-source dependency-distance column (0 = no dependency).
+    pub fn src1s(&self) -> &[u32] {
+        &self.src1
+    }
+
+    /// Second-source dependency-distance column.
+    pub fn src2s(&self) -> &[u32] {
+        &self.src2
+    }
+
+    /// Instruction-address column.
+    pub fn pcs(&self) -> &[u32] {
+        &self.pcs
+    }
+
+    /// Effective-address column (0 for non-memory instructions).
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+
+    /// Branch-outcome column (false for non-branches).
+    pub fn takens(&self) -> &[bool] {
+        &self.takens
+    }
+
+    /// Branch-target column (0 for non-branches).
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Precomputed per-instruction decode bytes (see [`meta`]).
+    pub fn metas(&self) -> &[u8] {
+        &self.metas
     }
 
     /// Dynamic count of each instruction kind, indexed by position in
     /// [`InstrKind::ALL`].
     pub fn kind_histogram(&self) -> [u64; 9] {
         let mut h = [0u64; 9];
-        for ins in &self.instrs {
-            let idx = InstrKind::ALL.iter().position(|&k| k == ins.kind).unwrap();
+        for &kind in &self.kinds {
+            let idx = InstrKind::ALL.iter().position(|&k| k == kind).unwrap();
             h[idx] += 1;
         }
         h
@@ -283,7 +430,7 @@ impl TraceGenerator {
     /// Generates a dynamic trace of exactly `len` instructions.
     pub fn generate(&self, len: usize) -> Trace {
         let mut rng = Xoshiro256::seed_from(self.profile.seed ^ 0x5452_4143); // "TRAC"
-        let mut out = Vec::with_capacity(len);
+        let mut out = Trace::with_capacity(self.profile.name.to_string(), len);
         let mut branch_state = vec![BranchState::default(); self.blocks.len()];
         let mut block = 0usize;
         let mut stream_ptr: u64 = 0;
@@ -336,7 +483,7 @@ impl TraceGenerator {
             // Follow the branch (the block's last instruction) if it was
             // emitted in full; otherwise we filled the trace mid-block.
             if take == b.len {
-                let taken = out.last().map(|i| i.taken).unwrap_or(false);
+                let taken = out.takens().last().copied().unwrap_or(false);
                 block = if taken {
                     b.taken_target
                 } else {
@@ -352,10 +499,7 @@ impl TraceGenerator {
             }
         }
 
-        Trace {
-            name: self.profile.name.to_string(),
-            instrs: out,
-        }
+        out
     }
 
     fn branch_outcome(&self, rng: &mut Xoshiro256, block: usize, state: &mut BranchState) -> bool {
@@ -535,9 +679,9 @@ mod tests {
         let p = profile();
         let t = TraceGenerator::new(&p).generate(50_000);
         let branches = t
-            .instrs
+            .kinds()
             .iter()
-            .filter(|i| i.kind == InstrKind::Branch)
+            .filter(|&&k| k == InstrKind::Branch)
             .count();
         let frac = branches as f64 / t.len() as f64;
         let expect = p.branch_fraction();
@@ -551,7 +695,7 @@ mod tests {
     fn memory_fraction_tracks_mix() {
         let p = profile();
         let t = TraceGenerator::new(&p).generate(50_000);
-        let mem = t.instrs.iter().filter(|i| i.kind.is_mem()).count();
+        let mem = t.kinds().iter().filter(|k| k.is_mem()).count();
         let frac = mem as f64 / t.len() as f64;
         let expect = p.memory_fraction() * (1.0 - p.branch_fraction());
         assert!(
@@ -563,7 +707,7 @@ mod tests {
     #[test]
     fn deps_never_reach_before_trace_start() {
         let t = TraceGenerator::new(&profile()).generate(200);
-        for (i, ins) in t.instrs.iter().enumerate() {
+        for (i, ins) in t.iter().enumerate() {
             assert!(ins.src1 as usize <= i, "src1 at {i}");
             assert!(ins.src2 as usize <= i, "src2 at {i}");
         }
@@ -572,7 +716,7 @@ mod tests {
     #[test]
     fn mem_ops_have_addresses_others_do_not() {
         let t = TraceGenerator::new(&profile()).generate(5_000);
-        for ins in &t.instrs {
+        for ins in t.iter() {
             if ins.kind.is_mem() {
                 assert_ne!(ins.addr, 0);
             } else {
@@ -584,7 +728,7 @@ mod tests {
     #[test]
     fn branches_have_targets() {
         let t = TraceGenerator::new(&profile()).generate(5_000);
-        for ins in &t.instrs {
+        for ins in t.iter() {
             if ins.kind == InstrKind::Branch {
                 assert!(ins.target >= CODE_BASE);
             } else {
@@ -598,7 +742,7 @@ mod tests {
         let p = profile();
         let t = TraceGenerator::new(&p).generate(20_000);
         let code_end = CODE_BASE + p.code_kb * 1024;
-        for ins in &t.instrs {
+        for ins in t.iter() {
             assert!(ins.pc >= CODE_BASE && ins.pc < code_end);
         }
     }
@@ -614,7 +758,6 @@ mod tests {
         let span = |p: &Profile| {
             let t = TraceGenerator::new(p).generate(50_000);
             let addrs: Vec<u64> = t
-                .instrs
                 .iter()
                 .filter(|i| i.kind.is_mem())
                 .map(|i| i.addr)
@@ -645,7 +788,6 @@ mod tests {
         p.loop_mean = 10.0;
         let t = TraceGenerator::new(&p).generate(30_000);
         let (taken, total) = t
-            .instrs
             .iter()
             .filter(|i| i.kind == InstrKind::Branch)
             .fold((0u32, 0u32), |(tk, tot), i| (tk + i.taken as u32, tot + 1));

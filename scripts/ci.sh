@@ -20,9 +20,15 @@ cargo test -q --offline
 echo "== ARCHDSE_SANITIZE=1 cargo test -q --offline =="
 ARCHDSE_SANITIZE=1 cargo test -q --offline
 
-# Smoke-run the bench harness (release, sanitizer off) so it keeps
-# compiling and running; DSE_QUICK trims it to a few seconds.
-echo "== DSE_QUICK=1 bench_sim smoke =="
-DSE_QUICK=1 cargo run --release --offline -q -p dse-bench --bin bench_sim
+# Perf gate: quick bench run compared against the committed baseline
+# (BENCH_sim.json); a >25% median regression on any row fails the build.
+# Constrained or noisy runners can skip it with DSE_BENCH_SKIP=1.
+if [ "${DSE_BENCH_SKIP:-0}" = "1" ]; then
+  echo "== bench gate skipped (DSE_BENCH_SKIP=1) =="
+else
+  echo "== DSE_QUICK=1 bench_sim vs BENCH_sim.json (>25% median regression fails) =="
+  DSE_QUICK=1 DSE_BENCH_BASELINE=BENCH_sim.json \
+    cargo run --release --offline -q -p dse-bench --bin bench_sim
+fi
 
 echo "tier-1 gate passed"

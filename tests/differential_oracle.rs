@@ -116,10 +116,7 @@ fn oracle_lower_bound_is_tight_on_serial_chain() {
             target: 0,
         })
         .collect();
-    let trace = dse_workload::Trace {
-        name: "serial".to_string(),
-        instrs,
-    };
+    let trace = dse_workload::Trace::new("serial", instrs);
     let cfg = Config::baseline();
     let report = oracle::analyze(&cfg, &cons, &trace);
     let r = Pipeline::new(

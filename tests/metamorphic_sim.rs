@@ -97,10 +97,7 @@ fn widening_machine_never_increases_cycles_on_free_trace() {
             target: 0,
         })
         .collect();
-    let trace = Trace {
-        name: "free".to_string(),
-        instrs,
-    };
+    let trace = Trace::new("free", instrs);
     let options = SimOptions {
         warmup: 0,
         sanitize: true,

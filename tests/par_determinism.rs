@@ -12,11 +12,67 @@ use std::sync::Mutex;
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn with_threads<R>(value: &str, body: impl FnOnce() -> R) -> R {
+    with_threads_opt(Some(value), body)
+}
+
+/// Like [`with_threads`], but `None` runs with `ARCHDSE_THREADS` unset
+/// (the default auto-detected thread count).
+fn with_threads_opt<R>(value: Option<&str>, body: impl FnOnce() -> R) -> R {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    std::env::set_var(THREADS_ENV, value);
+    match value {
+        Some(v) => std::env::set_var(THREADS_ENV, v),
+        None => std::env::remove_var(THREADS_ENV),
+    }
     let r = body();
     std::env::remove_var(THREADS_ENV);
     r
+}
+
+/// The flattened sweep scheduler hands one benchmark × configuration work
+/// list to `par_map`, which deals *contiguous chunks* through an atomic
+/// cursor. Chunk boundaries move with the thread count, so the property
+/// that needs pinning is: over a ragged list (trace lengths 8k/3k/12k,
+/// configurations of very different cost), the assembled output is
+/// bit-identical for `ARCHDSE_THREADS` ∈ {1, 4, unset}.
+#[test]
+fn ragged_flattened_grid_matches_across_1_4_and_unset_threads() {
+    use dse_sim::{try_simulate, SimOptions};
+    use dse_space::sample_legal;
+    use dse_workload::Trace;
+
+    let traces: Vec<Trace> = [("gzip", 8_000), ("art", 3_000), ("sha", 12_000)]
+        .iter()
+        .map(|&(name, len)| {
+            let profile = archdse::workload::suites::all_benchmarks()
+                .into_iter()
+                .find(|p| p.name == name)
+                .unwrap();
+            TraceGenerator::new(&profile).generate(len)
+        })
+        .collect();
+    let mut rng = dse_rng::Xoshiro256::seed_from(0xF1A7);
+    let configs = sample_legal(&mut rng, 6);
+    let jobs: Vec<(usize, usize)> = (0..traces.len())
+        .flat_map(|b| (0..configs.len()).map(move |c| (b, c)))
+        .collect();
+    let run = || {
+        par_map(&jobs, |&(b, c)| {
+            try_simulate(&configs[c], &traces[b], SimOptions::with_warmup(1_000))
+                .expect("sanitizer-clean simulation")
+        })
+    };
+
+    let reference = with_threads_opt(Some("1"), run);
+    assert_eq!(reference.len(), traces.len() * configs.len());
+    for setting in [Some("4"), None] {
+        let out = with_threads_opt(setting, run);
+        assert_eq!(
+            out,
+            reference,
+            "ARCHDSE_THREADS={} differs from ARCHDSE_THREADS=1",
+            setting.unwrap_or("unset")
+        );
+    }
 }
 
 #[test]
