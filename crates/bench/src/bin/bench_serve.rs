@@ -1,0 +1,136 @@
+//! Performance bench: dse-serve request throughput and latency.
+//!
+//! Measures single-request and batched predictions against a live
+//! in-process server at 1, 4, and 8 worker threads, plus the cold
+//! (cache-miss) vs warm (cache-hit) single-request path. Each row's
+//! closure issues a fixed number of requests, so sims/sec here reads as
+//! request-rounds/sec; the printed median divided by the round size gives
+//! per-request latency.
+//!
+//! Set `DSE_BENCH_JSON=<path>` to write the machine-readable report and
+//! `DSE_BENCH_BASELINE=<path>` to fail on a >25 % median regression
+//! (the `scripts/ci.sh` gate). `DSE_QUICK=1` shrinks iteration counts.
+
+use dse_bench::harness::{black_box, iters_for, Report};
+use dse_core::dataset::{DatasetSpec, SuiteDataset};
+use dse_ml::MlpConfig;
+use dse_serve::{save_artifacts, Client, ModelRegistry, Server, ServerConfig};
+use dse_sim::Metric;
+use std::sync::Arc;
+
+const REQUESTS_PER_ROUND: usize = 32;
+
+fn main() {
+    let metric = Metric::Cycles;
+    let profiles: Vec<_> = dse_workload::suites::spec2000()
+        .into_iter()
+        .take(5)
+        .collect();
+    let ds = SuiteDataset::generate(
+        &profiles,
+        &DatasetSpec {
+            n_configs: 64,
+            ..DatasetSpec::tiny()
+        },
+    );
+    let train = SuiteDataset {
+        spec: ds.spec,
+        configs: ds.configs.clone(),
+        benchmarks: ds.benchmarks[..4].to_vec(),
+    };
+    let dir = std::env::temp_dir().join(format!("dse-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    save_artifacts(&dir, &train, &[metric], 40, &MlpConfig::default(), 7).unwrap();
+
+    let target = &ds.benchmarks[4];
+    let responses: Vec<(usize, f64)> = (0..32)
+        .map(|i| (i, target.metrics[i].get(metric)))
+        .collect();
+    let batch: Vec<_> = ds.configs[..REQUESTS_PER_ROUND].to_vec();
+
+    let iters = iters_for(30, 5);
+    let mut report = Report::new();
+
+    for workers in [1usize, 4, 8] {
+        let registry = Arc::new(ModelRegistry::open(&dir).unwrap());
+        registry.fit(&target.name, metric, &responses).unwrap();
+        let server = Server::start(
+            registry,
+            &ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let mut client = Client::new(addr.clone());
+
+        // Warm path: every config already cached after the warm-up round.
+        report.bench(
+            &format!("serve/predict-warm/{REQUESTS_PER_ROUND}req/w={workers}"),
+            2,
+            iters,
+            None,
+            || {
+                for config in &batch {
+                    black_box(client.predict(&target.name, metric, config).unwrap());
+                }
+            },
+        );
+
+        // Cold path: refitting invalidates the cache, so every request
+        // runs the full MLP + combiner evaluation.
+        report.bench(
+            &format!("serve/predict-cold/{REQUESTS_PER_ROUND}req/w={workers}"),
+            1,
+            iters,
+            None,
+            || {
+                client.fit(&target.name, metric, &responses).unwrap();
+                for config in &batch {
+                    black_box(client.predict(&target.name, metric, config).unwrap());
+                }
+            },
+        );
+
+        // Batched: the same configs in one request, fanned out with
+        // par_map on the server side.
+        report.bench(
+            &format!("serve/predict-batch/{REQUESTS_PER_ROUND}req/w={workers}"),
+            1,
+            iters,
+            None,
+            || {
+                client.fit(&target.name, metric, &responses).unwrap();
+                black_box(client.predict_batch(&target.name, metric, &batch).unwrap());
+            },
+        );
+
+        server.stop();
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if let Ok(path) = std::env::var("DSE_BENCH_JSON") {
+        report.write_json(&path);
+    }
+    if let Ok(path) = std::env::var("DSE_BENCH_BASELINE") {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read bench baseline {path}: {e}"));
+        match report.regressions(&text, 0.25) {
+            Ok(msgs) if msgs.is_empty() => {
+                eprintln!("[bench] no median regression vs {path}");
+            }
+            Ok(msgs) => {
+                for m in &msgs {
+                    eprintln!("[bench] REGRESSION {m}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("[bench] {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -183,14 +183,36 @@ impl OfflineModel {
         response_values: &[f64],
         source: ResponseSource,
     ) -> ArchCentricPredictor {
-        assert_eq!(
-            response_idxs.len(),
-            response_values.len(),
-            "responses and values must align"
-        );
+        let xs = self.design_rows(ds, response_idxs, source);
+        let reg = fit_combiner(&xs, response_values);
+        ArchCentricPredictor {
+            offline: self.clone(),
+            reg,
+        }
+    }
+
+    /// The linear regressor's design matrix for a set of response
+    /// configurations: one row per response, one column per training
+    /// program (the training programs' values of the target metric at
+    /// that configuration).
+    ///
+    /// This is the per-program knowledge a serving layer persists so it
+    /// can run [`fit_combiner`] online without the full dataset in
+    /// memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `response_idxs` is empty or contains an out-of-range
+    /// index.
+    pub fn design_rows(
+        &self,
+        ds: &SuiteDataset,
+        response_idxs: &[usize],
+        source: ResponseSource,
+    ) -> Vec<Vec<f64>> {
         assert!(!response_idxs.is_empty(), "need at least one response");
         let features = ds.features();
-        let xs: Vec<Vec<f64>> = response_idxs
+        response_idxs
             .iter()
             .map(|&cfg_idx| {
                 assert!(cfg_idx < ds.n_configs(), "response index out of range");
@@ -207,12 +229,22 @@ impl OfflineModel {
                         .collect(),
                 }
             })
-            .collect();
-        let reg = LinearRegression::fit(&xs, response_values, true);
-        ArchCentricPredictor {
-            offline: self.clone(),
-            reg,
-        }
+            .collect()
+    }
+
+    /// Runs the full architecture-centric prediction with an externally
+    /// fitted combiner: per-program ANN forward passes, then the linear
+    /// combination. [`ArchCentricPredictor::predict`] delegates here, so
+    /// a serving layer holding `(OfflineModel, LinearRegression)` pairs
+    /// produces bit-identical predictions to the library path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` was fitted on a different number of programs than
+    /// this ensemble holds.
+    pub fn predict_with(&self, reg: &LinearRegression, features: &[f64]) -> f64 {
+        let per_program: Vec<f64> = self.models.iter().map(|m| m.predict(features)).collect();
+        reg.predict(&per_program)
     }
 
     /// Training error proxy: fits the responses and reports the rmae of
@@ -234,6 +266,23 @@ impl OfflineModel {
     }
 }
 
+/// Fits the online half of the model — the paper's equation (5) — from a
+/// precomputed design matrix (see [`OfflineModel::design_rows`]) and the
+/// new program's simulated responses.
+///
+/// This is the library entry point for *online* fitting: a serving layer
+/// that persisted the design table alongside the trained ANNs can
+/// characterise a new program with exactly the same arithmetic as
+/// [`OfflineModel::fit_responses`], without the dataset.
+///
+/// # Panics
+///
+/// Panics if the rows and values differ in length or are empty (see
+/// [`LinearRegression::fit`]).
+pub fn fit_combiner(design_rows: &[Vec<f64>], response_values: &[f64]) -> LinearRegression {
+    LinearRegression::fit(design_rows, response_values, true)
+}
+
 /// The complete architecture-centric predictor: offline ANNs + fitted
 /// response weights. Predicts the target metric of the *new* program for
 /// any configuration in the design space.
@@ -244,17 +293,26 @@ pub struct ArchCentricPredictor {
 }
 
 impl ArchCentricPredictor {
+    /// Assembles a predictor from an offline ensemble and an externally
+    /// fitted combiner (see [`fit_combiner`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combiner's width differs from the ensemble size.
+    pub fn from_parts(offline: OfflineModel, reg: LinearRegression) -> Self {
+        assert_eq!(
+            reg.weights().len(),
+            offline.len(),
+            "combiner width must match the ensemble size"
+        );
+        Self { offline, reg }
+    }
+
     /// Predicts the new program's metric for a configuration feature
     /// vector (Fig 6: configuration → per-program ANNs → linear
     /// combination).
     pub fn predict(&self, features: &[f64]) -> f64 {
-        let per_program: Vec<f64> = self
-            .offline
-            .models
-            .iter()
-            .map(|m| m.predict(features))
-            .collect();
-        self.reg.predict(&per_program)
+        self.offline.predict_with(&self.reg, features)
     }
 
     /// Predicts a batch.
@@ -270,6 +328,16 @@ impl ArchCentricPredictor {
     /// The fitted intercept (β₀).
     pub fn intercept(&self) -> f64 {
         self.reg.intercept()
+    }
+
+    /// The fitted linear combiner.
+    pub fn combiner(&self) -> &LinearRegression {
+        &self.reg
+    }
+
+    /// The offline ensemble.
+    pub fn offline(&self) -> &OfflineModel {
+        &self.offline
     }
 }
 
@@ -365,6 +433,38 @@ mod tests {
             .collect();
         let e = m.training_error(&ds, &idxs, &values);
         assert!(e.is_finite() && e >= 0.0);
+    }
+
+    #[test]
+    fn online_fit_path_matches_library_path_bit_for_bit() {
+        // The serving layer persists design rows and refits with
+        // `fit_combiner` + `predict_with`; that path must be arithmetic-
+        // identical to `fit_responses` + `predict`.
+        let ds = small_dataset(4, 40);
+        let metric = dse_sim::Metric::Cycles;
+        let m = OfflineModel::train(&ds, &[0, 1, 2], metric, 30, &MlpConfig::default(), 5);
+        let idxs: Vec<usize> = (0..16).collect();
+        let values: Vec<f64> = idxs
+            .iter()
+            .map(|&i| ds.benchmarks[3].metrics[i].get(metric))
+            .collect();
+
+        let library = m.fit_responses(&ds, &idxs, &values);
+        let rows = m.design_rows(&ds, &idxs, ResponseSource::Actual);
+        let reg = fit_combiner(&rows, &values);
+
+        let features = ds.features();
+        for f in features.iter().take(30) {
+            assert_eq!(
+                library.predict(f).to_bits(),
+                m.predict_with(&reg, f).to_bits()
+            );
+        }
+        let rebuilt = ArchCentricPredictor::from_parts(m.clone(), reg);
+        assert_eq!(
+            library.predict(&features[0]).to_bits(),
+            rebuilt.predict(&features[0]).to_bits()
+        );
     }
 
     #[test]

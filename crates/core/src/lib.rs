@@ -46,7 +46,7 @@ pub mod hybrid;
 pub mod program_specific;
 pub mod xval;
 
-pub use arch_centric::{ArchCentricPredictor, OfflineModel};
+pub use arch_centric::{fit_combiner, ArchCentricPredictor, OfflineModel};
 pub use dataset::{BenchmarkData, DatasetSpec, SuiteDataset};
 pub use hybrid::{HybridChoice, HybridPredictor};
 pub use program_specific::ProgramSpecificPredictor;

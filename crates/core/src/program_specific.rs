@@ -9,6 +9,7 @@
 
 use dse_ml::{Mlp, MlpConfig};
 use dse_sim::Metric;
+use dse_util::json::{FromJson, Json, JsonError, ToJson};
 
 /// A trained per-program predictor for one metric.
 ///
@@ -74,6 +75,41 @@ impl ProgramSpecificPredictor {
     pub fn predict_batch(&self, features: &[Vec<f64>]) -> Vec<f64> {
         self.net.predict_batch(features)
     }
+
+    /// Reassembles a predictor from a deserialised network — the loading
+    /// half of the model artifact store.
+    pub fn from_parts(program: String, metric: Metric, net: Mlp) -> Self {
+        Self {
+            program,
+            metric,
+            net,
+        }
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &Mlp {
+        &self.net
+    }
+}
+
+impl ToJson for ProgramSpecificPredictor {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("program", self.program.to_json()),
+            ("metric", self.metric.to_json()),
+            ("net", self.net.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ProgramSpecificPredictor {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            program: String::from_json(v.field("program")?)?,
+            metric: Metric::from_json(v.field("metric")?)?,
+            net: Mlp::from_json(v.field("net")?)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -132,5 +168,21 @@ mod tests {
         );
         assert_eq!(p.program(), "x");
         assert_eq!(p.metric(), Metric::Edd);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let p = ProgramSpecificPredictor::train(
+            "gzip",
+            Metric::Ed,
+            &[vec![0.0, 1.0], vec![1.0, 0.0], vec![0.5, 0.5]],
+            &[1.0, 2.0, 1.5],
+            &MlpConfig::default(),
+        );
+        let back: ProgramSpecificPredictor =
+            dse_util::json::from_str(&dse_util::json::to_string(&p)).unwrap();
+        assert_eq!(back, p);
+        let x = [0.25, 0.75];
+        assert_eq!(p.predict(&x).to_bits(), back.predict(&x).to_bits());
     }
 }

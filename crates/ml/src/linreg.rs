@@ -11,6 +11,7 @@
 //! grown automatically if the system is still singular (R < N).
 
 use crate::linalg::Matrix;
+use dse_util::json::{FromJson, Json, JsonError, ToJson};
 
 /// A fitted linear model `ŷ = β₀·x₀ + … + β_{m−1}·x_{m−1} (+ intercept)`.
 ///
@@ -137,6 +138,30 @@ impl LinearRegression {
     }
 }
 
+impl ToJson for LinearRegression {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("weights", self.weights.to_json()),
+            ("intercept", self.intercept.to_json()),
+            ("has_intercept", self.has_intercept.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LinearRegression {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let m = Self {
+            weights: Vec::from_json(v.field("weights")?)?,
+            intercept: f64::from_json(v.field("intercept")?)?,
+            has_intercept: bool::from_json(v.field("has_intercept")?)?,
+        };
+        if m.weights.is_empty() {
+            return Err(JsonError::msg("linear model has no weights"));
+        }
+        Ok(m)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,5 +256,30 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         LinearRegression::fit(&[vec![1.0]], &[1.0, 2.0], false);
+    }
+
+    #[test]
+    fn json_round_trip_predicts_bit_identically() {
+        let mut rng = Xoshiro256::seed_from(9);
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|_| (0..5).map(|_| rng.next_f64() * 3.0 - 1.5).collect())
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x.iter().sum::<f64>() * 1.7 + 0.3)
+            .collect();
+        let m = LinearRegression::fit(&xs, &ys, true);
+        let back: LinearRegression =
+            dse_util::json::from_str(&dse_util::json::to_string(&m)).unwrap();
+        assert_eq!(back, m);
+        for x in &xs {
+            assert_eq!(m.predict(x).to_bits(), back.predict(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn json_rejects_empty_weights() {
+        let text = r#"{"weights":[],"intercept":0,"has_intercept":true}"#;
+        assert!(dse_util::json::from_str::<LinearRegression>(text).is_err());
     }
 }

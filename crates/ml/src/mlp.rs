@@ -9,6 +9,7 @@
 use crate::scale::Standardizer;
 use crate::stats;
 use dse_rng::Xoshiro256;
+use dse_util::json::{FromJson, Json, JsonError, ToJson};
 
 /// Hyper-parameters of an [`Mlp`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -218,6 +219,73 @@ impl Mlp {
     pub fn hidden(&self) -> usize {
         self.hidden
     }
+
+    /// Input dimensionality this network was trained on.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+}
+
+impl ToJson for Mlp {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("input_dim", self.input_dim.to_json()),
+            ("hidden", self.hidden.to_json()),
+            ("w1", self.w1.to_json()),
+            ("b1", self.b1.to_json()),
+            ("w2", self.w2.to_json()),
+            ("b2", self.b2.to_json()),
+            ("x_scale", self.x_scale.to_json()),
+            ("y_mean", self.y_mean.to_json()),
+            ("y_std", self.y_std.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Mlp {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let net = Self {
+            input_dim: usize::from_json(v.field("input_dim")?)?,
+            hidden: usize::from_json(v.field("hidden")?)?,
+            w1: Vec::from_json(v.field("w1")?)?,
+            b1: Vec::from_json(v.field("b1")?)?,
+            w2: Vec::from_json(v.field("w2")?)?,
+            b2: f64::from_json(v.field("b2")?)?,
+            x_scale: Standardizer::from_json(v.field("x_scale")?)?,
+            y_mean: f64::from_json(v.field("y_mean")?)?,
+            y_std: f64::from_json(v.field("y_std")?)?,
+        };
+        // A network whose weight shapes disagree with its declared
+        // dimensions would panic (or silently mispredict) at inference —
+        // reject the artifact instead.
+        if net.input_dim == 0 || net.hidden == 0 {
+            return Err(JsonError::msg("mlp dimensions must be positive"));
+        }
+        if net.w1.len() != net.hidden * net.input_dim {
+            return Err(JsonError::msg(format!(
+                "w1 has {} weights for {}x{} layer",
+                net.w1.len(),
+                net.hidden,
+                net.input_dim
+            )));
+        }
+        if net.b1.len() != net.hidden || net.w2.len() != net.hidden {
+            return Err(JsonError::msg(format!(
+                "hidden layer {} disagrees with b1 {} / w2 {}",
+                net.hidden,
+                net.b1.len(),
+                net.w2.len()
+            )));
+        }
+        if net.x_scale.dim() != net.input_dim {
+            return Err(JsonError::msg(format!(
+                "standardizer dim {} disagrees with input dim {}",
+                net.x_scale.dim(),
+                net.input_dim
+            )));
+        }
+        Ok(net)
+    }
 }
 
 #[cfg(test)]
@@ -347,5 +415,33 @@ mod tests {
     fn wrong_input_dim_panics() {
         let net = Mlp::train(&[vec![1.0], vec![2.0]], &[1.0, 2.0], &MlpConfig::default());
         net.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn json_round_trip_predicts_bit_identically() {
+        let xs = grid2(64);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[1] - 0.3 * x[0]).collect();
+        let net = Mlp::train(&xs, &ys, &MlpConfig::default());
+        let text = dse_util::json::to_string(&net);
+        let back: Mlp = dse_util::json::from_str(&text).unwrap();
+        assert_eq!(back, net);
+        for x in &xs {
+            assert_eq!(
+                net.predict(x).to_bits(),
+                back.predict(x).to_bits(),
+                "prediction changed across save/load at {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_rejects_inconsistent_shapes() {
+        let net = Mlp::train(&grid2(16), &vec![1.0; 16], &MlpConfig::default());
+        let good = dse_util::json::to_string(&net);
+        // Splice an extra weight into w1: shape check must fire.
+        let bad = good.replacen("\"w1\":[", "\"w1\":[0.0,", 1);
+        assert!(dse_util::json::from_str::<Mlp>(&bad).is_err());
+        let bad_hidden = good.replacen("\"hidden\":10", "\"hidden\":9", 1);
+        assert!(dse_util::json::from_str::<Mlp>(&bad_hidden).is_err());
     }
 }

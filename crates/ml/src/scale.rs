@@ -1,6 +1,7 @@
 //! Feature and target standardisation.
 
 use crate::stats;
+use dse_util::json::{FromJson, Json, JsonError, ToJson};
 
 /// Per-dimension standardiser: maps each feature to zero mean and unit
 /// variance, fitted on training data. Constant dimensions map to zero.
@@ -75,6 +76,35 @@ impl Standardizer {
     }
 }
 
+impl ToJson for Standardizer {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("means", self.means.to_json()),
+            ("stds", self.stds.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Standardizer {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = Self {
+            means: Vec::from_json(v.field("means")?)?,
+            stds: Vec::from_json(v.field("stds")?)?,
+        };
+        if s.means.len() != s.stds.len() {
+            return Err(JsonError::msg(format!(
+                "standardizer has {} means but {} stds",
+                s.means.len(),
+                s.stds.len()
+            )));
+        }
+        if s.means.is_empty() {
+            return Err(JsonError::msg("standardizer has zero dimensions"));
+        }
+        Ok(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +148,25 @@ mod tests {
     #[should_panic(expected = "no data")]
     fn empty_fit_panics() {
         Standardizer::fit(&[]);
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let rows = vec![vec![1.0, -5.0, 0.3], vec![2.5, 0.0, 1e-7]];
+        let s = Standardizer::fit(&rows);
+        let back: Standardizer = dse_util::json::from_str(&dse_util::json::to_string(&s)).unwrap();
+        assert_eq!(back, s);
+        for row in &rows {
+            let (a, b) = (s.transform(row), back.transform(row));
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn json_rejects_mismatched_dims() {
+        assert!(dse_util::json::from_str::<Standardizer>(r#"{"means":[1,2],"stds":[1]}"#).is_err());
+        assert!(dse_util::json::from_str::<Standardizer>(r#"{"means":[],"stds":[]}"#).is_err());
     }
 }

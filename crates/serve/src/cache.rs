@@ -1,0 +1,292 @@
+//! Sharded LRU cache for predictions.
+//!
+//! Keyed on `(program id, metric, canonical config encoding)` — the raw
+//! 13-parameter vector, so two JSON spellings of the same configuration
+//! share an entry. Sharding keeps lock contention off the hot path: a key
+//! hashes to one shard and only that shard's mutex is taken. Each shard
+//! evicts its own least-recently-used entry at capacity, which bounds the
+//! whole cache at `shards × per-shard capacity` entries.
+//!
+//! Hit/miss counters are global atomics so the `/metrics` endpoint can
+//! report a hit rate without touching any shard lock.
+
+use dse_sim::Metric;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cache key: one program's one metric at one configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Program id the prediction belongs to.
+    pub program: String,
+    /// Target metric.
+    pub metric: Metric,
+    /// Canonical configuration encoding: per-parameter value indices
+    /// ([`dse_space::Config::to_indices`]), widened to `u64`.
+    pub config: [u64; 13],
+}
+
+struct Shard {
+    /// key → (value, stamp of last touch).
+    map: HashMap<CacheKey, (f64, u64)>,
+    /// stamp → key, ordered oldest-first for O(log n) eviction.
+    order: BTreeMap<u64, CacheKey>,
+    /// Monotonic per-shard recency clock.
+    clock: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &CacheKey) -> Option<f64> {
+        let (value, old_stamp) = *self.map.get(key)?;
+        self.clock += 1;
+        let stamp = self.clock;
+        self.order.remove(&old_stamp);
+        self.order.insert(stamp, key.clone());
+        self.map.insert(key.clone(), (value, stamp));
+        Some(value)
+    }
+
+    fn insert(&mut self, key: CacheKey, value: f64, capacity: usize) {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some((_, old_stamp)) = self.map.insert(key.clone(), (value, stamp)) {
+            self.order.remove(&old_stamp);
+        } else if self.map.len() > capacity {
+            // Evict the least recently used entry (smallest stamp).
+            if let Some((&oldest, _)) = self.order.iter().next() {
+                if let Some(victim) = self.order.remove(&oldest) {
+                    self.map.remove(&victim);
+                }
+            }
+        }
+        self.order.insert(stamp, key);
+    }
+}
+
+/// A sharded LRU prediction cache.
+pub struct PredictionCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PredictionCache {
+    /// A cache of `shards` shards holding at most `capacity` entries in
+    /// total (rounded up to a multiple of the shard count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `capacity` is zero.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(capacity > 0, "capacity must be positive");
+        let per_shard = capacity.div_ceil(shards);
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        order: BTreeMap::new(),
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks `key` up, refreshing its recency and counting a hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<f64> {
+        let found = self.shard(key).lock().unwrap().touch(key);
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts (or refreshes) a prediction, evicting the shard's LRU entry
+    /// at capacity.
+    pub fn insert(&self, key: CacheKey, value: f64) {
+        self.shard(&key)
+            .lock()
+            .unwrap()
+            .insert(key, value, self.per_shard);
+    }
+
+    /// Drops every entry of `(program, metric)` — required when a program
+    /// is re-fitted, or its stale predictions would outlive the new
+    /// combiner.
+    pub fn invalidate(&self, program: &str, metric: Metric) {
+        for shard in &self.shards {
+            let mut s = shard.lock().unwrap();
+            let stale: Vec<CacheKey> = s
+                .map
+                .keys()
+                .filter(|k| k.program == program && k.metric == metric)
+                .cloned()
+                .collect();
+            for key in stale {
+                if let Some((_, stamp)) = s.map.remove(&key) {
+                    s.order.remove(&stamp);
+                }
+            }
+        }
+    }
+
+    /// Drops everything (used on artifact hot-reload).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().unwrap();
+            s.map.clear();
+            s.order.clear();
+        }
+    }
+
+    /// Entries currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(program: &str, n: u64) -> CacheKey {
+        CacheKey {
+            program: program.to_string(),
+            metric: Metric::Cycles,
+            config: [n; 13],
+        }
+    }
+
+    #[test]
+    fn get_after_insert_hits() {
+        let c = PredictionCache::new(4, 64);
+        assert_eq!(c.get(&key("p", 1)), None);
+        c.insert(key("p", 1), 42.5);
+        assert_eq!(c.get(&key("p", 1)), Some(42.5));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_programs_do_not_collide() {
+        let c = PredictionCache::new(2, 16);
+        c.insert(key("a", 1), 1.0);
+        c.insert(key("b", 1), 2.0);
+        assert_eq!(c.get(&key("a", 1)), Some(1.0));
+        assert_eq!(c.get(&key("b", 1)), Some(2.0));
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        // Single shard so eviction order is fully observable.
+        let c = PredictionCache::new(1, 3);
+        c.insert(key("p", 1), 1.0);
+        c.insert(key("p", 2), 2.0);
+        c.insert(key("p", 3), 3.0);
+        // Touch 1 so 2 becomes the LRU; inserting 4 must evict 2.
+        assert_eq!(c.get(&key("p", 1)), Some(1.0));
+        c.insert(key("p", 4), 4.0);
+        assert_eq!(c.get(&key("p", 2)), None, "LRU entry should be evicted");
+        assert_eq!(c.get(&key("p", 1)), Some(1.0));
+        assert_eq!(c.get(&key("p", 3)), Some(3.0));
+        assert_eq!(c.get(&key("p", 4)), Some(4.0));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_growth() {
+        let c = PredictionCache::new(1, 8);
+        c.insert(key("p", 1), 1.0);
+        c.insert(key("p", 1), 9.0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key("p", 1)), Some(9.0));
+    }
+
+    #[test]
+    fn invalidate_targets_one_program_metric() {
+        let c = PredictionCache::new(4, 64);
+        c.insert(key("a", 1), 1.0);
+        c.insert(key("b", 1), 2.0);
+        let mut energy = key("a", 1);
+        energy.metric = Metric::Energy;
+        c.insert(energy.clone(), 3.0);
+        c.invalidate("a", Metric::Cycles);
+        assert_eq!(c.get(&key("a", 1)), None);
+        assert_eq!(c.get(&key("b", 1)), Some(2.0));
+        assert_eq!(c.get(&energy), Some(3.0));
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let c = PredictionCache::new(8, 64);
+        for i in 0..32 {
+            c.insert(key("p", i), i as f64);
+        }
+        assert!(!c.is_empty());
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_bounded_under_churn() {
+        let c = PredictionCache::new(4, 16);
+        for i in 0..1000 {
+            c.insert(key("p", i), i as f64);
+        }
+        // div_ceil(16, 4) = 4 per shard; tolerate the one-slot overshoot
+        // window inside insert.
+        assert!(c.len() <= 20, "cache grew to {}", c.len());
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let c = std::sync::Arc::new(PredictionCache::new(8, 1024));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let k = key("p", (t * 200 + i) % 64);
+                        match c.get(&k) {
+                            Some(v) => assert_eq!(v, k.config[0] as f64),
+                            None => c.insert(k.clone(), k.config[0] as f64),
+                        }
+                    }
+                });
+            }
+        });
+        assert!(c.hits() + c.misses() >= 800);
+    }
+}

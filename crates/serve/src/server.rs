@@ -1,0 +1,579 @@
+//! The prediction server: accept loop, worker pool, routing, handlers.
+//!
+//! One acceptor thread hands each connection to a fixed
+//! [`WorkerPool`](dse_util::WorkerPool); a worker owns the connection for
+//! its whole keep-alive lifetime, so `workers` bounds concurrent
+//! connections and the pool's queue depth bounds the accept backlog —
+//! when both are full the acceptor sheds load with `503` instead of
+//! queueing unboundedly.
+//!
+//! Shutdown is graceful: [`Server::shutdown`] raises a flag and wakes the
+//! acceptor with a loopback connection; workers notice the flag after
+//! finishing (at latest, after their read timeout), answer the in-flight
+//! request with `Connection: close`, and drain. [`Server::wait`] joins
+//! everything.
+
+use crate::cache::{CacheKey, PredictionCache};
+use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::registry::{ModelRegistry, RegistryError};
+use crate::telemetry::Telemetry;
+use dse_sim::Metric;
+use dse_space::Config;
+use dse_util::json::{FromJson, Json, ToJson};
+use dse_util::par::par_map;
+use dse_util::WorkerPool;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`host:port`; port `0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads — the bound on concurrently served connections.
+    pub workers: usize,
+    /// Accept backlog: connections queued beyond the busy workers.
+    pub backlog: usize,
+    /// Per-request cap on body size in bytes.
+    pub max_body: usize,
+    /// Socket read timeout (bounds how long an idle keep-alive connection
+    /// occupies a worker).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Prediction-cache shard count.
+    pub cache_shards: usize,
+    /// Prediction-cache total capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            backlog: 64,
+            max_body: crate::http::DEFAULT_MAX_BODY_BYTES,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            cache_shards: 8,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Shared server state: everything a connection handler needs.
+struct State {
+    registry: Arc<ModelRegistry>,
+    cache: PredictionCache,
+    telemetry: Telemetry,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    max_body: usize,
+}
+
+/// A running prediction server.
+pub struct Server {
+    state: Arc<State>,
+    pool: Arc<WorkerPool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and acceptor, and returns
+    /// immediately; the server runs until [`Server::shutdown`] (or a
+    /// `POST /v1/shutdown`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(registry: Arc<ModelRegistry>, cfg: &ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(State {
+            registry,
+            cache: PredictionCache::new(cfg.cache_shards, cfg.cache_capacity),
+            telemetry: Telemetry::new(),
+            shutdown: AtomicBool::new(false),
+            addr,
+            max_body: cfg.max_body,
+        });
+        let pool = Arc::new(WorkerPool::new("dse-serve", cfg.workers, cfg.backlog));
+        let acceptor = {
+            let state = state.clone();
+            let pool = pool.clone();
+            let read_timeout = cfg.read_timeout;
+            let write_timeout = cfg.write_timeout;
+            std::thread::Builder::new()
+                .name("dse-serve-accept".to_string())
+                .spawn(move || accept_loop(listener, state, pool, read_timeout, write_timeout))?
+        };
+        Ok(Self {
+            state,
+            pool,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (reports the real port after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Request telemetry (exposed for tests and embedding).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.state.telemetry
+    }
+
+    /// The prediction cache (exposed for tests and embedding).
+    pub fn cache(&self) -> &PredictionCache {
+        &self.state.cache
+    }
+
+    /// Signals shutdown and wakes the acceptor; returns without waiting.
+    pub fn shutdown(&self) {
+        if !self.state.shutdown.swap(true, Ordering::SeqCst) {
+            // The acceptor may be parked in accept(); a loopback connection
+            // unblocks it so it can observe the flag.
+            let _ = TcpStream::connect(self.state.addr);
+        }
+    }
+
+    /// Blocks until the acceptor has exited and every worker has drained,
+    /// then joins them. Call [`Server::shutdown`] (or hit
+    /// `POST /v1/shutdown`) to make this return.
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    /// Shuts down and waits — the one-call stop for tests and CLI exit.
+    pub fn stop(self) {
+        self.shutdown();
+        self.wait();
+    }
+
+    fn join(&mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+            self.pool.shutdown();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<State>,
+    pool: Arc<WorkerPool>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(read_timeout));
+        let _ = stream.set_write_timeout(Some(write_timeout));
+        // Responses must not sit in the kernel waiting for a Nagle ACK.
+        let _ = stream.set_nodelay(true);
+        // The job consumes the stream; keep a clone so a rejected job can
+        // still be answered with 503 before both handles drop.
+        let shed_handle = stream.try_clone().ok();
+        let conn_state = state.clone();
+        let job = Box::new(move || handle_connection(conn_state, stream));
+        if pool.try_execute(job).is_err() {
+            state.telemetry.record("shed", 503, 0);
+            if let Some(mut stream) = shed_handle {
+                let _ = write_response(
+                    &mut stream,
+                    &Response {
+                        close: true,
+                        ..Response::error(503, "server overloaded, retry later")
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn handle_connection(state: Arc<State>, mut stream: TcpStream) {
+    let mut carry = Vec::new();
+    loop {
+        let draining = state.shutdown.load(Ordering::SeqCst);
+        let req = match read_request(&mut stream, &mut carry, state.max_body) {
+            Ok(req) => req,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Timeout) => {
+                if !draining {
+                    let resp = Response {
+                        close: true,
+                        ..Response::error(408, "timed out waiting for a request")
+                    };
+                    let _ = write_response(&mut stream, &resp);
+                }
+                return;
+            }
+            Err(ReadError::BadRequest(m)) => {
+                let resp = Response {
+                    close: true,
+                    ..Response::error(400, &m)
+                };
+                state.telemetry.record("malformed", 400, 0);
+                let _ = write_response(&mut stream, &resp);
+                return;
+            }
+            Err(ReadError::BodyTooLarge(n)) => {
+                let resp = Response {
+                    close: true,
+                    ..Response::error(413, &format!("body of {n} bytes exceeds the cap"))
+                };
+                state.telemetry.record("malformed", 413, 0);
+                let _ = write_response(&mut stream, &resp);
+                return;
+            }
+            Err(ReadError::HeadTooLarge) => {
+                let resp = Response {
+                    close: true,
+                    ..Response::error(431, "request head too large")
+                };
+                state.telemetry.record("malformed", 431, 0);
+                let _ = write_response(&mut stream, &resp);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        };
+
+        let started = Instant::now();
+        let (label, mut resp) = route(&state, &req);
+        state
+            .telemetry
+            .record(label, resp.status, started.elapsed().as_micros() as u64);
+        let draining = state.shutdown.load(Ordering::SeqCst);
+        if !req.keep_alive || draining {
+            resp.close = true;
+        }
+        if write_response(&mut stream, &resp).is_err() || resp.close {
+            return;
+        }
+    }
+}
+
+/// Dispatches one request; returns the telemetry label and the response.
+fn route(state: &State, req: &Request) -> (&'static str, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => ("/healthz", healthz(state)),
+        ("GET", "/metrics") => ("/metrics", metrics(state)),
+        ("GET", "/v1/models") => ("/v1/models", models(state)),
+        ("GET", "/v1/configs") => ("/v1/configs", configs(state, req)),
+        ("POST", "/v1/predict") => ("/v1/predict", predict(state, req)),
+        ("POST", "/v1/predict_batch") => ("/v1/predict_batch", predict_batch(state, req)),
+        ("POST", "/v1/fit") => ("/v1/fit", fit(state, req)),
+        ("POST", "/v1/reload") => ("/v1/reload", reload(state)),
+        ("POST", "/v1/shutdown") => ("/v1/shutdown", shutdown_route(state)),
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/models" | "/v1/configs" | "/v1/predict"
+            | "/v1/predict_batch" | "/v1/fit" | "/v1/reload" | "/v1/shutdown",
+        ) => (
+            "method_not_allowed",
+            Response::error(405, &format!("{} not allowed here", req.method)),
+        ),
+        _ => ("not_found", Response::error(404, "no such route")),
+    }
+}
+
+fn registry_error(err: &RegistryError) -> Response {
+    let status = match err {
+        RegistryError::UnknownMetric(_) | RegistryError::NotFitted { .. } => 404,
+        RegistryError::BadRequest(_) => 422,
+        RegistryError::Io(_) | RegistryError::Parse(_) => 500,
+    };
+    Response::error(status, &err.to_string())
+}
+
+fn healthz(state: &State) -> Response {
+    let body = Json::obj([
+        ("status", "ok".to_json()),
+        ("models", state.registry.metrics().len().to_json()),
+        ("fitted", state.registry.fitted().len().to_json()),
+    ]);
+    Response::json(200, dse_util::json::to_string(&body))
+}
+
+fn metrics(state: &State) -> Response {
+    Response::text(
+        200,
+        state
+            .telemetry
+            .exposition(state.cache.hits(), state.cache.misses(), state.cache.len()),
+    )
+}
+
+fn models(state: &State) -> Response {
+    let loaded: Vec<Json> = state
+        .registry
+        .metrics()
+        .into_iter()
+        .filter_map(|m| state.registry.artifact(m))
+        .map(|a| {
+            Json::obj([
+                ("metric", a.metric.to_json()),
+                ("programs", a.programs().to_json()),
+                ("configs", a.configs.len().to_json()),
+            ])
+        })
+        .collect();
+    let fitted: Vec<Json> = state
+        .registry
+        .fitted()
+        .into_iter()
+        .map(|(program, metric)| {
+            Json::obj([("program", program.to_json()), ("metric", metric.to_json())])
+        })
+        .collect();
+    let body = Json::obj([("models", Json::Arr(loaded)), ("fitted", Json::Arr(fitted))]);
+    Response::json(200, dse_util::json::to_string(&body))
+}
+
+/// Accepts both the variant spelling (`Cycles`) and the display spelling
+/// (`cycles`, `ED`), case-insensitively.
+fn metric_from_str(text: &str) -> Option<Metric> {
+    Metric::ALL.iter().copied().find(|m| {
+        format!("{m:?}").eq_ignore_ascii_case(text) || m.to_string().eq_ignore_ascii_case(text)
+    })
+}
+
+fn configs(state: &State, req: &Request) -> Response {
+    let metric = match req.query_param("metric") {
+        Some(text) => match metric_from_str(text) {
+            Some(m) => m,
+            None => return Response::error(422, &format!("unknown metric {text:?}")),
+        },
+        None => match state.registry.metrics().first() {
+            Some(&m) => m,
+            None => return Response::error(500, "no models loaded"),
+        },
+    };
+    let Some(artifact) = state.registry.artifact(metric) else {
+        return registry_error(&RegistryError::UnknownMetric(metric));
+    };
+    let limit = req
+        .query_param("limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(32)
+        .min(artifact.configs.len());
+    let rows: Vec<Json> = artifact.configs[..limit]
+        .iter()
+        .enumerate()
+        .map(|(i, cfg)| Json::obj([("index", i.to_json()), ("config", cfg.to_json())]))
+        .collect();
+    let body = Json::obj([
+        ("metric", metric.to_json()),
+        ("total", artifact.configs.len().to_json()),
+        ("configs", Json::Arr(rows)),
+    ]);
+    Response::json(200, dse_util::json::to_string(&body))
+}
+
+/// Parses the `{program, metric}` pair shared by the prediction and fit
+/// request bodies.
+fn parse_target(body: &Json) -> Result<(String, Metric), Response> {
+    let program = body
+        .field("program")
+        .and_then(String::from_json)
+        .map_err(|e| Response::error(400, &format!("program: {e}")))?;
+    let metric = body
+        .field("metric")
+        .and_then(Metric::from_json)
+        .map_err(|e| Response::error(400, &format!("metric: {e}")))?;
+    Ok((program, metric))
+}
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| Response::error(400, "body is not valid UTF-8"))?;
+    Json::parse(text).map_err(|e| Response::error(400, &format!("body: {e}")))
+}
+
+fn cache_key(program: &str, metric: Metric, config: &Config) -> CacheKey {
+    let indices = config.to_indices();
+    let mut encoded = [0u64; 13];
+    for (slot, &idx) in encoded.iter_mut().zip(indices.iter()) {
+        *slot = idx as u64;
+    }
+    CacheKey {
+        program: program.to_string(),
+        metric,
+        config: encoded,
+    }
+}
+
+fn predict(state: &State, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let (program, metric) = match parse_target(&body) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let config = match body.field("config").and_then(Config::from_json) {
+        Ok(c) => c,
+        Err(e) => return Response::error(422, &format!("config: {e}")),
+    };
+    let key = cache_key(&program, metric, &config);
+    let (value, cached) = match state.cache.get(&key) {
+        Some(v) => (v, true),
+        None => match state.registry.predict(&program, metric, &config) {
+            Ok(v) => {
+                state.cache.insert(key, v);
+                (v, false)
+            }
+            Err(e) => return registry_error(&e),
+        },
+    };
+    let out = Json::obj([
+        ("program", program.to_json()),
+        ("metric", metric.to_json()),
+        ("value", value.to_json()),
+        ("cached", cached.to_json()),
+    ]);
+    Response::json(200, dse_util::json::to_string(&out))
+}
+
+fn predict_batch(state: &State, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let (program, metric) = match parse_target(&body) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let configs = match body.field("configs").and_then(Vec::<Config>::from_json) {
+        Ok(c) => c,
+        Err(e) => return Response::error(422, &format!("configs: {e}")),
+    };
+    if configs.is_empty() {
+        return Response::error(422, "configs must not be empty");
+    }
+    let (artifact, reg) = match state.registry.predictor(&program, metric) {
+        Ok(p) => p,
+        Err(e) => return registry_error(&e),
+    };
+    // Serve cache hits first, then fan the misses out across threads.
+    let keys: Vec<CacheKey> = configs
+        .iter()
+        .map(|c| cache_key(&program, metric, c))
+        .collect();
+    let mut values: Vec<Option<f64>> = keys.iter().map(|k| state.cache.get(k)).collect();
+    let missing: Vec<usize> = (0..configs.len())
+        .filter(|&i| values[i].is_none())
+        .collect();
+    let computed = par_map(&missing, |&i| {
+        artifact
+            .offline
+            .predict_with(&reg, &configs[i].to_features())
+    });
+    for (&i, &v) in missing.iter().zip(computed.iter()) {
+        state.cache.insert(keys[i].clone(), v);
+        values[i] = Some(v);
+    }
+    let out = Json::obj([
+        ("program", program.to_json()),
+        ("metric", metric.to_json()),
+        (
+            "values",
+            Json::Arr(values.iter().map(|v| v.unwrap().to_json()).collect()),
+        ),
+        ("computed", missing.len().to_json()),
+    ]);
+    Response::json(200, dse_util::json::to_string(&out))
+}
+
+fn fit(state: &State, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let (program, metric) = match parse_target(&body) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let entries = match body.field("responses").and_then(|v| v.as_array()) {
+        Ok(a) => a,
+        Err(e) => return Response::error(400, &format!("responses: {e}")),
+    };
+    let mut responses = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let index = match entry.field("index").and_then(usize::from_json) {
+            Ok(i) => i,
+            Err(e) => return Response::error(400, &format!("responses[].index: {e}")),
+        };
+        let value = match entry.field("value").and_then(f64::from_json) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &format!("responses[].value: {e}")),
+        };
+        responses.push((index, value));
+    }
+    match state.registry.fit(&program, metric, &responses) {
+        Ok(summary) => {
+            // The combiner changed: cached predictions for this pair are
+            // stale now.
+            state.cache.invalidate(&program, metric);
+            let out = Json::obj([
+                ("program", summary.program.to_json()),
+                ("metric", summary.metric.to_json()),
+                ("responses", summary.responses.to_json()),
+                ("weights", summary.weights.to_json()),
+                ("intercept", summary.intercept.to_json()),
+                ("training_rmae", summary.training_rmae.to_json()),
+            ]);
+            Response::json(200, dse_util::json::to_string(&out))
+        }
+        Err(e) => registry_error(&e),
+    }
+}
+
+fn reload(state: &State) -> Response {
+    match state.registry.reload() {
+        Ok(n) => {
+            state.cache.clear();
+            let out = Json::obj([("status", "reloaded".to_json()), ("models", n.to_json())]);
+            Response::json(200, dse_util::json::to_string(&out))
+        }
+        Err(e) => registry_error(&e),
+    }
+}
+
+fn shutdown_route(state: &State) -> Response {
+    if !state.shutdown.swap(true, Ordering::SeqCst) {
+        // Wake the acceptor so it observes the flag (see Server::shutdown).
+        let _ = TcpStream::connect(state.addr);
+    }
+    Response {
+        close: true,
+        ..Response::json(
+            200,
+            dse_util::json::to_string(&Json::obj([("status", "shutting down".to_json())])),
+        )
+    }
+}

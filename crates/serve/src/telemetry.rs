@@ -1,0 +1,231 @@
+//! Request telemetry for the `/metrics` endpoint.
+//!
+//! Counts requests per route and per status class, and keeps a bounded
+//! ring of recent request latencies from which p50/p95/p99 are computed
+//! on demand. The ring is deliberately small and mutex-guarded: recording
+//! a latency is a push into a fixed slot, and the sort happens only when
+//! `/metrics` is scraped.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many recent latencies the percentile window retains.
+const RING_CAPACITY: usize = 4096;
+
+#[derive(Default)]
+struct Counters {
+    /// route → request count (BTreeMap so the exposition is sorted).
+    routes: BTreeMap<String, u64>,
+    /// Bounded ring of recent latencies, in microseconds.
+    latencies: Vec<u64>,
+    /// Next slot to overwrite once the ring is full.
+    cursor: usize,
+}
+
+/// Server-wide request telemetry.
+pub struct Telemetry {
+    started: Instant,
+    total: AtomicU64,
+    /// Status-class counters: 2xx, 4xx, 5xx (3xx never issued).
+    ok: AtomicU64,
+    client_error: AtomicU64,
+    server_error: AtomicU64,
+    counters: Mutex<Counters>,
+}
+
+/// A latency percentile snapshot in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples in the window.
+    pub samples: usize,
+    /// Median latency.
+    pub p50_us: u64,
+    /// 95th-percentile latency.
+    pub p95_us: u64,
+    /// 99th-percentile latency.
+    pub p99_us: u64,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// Fresh telemetry with zeroed counters.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            total: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            client_error: AtomicU64::new(0),
+            server_error: AtomicU64::new(0),
+            counters: Mutex::new(Counters::default()),
+        }
+    }
+
+    /// Records one completed request.
+    pub fn record(&self, route: &str, status: u16, latency_us: u64) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        match status {
+            200..=299 => &self.ok,
+            400..=499 => &self.client_error,
+            _ => &self.server_error,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let mut c = self.counters.lock().unwrap();
+        *c.routes.entry(route.to_string()).or_insert(0) += 1;
+        if c.latencies.len() < RING_CAPACITY {
+            c.latencies.push(latency_us);
+        } else {
+            let cursor = c.cursor;
+            c.latencies[cursor] = latency_us;
+            c.cursor = (cursor + 1) % RING_CAPACITY;
+        }
+    }
+
+    /// Total requests recorded since startup.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Latency percentiles over the current window.
+    pub fn latency(&self) -> LatencySummary {
+        let mut sorted = self.counters.lock().unwrap().latencies.clone();
+        sorted.sort_unstable();
+        let pick = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let rank = ((sorted.len() as f64) * p).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        LatencySummary {
+            samples: sorted.len(),
+            p50_us: pick(0.50),
+            p95_us: pick(0.95),
+            p99_us: pick(0.99),
+        }
+    }
+
+    /// Renders the plain-text exposition served at `GET /metrics`.
+    ///
+    /// `cache_hits`/`cache_misses` come from the prediction cache so the
+    /// hit rate appears alongside the request counters.
+    pub fn exposition(&self, cache_hits: u64, cache_misses: u64, cache_len: usize) -> String {
+        let lat = self.latency();
+        let lookups = cache_hits + cache_misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            cache_hits as f64 / lookups as f64
+        };
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "dse_serve_uptime_seconds {}\n",
+            self.started.elapsed().as_secs()
+        ));
+        out.push_str(&format!("dse_serve_requests_total {}\n", self.total()));
+        out.push_str(&format!(
+            "dse_serve_responses_total{{class=\"2xx\"}} {}\n",
+            self.ok.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "dse_serve_responses_total{{class=\"4xx\"}} {}\n",
+            self.client_error.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "dse_serve_responses_total{{class=\"5xx\"}} {}\n",
+            self.server_error.load(Ordering::Relaxed)
+        ));
+        {
+            let c = self.counters.lock().unwrap();
+            for (route, count) in &c.routes {
+                out.push_str(&format!(
+                    "dse_serve_route_requests_total{{route=\"{route}\"}} {count}\n"
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "dse_serve_latency_microseconds{{quantile=\"0.5\"}} {}\n",
+            lat.p50_us
+        ));
+        out.push_str(&format!(
+            "dse_serve_latency_microseconds{{quantile=\"0.95\"}} {}\n",
+            lat.p95_us
+        ));
+        out.push_str(&format!(
+            "dse_serve_latency_microseconds{{quantile=\"0.99\"}} {}\n",
+            lat.p99_us
+        ));
+        out.push_str(&format!("dse_serve_cache_hits_total {cache_hits}\n"));
+        out.push_str(&format!("dse_serve_cache_misses_total {cache_misses}\n"));
+        out.push_str(&format!("dse_serve_cache_entries {cache_len}\n"));
+        out.push_str(&format!("dse_serve_cache_hit_rate {hit_rate:.4}\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_route_and_class() {
+        let t = Telemetry::new();
+        t.record("/v1/predict", 200, 100);
+        t.record("/v1/predict", 200, 200);
+        t.record("/healthz", 200, 10);
+        t.record("/nope", 404, 5);
+        t.record("/v1/predict", 500, 50);
+        assert_eq!(t.total(), 5);
+        let text = t.exposition(3, 1, 2);
+        assert!(text.contains("dse_serve_requests_total 5"));
+        assert!(text.contains("dse_serve_responses_total{class=\"2xx\"} 3"));
+        assert!(text.contains("dse_serve_responses_total{class=\"4xx\"} 1"));
+        assert!(text.contains("dse_serve_responses_total{class=\"5xx\"} 1"));
+        assert!(text.contains("dse_serve_route_requests_total{route=\"/v1/predict\"} 3"));
+        assert!(text.contains("dse_serve_cache_hit_rate 0.7500"));
+        assert!(text.contains("dse_serve_cache_entries 2"));
+    }
+
+    #[test]
+    fn percentiles_over_known_distribution() {
+        let t = Telemetry::new();
+        for us in 1..=100 {
+            t.record("/v1/predict", 200, us);
+        }
+        let lat = t.latency();
+        assert_eq!(lat.samples, 100);
+        assert_eq!(lat.p50_us, 50);
+        assert_eq!(lat.p95_us, 95);
+        assert_eq!(lat.p99_us, 99);
+    }
+
+    #[test]
+    fn empty_window_reports_zeroes() {
+        let t = Telemetry::new();
+        let lat = t.latency();
+        assert_eq!(lat.samples, 0);
+        assert_eq!(lat.p50_us, 0);
+        assert_eq!(lat.p99_us, 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_samples() {
+        let t = Telemetry::new();
+        // Fill the ring with large values, then overwrite with small ones.
+        for _ in 0..RING_CAPACITY {
+            t.record("/v1/predict", 200, 1_000_000);
+        }
+        for _ in 0..RING_CAPACITY {
+            t.record("/v1/predict", 200, 1);
+        }
+        let lat = t.latency();
+        assert_eq!(lat.samples, RING_CAPACITY);
+        assert_eq!(lat.p99_us, 1, "old samples should have been displaced");
+    }
+}

@@ -1,0 +1,375 @@
+//! Integration tests against a live in-process server: HTTP edge cases,
+//! keep-alive, concurrent cache behaviour, and the end-to-end guarantee
+//! that the serving path is bit-identical to the library path.
+
+use dse_core::dataset::{DatasetSpec, SuiteDataset};
+use dse_core::OfflineModel;
+use dse_ml::MlpConfig;
+use dse_serve::client::Client;
+use dse_serve::registry::{save_artifacts, ModelRegistry};
+use dse_serve::server::{Server, ServerConfig};
+use dse_sim::Metric;
+use dse_util::json::FromJson;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+const N_CONFIGS: usize = 40;
+const T: usize = 30;
+const SEED: u64 = 11;
+
+/// Shared expensive setup: one 5-program dataset, artifacts trained on the
+/// first 4 programs, the 5th held out as the "new" program.
+struct Setup {
+    dir: PathBuf,
+    /// All 5 programs (4 training + 1 held out), one shared sample.
+    ds5: SuiteDataset,
+    /// The 4 training programs over the same sample.
+    ds4: SuiteDataset,
+}
+
+fn setup() -> &'static Setup {
+    static SETUP: OnceLock<Setup> = OnceLock::new();
+    SETUP.get_or_init(|| {
+        let profiles: Vec<_> = dse_workload::suites::spec2000()
+            .into_iter()
+            .take(5)
+            .collect();
+        let spec = DatasetSpec {
+            n_configs: N_CONFIGS,
+            ..DatasetSpec::tiny()
+        };
+        let ds5 = SuiteDataset::generate(&profiles, &spec);
+        let ds4 = SuiteDataset {
+            spec: ds5.spec,
+            configs: ds5.configs.clone(),
+            benchmarks: ds5.benchmarks[..4].to_vec(),
+        };
+        let dir = std::env::temp_dir().join(format!("dse-serve-e2e-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        save_artifacts(
+            &dir,
+            &ds4,
+            &[Metric::Cycles],
+            T,
+            &MlpConfig::default(),
+            SEED,
+        )
+        .unwrap();
+        Setup { dir, ds5, ds4 }
+    })
+}
+
+fn start_server(cfg: &ServerConfig) -> (Server, String) {
+    let registry = Arc::new(ModelRegistry::open(&setup().dir).unwrap());
+    let server = Server::start(registry, cfg).unwrap();
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+/// Sends raw bytes on a fresh connection and returns the raw response.
+fn raw_exchange(addr: &str, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(bytes).unwrap();
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[test]
+fn malformed_request_line_gets_400() {
+    let (server, addr) = start_server(&ServerConfig::default());
+    let resp = raw_exchange(&addr, b"THIS IS NOT HTTP\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 400 "), "got: {resp}");
+    server.stop();
+}
+
+#[test]
+fn unknown_route_gets_404_and_known_route_wrong_method_gets_405() {
+    let (server, addr) = start_server(&ServerConfig::default());
+    let resp = raw_exchange(&addr, b"GET /nope HTTP/1.1\r\nconnection: close\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 404 "), "got: {resp}");
+    let resp = raw_exchange(
+        &addr,
+        b"GET /v1/predict HTTP/1.1\r\nconnection: close\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 405 "), "got: {resp}");
+    server.stop();
+}
+
+#[test]
+fn oversized_body_gets_413_without_reading_it() {
+    let cfg = ServerConfig {
+        max_body: 1024,
+        ..ServerConfig::default()
+    };
+    let (server, addr) = start_server(&cfg);
+    // Declare a 10 MB body but never send it: the server must answer from
+    // the Content-Length header alone.
+    let resp = raw_exchange(
+        &addr,
+        b"POST /v1/predict HTTP/1.1\r\ncontent-length: 10485760\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 413 "), "got: {resp}");
+    server.stop();
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_on_one_connection() {
+    let (server, addr) = start_server(&ServerConfig::default());
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    // Frames one full response (head + Content-Length body), carrying any
+    // over-read bytes to the next call so pipelined reads stay aligned.
+    let mut carry: Vec<u8> = Vec::new();
+    let mut read_one = |stream: &mut TcpStream| -> String {
+        let mut buf = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0, "server closed the connection mid-response");
+            carry.extend_from_slice(&buf[..n]);
+        };
+        let head = String::from_utf8_lossy(&carry[..head_end]).into_owned();
+        let body_len = head
+            .lines()
+            .find_map(|l| {
+                l.to_ascii_lowercase()
+                    .strip_prefix("content-length:")
+                    .map(str::to_string)
+            })
+            .map_or(0, |v| v.trim().parse::<usize>().unwrap());
+        while carry.len() < head_end + body_len {
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0, "server closed the connection mid-body");
+            carry.extend_from_slice(&buf[..n]);
+        }
+        let resp = String::from_utf8_lossy(&carry[..head_end + body_len]).into_owned();
+        carry.drain(..head_end + body_len);
+        resp
+    };
+    for _ in 0..3 {
+        stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let resp = read_one(&mut stream);
+        assert!(resp.starts_with("HTTP/1.1 200 "), "got: {resp}");
+        assert!(!resp.contains("connection: close"));
+    }
+    // Now ask for close; the server should honour it and drop the socket.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    let resp = read_one(&mut stream);
+    assert!(resp.contains("connection: close"));
+    let mut rest = Vec::new();
+    let _ = stream.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "connection should be closed after close");
+    server.stop();
+}
+
+#[test]
+fn client_reuses_its_connection() {
+    let (server, addr) = start_server(&ServerConfig::default());
+    let mut client = Client::new(addr);
+    for _ in 0..5 {
+        let health = client.healthz().unwrap();
+        assert_eq!(
+            health.field("status").and_then(String::from_json).unwrap(),
+            "ok"
+        );
+    }
+    server.stop();
+}
+
+/// The headline guarantee: train → persist → serve → fit over HTTP with
+/// R = 32 responses → predictions match the dse-core library path
+/// bit for bit, both on the cold path and through the LRU cache.
+#[test]
+fn end_to_end_predictions_match_library_bit_for_bit() {
+    let s = setup();
+    let metric = Metric::Cycles;
+
+    // Library path: the same training run save_artifacts performed, fitted
+    // on the held-out program's first 32 responses.
+    let train_rows: Vec<usize> = (0..4).collect();
+    let offline = OfflineModel::train(&s.ds4, &train_rows, metric, T, &MlpConfig::default(), SEED);
+    let idxs: Vec<usize> = (0..32).collect();
+    let target = &s.ds5.benchmarks[4];
+    let values: Vec<f64> = idxs
+        .iter()
+        .map(|&i| target.metrics[i].get(metric))
+        .collect();
+    let library = offline.fit_responses(&s.ds4, &idxs, &values);
+    let features = s.ds5.features();
+
+    // Serving path: same artifacts, same responses, over HTTP.
+    let (server, addr) = start_server(&ServerConfig::default());
+    let mut client = Client::new(addr);
+    let responses: Vec<(usize, f64)> = idxs.iter().map(|&i| (i, values[i])).collect();
+    let summary = client.fit(&target.name, metric, &responses).unwrap();
+    assert_eq!(
+        summary
+            .field("responses")
+            .and_then(usize::from_json)
+            .unwrap(),
+        32
+    );
+
+    for (i, config) in s.ds5.configs.iter().enumerate() {
+        let expected = library.predict(&features[i]);
+        let (cold, cached_cold) = client.predict(&target.name, metric, config).unwrap();
+        assert!(!cached_cold, "first lookup of config {i} cannot be cached");
+        assert_eq!(
+            cold.to_bits(),
+            expected.to_bits(),
+            "config {i}: server {cold:e} != library {expected:e}"
+        );
+        // Second lookup must come from the LRU cache, still bit-identical.
+        let (warm, cached_warm) = client.predict(&target.name, metric, config).unwrap();
+        assert!(
+            cached_warm,
+            "second lookup of config {i} should hit the cache"
+        );
+        assert_eq!(warm.to_bits(), expected.to_bits());
+    }
+    assert_eq!(server.cache().hits(), N_CONFIGS as u64);
+
+    // The batch endpoint agrees too (fresh program fit → cache invalidated,
+    // so half the batch is computed, half cached after a warm-up call).
+    let batch = client
+        .predict_batch(&target.name, metric, &s.ds5.configs)
+        .unwrap();
+    for (i, value) in batch.iter().enumerate() {
+        assert_eq!(value.to_bits(), library.predict(&features[i]).to_bits());
+    }
+    server.stop();
+}
+
+#[test]
+fn refit_invalidates_cached_predictions() {
+    let s = setup();
+    let metric = Metric::Cycles;
+    let (server, addr) = start_server(&ServerConfig::default());
+    let mut client = Client::new(addr);
+    let target = &s.ds5.benchmarks[4];
+    let r16: Vec<(usize, f64)> = (0..16)
+        .map(|i| (i, target.metrics[i].get(metric)))
+        .collect();
+    let r32: Vec<(usize, f64)> = (0..32)
+        .map(|i| (i, target.metrics[i].get(metric)))
+        .collect();
+
+    client.fit(&target.name, metric, &r16).unwrap();
+    let (v16, _) = client
+        .predict(&target.name, metric, &s.ds5.configs[35])
+        .unwrap();
+    let (_, cached) = client
+        .predict(&target.name, metric, &s.ds5.configs[35])
+        .unwrap();
+    assert!(cached);
+
+    // Refit with more responses: the cached value must not survive.
+    client.fit(&target.name, metric, &r32).unwrap();
+    let (v32, cached) = client
+        .predict(&target.name, metric, &s.ds5.configs[35])
+        .unwrap();
+    assert!(!cached, "refit must invalidate the cache");
+    assert_ne!(
+        v16.to_bits(),
+        v32.to_bits(),
+        "a different fit should move the prediction"
+    );
+    server.stop();
+}
+
+#[test]
+fn concurrent_clients_share_the_cache_and_agree() {
+    let s = setup();
+    let metric = Metric::Cycles;
+    let (server, addr) = start_server(&ServerConfig::default());
+    let mut client = Client::new(addr.clone());
+    let target = &s.ds5.benchmarks[4];
+    let responses: Vec<(usize, f64)> = (0..32)
+        .map(|i| (i, target.metrics[i].get(metric)))
+        .collect();
+    client.fit(&target.name, metric, &responses).unwrap();
+
+    // Uncached reference values, computed through the library on the same
+    // loaded artifacts so they are exact.
+    let registry = ModelRegistry::open(&s.dir).unwrap();
+    registry.fit(&target.name, metric, &responses).unwrap();
+    let expected: Vec<f64> = s.ds5.configs[..8]
+        .iter()
+        .map(|c| registry.predict(&target.name, metric, c).unwrap())
+        .collect();
+
+    let results: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.clone();
+                let name = target.name.clone();
+                let configs = &s.ds5.configs;
+                scope.spawn(move || {
+                    let mut client = Client::new(addr);
+                    let mut out = Vec::new();
+                    for _ in 0..3 {
+                        for config in &configs[..8] {
+                            let (value, _) = client.predict(&name, metric, config).unwrap();
+                            out.push(value);
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for values in &results {
+        for (k, value) in values.iter().enumerate() {
+            assert_eq!(
+                value.to_bits(),
+                expected[k % 8].to_bits(),
+                "cached and uncached responses must be identical"
+            );
+        }
+    }
+    // 4 clients x 3 rounds x 8 configs = 96 lookups over 8 distinct keys:
+    // most must have been cache hits.
+    assert!(
+        server.cache().hits() >= 80,
+        "expected cache hits, saw {}",
+        server.cache().hits()
+    );
+    let scrape = raw_exchange(
+        &server.local_addr().to_string(),
+        b"GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n",
+    );
+    assert!(
+        scrape.contains("dse_serve_cache_hits_total"),
+        "got: {scrape}"
+    );
+    server.stop();
+}
+
+#[test]
+fn shutdown_endpoint_drains_the_server() {
+    let (server, addr) = start_server(&ServerConfig::default());
+    let mut client = Client::new(addr.clone());
+    client.shutdown().unwrap();
+    // After the drain completes, new connections must be refused or reset.
+    server.wait();
+    let refused = TcpStream::connect(&addr).is_err() || {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let mut buf = [0u8; 64];
+        matches!(s.read(&mut buf), Ok(0) | Err(_))
+    };
+    assert!(refused, "server should be gone after shutdown");
+}

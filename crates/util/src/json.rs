@@ -552,6 +552,18 @@ impl<'a> Parser<'a> {
 
 // --- blanket and primitive impls -----------------------------------------
 
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
 impl ToJson for f64 {
     fn to_json(&self) -> Json {
         Json::Num(*self)

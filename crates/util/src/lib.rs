@@ -9,11 +9,14 @@
 //!   thread-count control via the `ARCHDSE_THREADS` environment variable;
 //! * [`json`] — a minimal JSON value type ([`json::Json`]), writer and
 //!   parser, plus the [`json::ToJson`] / [`json::FromJson`] traits the
-//!   domain crates implement by hand.
+//!   domain crates implement by hand;
+//! * [`pool`] — a fixed-size worker thread pool over a bounded job queue
+//!   ([`pool::WorkerPool`]), the substrate of the `dse-serve` HTTP server.
 //!
-//! Both are hot paths of the reproduction: dataset generation simulates
-//! thousands of configurations per benchmark in parallel, and the dataset
-//! disk cache is JSON.
+//! All are hot paths of the reproduction: dataset generation simulates
+//! thousands of configurations per benchmark in parallel, the dataset
+//! disk cache is JSON, and the serving layer dispatches every accepted
+//! connection through the pool.
 //!
 //! # Examples
 //!
@@ -33,6 +36,8 @@
 
 pub mod json;
 pub mod par;
+pub mod pool;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use par::{num_threads, par_chunks, par_map};
+pub use pool::WorkerPool;

@@ -31,4 +31,35 @@ else
     cargo run --release --offline -q -p dse-bench --bin bench_sim
 fi
 
+# Serve smoke: train tiny artifacts, start the HTTP server on an
+# ephemeral port, drive /healthz, /v1/fit and /v1/predict through the
+# in-repo client, then shut it down cleanly. Skip with DSE_SERVE_SKIP=1.
+if [ "${DSE_SERVE_SKIP:-0}" = "1" ]; then
+  echo "== serve smoke skipped (DSE_SERVE_SKIP=1) =="
+else
+  echo "== serve smoke: train -> serve -> client fit/predict -> shutdown =="
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_DIR"; [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+  cargo run --release --offline -q -- train \
+    --out "$SMOKE_DIR/models" --benchmarks 3 --configs 40 --t 30
+  cargo run --release --offline -q -- serve \
+    --models "$SMOKE_DIR/models" --addr 127.0.0.1:0 >"$SMOKE_DIR/serve.log" 2>&1 &
+  SERVE_PID=$!
+  ADDR=""
+  for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$SMOKE_DIR/serve.log" | head -1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SMOKE_DIR/serve.log"; exit 1; }
+    sleep 0.2
+  done
+  [ -n "$ADDR" ] || { echo "server never reported its address"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+  cargo run --release --offline -q -- client "$ADDR" health
+  cargo run --release --offline -q -- client "$ADDR" fit gzip cycles r=32
+  cargo run --release --offline -q -- client "$ADDR" predict gzip cycles
+  cargo run --release --offline -q -- client "$ADDR" shutdown
+  wait "$SERVE_PID"
+  SERVE_PID=""
+  echo "== serve smoke passed =="
+fi
+
 echo "tier-1 gate passed"

@@ -22,6 +22,7 @@
 //! | [`sim`] | `dse-sim` | cycle-level out-of-order simulator + Wattch-style energy |
 //! | [`ml`] | `dse-ml` | MLP, linear regression, stats, clustering |
 //! | [`core`] | `dse-core` | the architecture-centric predictor + evaluation harness |
+//! | [`serve`] | `dse-serve` | HTTP prediction server, model artifact store, client |
 //!
 //! # Quick start
 //!
@@ -45,6 +46,7 @@
 pub use dse_core as core;
 pub use dse_ml as ml;
 pub use dse_rng as rng;
+pub use dse_serve as serve;
 pub use dse_sim as sim;
 pub use dse_space as space;
 pub use dse_workload as workload;

@@ -8,6 +8,9 @@
 //! archdse simulate <bench> [key=value]  # run one benchmark on one config
 //! archdse predict <bench> [r=32]        # demo: predict <bench> from the
 //!                                       # other SPEC programs' knowledge
+//! archdse train --out <dir>             # train + persist model artifacts
+//! archdse serve --models <dir>          # serve predictions over HTTP
+//! archdse client <addr> <verb> [...]    # query a running server
 //! ```
 //!
 //! Configuration overrides use the paper-vector field names:
@@ -16,7 +19,27 @@
 //! `archdse simulate gzip width=8 l2=4096`.
 
 use archdse::prelude::*;
+use archdse::serve::{save_artifacts, Client, ModelRegistry, Server, ServerConfig};
 use dse_space::raw_space_size;
+use dse_util::json::{FromJson, Json, ToJson};
+
+const USAGE: &str = "usage: archdse <command> [args]
+
+commands:
+  space                                   design-space summary
+  benchmarks                              list workload profiles
+  simulate <bench> [--sanitize] [k=v...]  run one benchmark on one config
+  predict <bench> [r=32]                  leave-one-out prediction demo
+  train --out <dir> [--benchmarks N] [--configs N] [--t N] [--metrics m,..|all]
+                                          train + persist serving artifacts
+  serve --models <dir> [--addr host:port] [--workers N]
+                                          serve predictions over HTTP
+  client <addr> health                    check a running server
+  client <addr> fit <bench> [metric] [r=N]
+                                          simulate R responses and fit
+  client <addr> predict <program> [metric] [k=v...]
+                                          predict one configuration
+  client <addr> shutdown                  drain and stop the server";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,15 +48,62 @@ fn main() {
         Some("benchmarks") => cmd_benchmarks(),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
-        _ => {
-            eprintln!(
-                "usage: archdse <space|benchmarks|simulate|predict> [args]\n\
-                 see crate docs for details"
-            );
+        Some("train") => cmd_train(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n{USAGE}");
+            2
+        }
+        None => {
+            eprintln!("{USAGE}");
             2
         }
     };
     std::process::exit(code);
+}
+
+/// The simulation protocol shared by `train` and `client fit`: responses
+/// must be simulated the same way the training dataset was, or the fitted
+/// combiner would mix scales.
+const SERVE_TRACE_LEN: usize = 30_000;
+const SERVE_WARMUP: usize = 6_000;
+const SERVE_SEED: u64 = 21;
+
+/// Parses `--flag value` pairs. Every flag must be in `allowed`.
+fn parse_flags(
+    args: &[String],
+    allowed: &[&str],
+) -> Result<std::collections::BTreeMap<String, String>, String> {
+    let mut flags = std::collections::BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("expected --flag, got '{arg}'"));
+        };
+        if !allowed.contains(&name) {
+            return Err(format!("unknown flag '--{name}' (allowed: {allowed:?})"));
+        }
+        let Some(value) = it.next() else {
+            return Err(format!("flag '--{name}' needs a value"));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn parse_metric(text: &str) -> Result<Metric, String> {
+    Metric::ALL
+        .iter()
+        .copied()
+        .find(|m| {
+            m.to_string().eq_ignore_ascii_case(text) || format!("{m:?}").eq_ignore_ascii_case(text)
+        })
+        .ok_or_else(|| format!("unknown metric '{text}' (cycles, energy, ed, edd)"))
 }
 
 fn cmd_space() -> i32 {
@@ -182,10 +252,13 @@ fn cmd_predict(args: &[String]) -> i32 {
             }
         }
     }
-    if find_profile(bench).is_err() {
-        eprintln!("unknown benchmark '{bench}' (try `archdse benchmarks`)");
-        return 2;
-    }
+    let target_profile = match find_profile(bench) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
 
     // Demo-scale protocol so the command finishes in ~a minute on one core.
     let mut profiles: Vec<Profile> = archdse::workload::suites::spec2000()
@@ -193,7 +266,7 @@ fn cmd_predict(args: &[String]) -> i32 {
         .filter(|p| p.name != bench)
         .take(8)
         .collect();
-    profiles.push(find_profile(bench).expect("checked above"));
+    profiles.push(target_profile);
     let spec = DatasetSpec {
         n_configs: 200,
         trace_len: 30_000,
@@ -244,6 +317,337 @@ fn cmd_predict(args: &[String]) -> i32 {
     0
 }
 
+fn cmd_train(args: &[String]) -> i32 {
+    let flags = match parse_flags(
+        args,
+        &["out", "benchmarks", "configs", "t", "metrics", "seed"],
+    ) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}\nusage: archdse train --out <dir> [--benchmarks N] [--configs N] [--t N] [--metrics m,..|all] [--seed N]");
+            return 2;
+        }
+    };
+    let Some(out) = flags.get("out") else {
+        eprintln!("train needs --out <dir>");
+        return 2;
+    };
+    let parse_num = |key: &str, default: usize| -> Result<usize, String> {
+        match flags.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} '{v}' is not a number")),
+            None => Ok(default),
+        }
+    };
+    let (n_benchmarks, n_configs, t, seed) = match (
+        parse_num("benchmarks", 5),
+        parse_num("configs", 120),
+        parse_num("t", 90),
+        parse_num("seed", 1),
+    ) {
+        (Ok(b), Ok(c), Ok(t), Ok(s)) => (b, c, t, s as u64),
+        (b, c, t, s) => {
+            for e in [b.err(), c.err(), t.err(), s.err()].into_iter().flatten() {
+                eprintln!("{e}");
+            }
+            return 2;
+        }
+    };
+    let metrics: Vec<Metric> = match flags.get("metrics").map(String::as_str) {
+        None => vec![Metric::Cycles],
+        Some("all") => Metric::ALL.to_vec(),
+        Some(list) => {
+            let mut out = Vec::new();
+            for item in list.split(',') {
+                match parse_metric(item.trim()) {
+                    Ok(m) => out.push(m),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return 2;
+                    }
+                }
+            }
+            out
+        }
+    };
+    let profiles: Vec<Profile> = archdse::workload::suites::spec2000()
+        .into_iter()
+        .take(n_benchmarks)
+        .collect();
+    if profiles.len() < 2 {
+        eprintln!("need at least 2 benchmarks to train");
+        return 2;
+    }
+    let spec = DatasetSpec {
+        n_configs,
+        trace_len: SERVE_TRACE_LEN,
+        warmup: SERVE_WARMUP,
+        seed: SERVE_SEED,
+    };
+    eprintln!(
+        "simulating {} benchmarks x {} configurations ...",
+        profiles.len(),
+        n_configs
+    );
+    let ds = SuiteDataset::generate(&profiles, &spec);
+    eprintln!("training {} metric model(s) ...", metrics.len());
+    match save_artifacts(
+        std::path::Path::new(out),
+        &ds,
+        &metrics,
+        t.min(n_configs),
+        &MlpConfig::default(),
+        seed,
+    ) {
+        Ok(manifest) => {
+            println!("wrote {}", manifest.display());
+            for m in &metrics {
+                println!("  model-{}.json", m.to_string().to_lowercase());
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let flags = match parse_flags(args, &["models", "addr", "workers"]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}\nusage: archdse serve --models <dir> [--addr host:port] [--workers N]");
+            return 2;
+        }
+    };
+    let Some(models) = flags.get("models") else {
+        eprintln!("serve needs --models <dir> (create one with `archdse train`)");
+        return 2;
+    };
+    let mut cfg = ServerConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+        ..ServerConfig::default()
+    };
+    if let Some(w) = flags.get("workers") {
+        match w.parse::<usize>() {
+            Ok(n) if n > 0 => cfg.workers = n,
+            _ => {
+                eprintln!("--workers '{w}' is not a positive number");
+                return 2;
+            }
+        }
+    }
+    let registry = match ModelRegistry::open(models) {
+        Ok(r) => std::sync::Arc::new(r),
+        Err(e) => {
+            eprintln!("failed to load models from '{models}': {e}");
+            return 1;
+        }
+    };
+    let metrics: Vec<String> = registry.metrics().iter().map(|m| m.to_string()).collect();
+    let server = match Server::start(registry, &cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", cfg.addr);
+            return 1;
+        }
+    };
+    println!(
+        "dse-serve listening on {} ({} workers, metrics: {})",
+        server.local_addr(),
+        cfg.workers,
+        metrics.join(", ")
+    );
+    println!("stop with: archdse client {} shutdown", server.local_addr());
+    server.wait();
+    println!("drained, bye");
+    0
+}
+
+fn cmd_client(args: &[String]) -> i32 {
+    let (Some(addr), Some(verb)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: archdse client <addr> <health|fit|predict|shutdown> [args]");
+        return 2;
+    };
+    let mut client = Client::new(addr.clone());
+    let rest = &args[2..];
+    let result = match verb.as_str() {
+        "health" => client.healthz().map(|v| dse_util::json::to_string(&v)),
+        "shutdown" => client.shutdown().map(|v| dse_util::json::to_string(&v)),
+        "fit" => return client_fit(&mut client, rest),
+        "predict" => return client_predict(&mut client, rest),
+        other => {
+            eprintln!("unknown client verb '{other}'");
+            return 2;
+        }
+    };
+    match result {
+        Ok(text) => {
+            println!("{text}");
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+/// Simulates `r` responses of a benchmark at the server's shared sample
+/// configurations and fits it online — the paper's §5.3 protocol spoken
+/// over HTTP.
+fn client_fit(client: &mut Client, args: &[String]) -> i32 {
+    let Some(bench) = args.first() else {
+        eprintln!("usage: archdse client <addr> fit <benchmark> [metric] [r=N]");
+        return 2;
+    };
+    let profile = match find_profile(bench) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mut metric = Metric::Cycles;
+    let mut r = 32usize;
+    for arg in &args[1..] {
+        if let Some(v) = arg.strip_prefix("r=") {
+            match v.parse() {
+                Ok(n) if n > 0 => r = n,
+                _ => {
+                    eprintln!("bad response count '{v}'");
+                    return 2;
+                }
+            }
+        } else {
+            match parse_metric(arg) {
+                Ok(m) => metric = m,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            }
+        }
+    }
+    // Ask the server which configurations its sample holds, then simulate
+    // the new program on the first R of them.
+    let resp = match client.get(&format!("/v1/configs?limit={r}&metric={metric:?}")) {
+        Ok(resp) if resp.status == 200 => resp,
+        Ok(resp) => {
+            eprintln!(
+                "server answered {}: {}",
+                resp.status,
+                resp.text().unwrap_or("<binary>")
+            );
+            return 1;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let parsed = match resp.json() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let entries = match parsed.field("configs").and_then(|v| v.as_array()) {
+        Ok(a) => a.to_vec(),
+        Err(e) => {
+            eprintln!("bad /v1/configs response: {e}");
+            return 1;
+        }
+    };
+    let trace = TraceGenerator::new(&profile).generate(SERVE_TRACE_LEN);
+    let options = SimOptions::with_warmup(SERVE_WARMUP);
+    let mut responses = Vec::with_capacity(entries.len());
+    eprintln!("simulating {} responses of '{bench}' ...", entries.len());
+    for entry in &entries {
+        let (index, config) = match (
+            entry.field("index").and_then(usize::from_json),
+            entry.field("config").and_then(Config::from_json),
+        ) {
+            (Ok(i), Ok(c)) => (i, c),
+            (i, c) => {
+                for e in [
+                    i.err().map(|e| e.to_string()),
+                    c.err().map(|e| e.to_string()),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    eprintln!("bad /v1/configs entry: {e}");
+                }
+                return 1;
+            }
+        };
+        let metrics = simulate(&config, &trace, options);
+        responses.push((index, metrics.get(metric)));
+    }
+    match client.fit(bench, metric, &responses) {
+        Ok(summary) => {
+            println!("{}", dse_util::json::to_string(&summary));
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+fn client_predict(client: &mut Client, args: &[String]) -> i32 {
+    let Some(program) = args.first() else {
+        eprintln!("usage: archdse client <addr> predict <program> [metric] [key=value ...]");
+        return 2;
+    };
+    let mut metric = Metric::Cycles;
+    let mut overrides = Vec::new();
+    for arg in &args[1..] {
+        if arg.contains('=') {
+            overrides.push(arg.clone());
+        } else {
+            match parse_metric(arg) {
+                Ok(m) => metric = m,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            }
+        }
+    }
+    let config = match parse_config(&overrides) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    match client.predict(program, metric, &config) {
+        Ok((value, cached)) => {
+            let out = Json::obj([
+                ("program", program.as_str().to_json()),
+                ("metric", metric.to_json()),
+                ("value", value.to_json()),
+                ("cached", cached.to_json()),
+            ]);
+            println!("{}", dse_util::json::to_string(&out));
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +685,27 @@ mod tests {
         assert!(find_profile("gzip").is_ok());
         assert!(find_profile("tiff2rgba").is_ok());
         assert!(find_profile("doom").is_err());
+    }
+
+    #[test]
+    fn parse_flags_requires_known_flags_with_values() {
+        let ok = parse_flags(
+            &["--out".to_string(), "models".to_string()],
+            &["out", "addr"],
+        )
+        .unwrap();
+        assert_eq!(ok.get("out").map(String::as_str), Some("models"));
+        assert!(parse_flags(&["--nope".to_string(), "x".to_string()], &["out"]).is_err());
+        assert!(parse_flags(&["--out".to_string()], &["out"]).is_err());
+        assert!(parse_flags(&["out".to_string()], &["out"]).is_err());
+    }
+
+    #[test]
+    fn parse_metric_accepts_both_spellings() {
+        assert_eq!(parse_metric("cycles").unwrap(), Metric::Cycles);
+        assert_eq!(parse_metric("Cycles").unwrap(), Metric::Cycles);
+        assert_eq!(parse_metric("ED").unwrap(), Metric::Ed);
+        assert_eq!(parse_metric("edd").unwrap(), Metric::Edd);
+        assert!(parse_metric("watts").is_err());
     }
 }
