@@ -7,7 +7,7 @@
 //! exit non-zero on a >25 % median regression (the `scripts/ci.sh` gate).
 
 use dse_bench::harness::{black_box, iters_for, Report};
-use dse_sim::{simulate, simulate_detailed, SimOptions};
+use dse_sim::{simulate, simulate_detailed, simulate_profiled, SimOptions};
 use dse_space::Config;
 use dse_workload::{suites, TraceGenerator};
 
@@ -63,6 +63,43 @@ fn main() {
         || {
             black_box(simulate(black_box(&tiny), &trace, opts));
         },
+    );
+
+    // Observability overhead: the same baseline gzip run with per-cycle
+    // stall attribution enabled. The disabled path (`simulate`, row
+    // `simulator/baseline/gzip/20k` above) is monomorphised with
+    // `NoObs::ENABLED = false`, so its hot loop is the pre-obs machine
+    // code — the regression gate below holds it to the committed
+    // baseline. The delta printed here documents what turning the hooks
+    // *on* costs.
+    let cycles_gzip = simulate_detailed(&Config::baseline(), &trace, opts)
+        .0
+        .cycles;
+    let obs_on = report.bench(
+        "simulator/obs-on/gzip/20k",
+        2,
+        iters,
+        Some(cycles_gzip),
+        || {
+            black_box(simulate_profiled(
+                black_box(&Config::baseline()),
+                &trace,
+                opts,
+            ));
+        },
+    );
+    let obs_off_ns = report
+        .rows()
+        .iter()
+        .find(|r| r.name == "simulator/baseline/gzip/20k")
+        .map(|r| r.result.median.as_nanos() as f64)
+        .unwrap();
+    let obs_on_ns = obs_on.median.as_nanos() as f64;
+    eprintln!(
+        "[bench] obs-off median {:.2}ms vs obs-on {:.2}ms: {:+.1}% with attribution enabled",
+        obs_off_ns / 1e6,
+        obs_on_ns / 1e6,
+        100.0 * (obs_on_ns - obs_off_ns) / obs_off_ns
     );
 
     let gcc = suites::spec2000()

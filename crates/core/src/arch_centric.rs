@@ -67,11 +67,18 @@ impl OfflineModel {
         for &r in train_rows {
             assert!(r < ds.benchmarks.len(), "train row {r} out of range");
         }
+        let _span = dse_obs::span!(
+            "train.offline_model",
+            metric = metric,
+            programs = train_rows.len(),
+            t = t
+        );
         let features = ds.features();
         let root = Xoshiro256::seed_from(seed);
         let jobs: Vec<(usize, usize)> = train_rows.iter().copied().enumerate().collect();
         let models: Vec<ProgramSpecificPredictor> = par_map(&jobs, |&(k, row)| {
             let bench = &ds.benchmarks[row];
+            let _span = dse_obs::span!("train_mlp", program = bench.name, metric = metric);
             let mut rng = root.child(k as u64 + 1);
             let idx = rng.sample_indices(ds.n_configs(), t);
             let tf: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();

@@ -220,8 +220,9 @@ impl SuiteDataset {
     /// and handed to one [`dse_util::par::par_map`] call (thread count via
     /// `ARCHDSE_THREADS`): a thread finishing a cheap cell immediately
     /// pulls work from *any* benchmark instead of idling at a
-    /// per-benchmark barrier. A one-line summary is reported on stderr
-    /// since full generation takes minutes.
+    /// per-benchmark barrier. Progress (sims completed, sims/sec, ETA)
+    /// and a one-line summary are reported at `info` level
+    /// (`ARCHDSE_LOG=info`) since full generation takes minutes.
     ///
     /// # Panics
     ///
@@ -250,6 +251,11 @@ impl SuiteDataset {
             spec.warmup < spec.trace_len,
             "warmup must precede trace end"
         );
+        let _gen_span = dse_obs::span!(
+            "dataset.generate",
+            benchmarks = profiles.len(),
+            configs = spec.n_configs
+        );
         let mut rng = Xoshiro256::seed_from(spec.seed);
         let configs = sample_legal(&mut rng, spec.n_configs);
         let options = SimOptions::with_warmup(spec.warmup);
@@ -257,9 +263,12 @@ impl SuiteDataset {
 
         // One trace per benchmark, generated up front and shared read-only
         // by every simulation of that benchmark.
-        let traces: Vec<_> = par_map(profiles, |p| {
-            TraceGenerator::new(p).generate(spec.trace_len)
-        });
+        let traces: Vec<_> = {
+            let _span = dse_obs::span!("dataset.traces", count = profiles.len());
+            par_map(profiles, |p| {
+                TraceGenerator::new(p).generate(spec.trace_len)
+            })
+        };
 
         // Flatten the benchmark × configuration grid into a single work
         // list; the baseline rides along as a final pseudo-column so it is
@@ -269,11 +278,33 @@ impl SuiteDataset {
             .flat_map(|b| (0..cols).map(move |c| (b, c)))
             .collect();
         let t0 = std::time::Instant::now();
-        let cells: Vec<Result<Metrics, CheckError>> = par_map(&jobs, |&(b, c)| {
-            let cfg = configs.get(c).unwrap_or(&baseline_cfg);
-            try_simulate(cfg, &traces[b], options)
-        });
-        eprintln!(
+        let total = jobs.len();
+        // Progress heartbeat: ~10 reports per sweep, each with the
+        // completion count, throughput, and a remaining-time estimate.
+        let progress_step = (total / 10).max(1);
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let sims_counter = dse_obs::counter("dse_core_dataset_sims_total");
+        let cells: Vec<Result<Metrics, CheckError>> = {
+            let _span = dse_obs::span!("dataset.sweep", sims = total);
+            par_map(&jobs, |&(b, c)| {
+                let cfg = configs.get(c).unwrap_or(&baseline_cfg);
+                let r = try_simulate(cfg, &traces[b], options);
+                sims_counter.inc();
+                let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                if d % progress_step == 0 || d == total {
+                    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+                    let rate = d as f64 / elapsed;
+                    dse_obs::log!(
+                        info,
+                        "[dataset] {d}/{total} sims, {rate:.1} sims/s, eta {:.0}s",
+                        (total - d) as f64 / rate.max(1e-9)
+                    );
+                }
+                r
+            })
+        };
+        dse_obs::log!(
+            info,
             "[dataset] {} benchmarks x {} configs (+{} baselines) = {} sims in {:.1}s",
             profiles.len(),
             configs.len(),
@@ -336,7 +367,7 @@ impl SuiteDataset {
             let text = std::fs::read_to_string(&path)?;
             let ds: SuiteDataset = dse_util::json::from_str(&text)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            eprintln!("[dataset] loaded cache {}", path.display());
+            dse_obs::log!(info, "[dataset] loaded cache {}", path.display());
             return Ok(ds);
         }
         let ds = Self::try_generate(profiles, spec)
@@ -345,7 +376,7 @@ impl SuiteDataset {
         let tmp = path.with_extension("json.tmp");
         std::fs::write(&tmp, dse_util::json::to_string(&ds))?;
         std::fs::rename(&tmp, &path)?;
-        eprintln!("[dataset] cached to {}", path.display());
+        dse_obs::log!(info, "[dataset] cached to {}", path.display());
         Ok(ds)
     }
 

@@ -184,6 +184,7 @@ fn model_pools(
 ///
 /// Panics if `ds` holds fewer than two benchmarks of `suite`.
 pub fn loo(ds: &SuiteDataset, suite: Suite, metric: Metric, cfg: &EvalConfig) -> Vec<ProgramEval> {
+    let _span = dse_obs::span!("xval.loo", metric = metric, repeats = cfg.repeats);
     let rows = suite_rows(ds, suite);
     assert!(rows.len() >= 2, "need at least two benchmarks in the suite");
     let pools = model_pools(ds, metric, cfg);
@@ -263,6 +264,7 @@ pub fn cross_suite(
     metric: Metric,
     cfg: &EvalConfig,
 ) -> Vec<ProgramEval> {
+    let _span = dse_obs::span!("xval.cross_suite", metric = metric, repeats = cfg.repeats);
     let train_rows = suite_rows(ds, train_suite);
     let test_rows = suite_rows(ds, test_suite);
     assert!(!train_rows.is_empty(), "training suite absent from dataset");
@@ -408,6 +410,7 @@ pub fn sweep_t(
     ts: &[usize],
     cfg: &EvalConfig,
 ) -> Vec<SweepPoint> {
+    let _span = dse_obs::span!("xval.sweep_t", metric = metric, points = ts.len());
     let rows = suite_rows(ds, suite);
     ps_points(ds, &rows, metric, ts, cfg)
 }
@@ -482,6 +485,7 @@ pub fn sweep_r(
     rs: &[usize],
     cfg: &EvalConfig,
 ) -> Vec<SweepPoint> {
+    let _span = dse_obs::span!("xval.sweep_r", metric = metric, points = rs.len());
     let pools = model_pools(ds, metric, cfg);
     let rows = suite_rows(ds, suite);
     arch_points(ds, &rows, metric, rs, cfg, &pools)
@@ -497,6 +501,7 @@ pub fn compare(
     sims: &[usize],
     cfg: &EvalConfig,
 ) -> Vec<CompareRow> {
+    let _span = dse_obs::span!("xval.compare", metric = metric, budgets = sims.len());
     let pools = model_pools(ds, metric, cfg);
     let rows = suite_rows(ds, suite);
     let ps = ps_points(ds, &rows, metric, sims, cfg);
@@ -524,6 +529,11 @@ pub fn sweep_train_programs(
     ns: &[usize],
     cfg: &EvalConfig,
 ) -> Vec<SweepPoint> {
+    let _span = dse_obs::span!(
+        "xval.sweep_train_programs",
+        metric = metric,
+        points = ns.len()
+    );
     let rows = suite_rows(ds, suite);
     for &n in ns {
         assert!(

@@ -80,6 +80,14 @@ impl Mlp {
     /// rows of unequal width, or if the configuration has zero hidden
     /// neurons, epochs or batch size.
     pub fn train(xs: &[Vec<f64>], ys: &[f64], cfg: &MlpConfig) -> Self {
+        let _span = dse_obs::span!("mlp.fit", rows = xs.len(), epochs = cfg.epochs);
+        {
+            use dse_obs::registry::Counter;
+            use std::sync::{Arc, OnceLock};
+            static FITS: OnceLock<Arc<Counter>> = OnceLock::new();
+            FITS.get_or_init(|| dse_obs::counter("dse_ml_mlp_fits_total"))
+                .inc();
+        }
         assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
         assert!(!xs.is_empty(), "cannot train on no data");
         assert!(

@@ -1,0 +1,129 @@
+//! Workspace-wide observability: metrics, spans, leveled logging.
+//!
+//! Every crate in the workspace answers "where did the time go" and
+//! "how often did that happen" through this one zero-dependency layer:
+//!
+//! * [`registry`] — a global **metrics registry** of named counters,
+//!   gauges, fixed-bucket histograms and ring-based quantile estimators.
+//!   Counters and quantile rings are lock-sharded by thread so
+//!   `par_map` workers never contend on a cache line; the whole registry
+//!   renders as Prometheus text ([`registry::Registry::prometheus`]) or
+//!   JSONL ([`registry::Registry::jsonl`]).
+//! * [`span`] — **structured tracing**: lightweight span trees with
+//!   monotonic timing and parent/child nesting that follows work across
+//!   the scoped-thread pool in `dse-util` (the pool forwards the caller's
+//!   span context to its workers). Spans drain as a JSON span log and
+//!   aggregate into a self-time flame table.
+//! * [`log`] — **leveled diagnostics** (`error`/`warn`/`info`/`debug`)
+//!   via [`log!`], filtered by the `ARCHDSE_LOG` environment variable
+//!   (default `warn`), so test output stays quiet and greppable.
+//!
+//! # Enablement
+//!
+//! The registry and logging are always live (both are cheap: sharded
+//! atomics and one level compare). Span *recording* is off by default and
+//! turned on either by `ARCHDSE_OBS=1` or programmatically with
+//! [`set_enabled`] (how the CLI's `--obs json|pretty` flag works); a
+//! disabled [`span!`] costs one relaxed atomic load and allocates
+//! nothing.
+//!
+//! # Examples
+//!
+//! ```
+//! use dse_obs as obs;
+//!
+//! obs::set_enabled(true);
+//! {
+//!     let _outer = obs::span!("demo.outer");
+//!     let _inner = obs::span!("demo.inner", items = 3);
+//! }
+//! let spans = obs::span::take_spans();
+//! assert_eq!(spans.len(), 2);
+//!
+//! obs::registry::counter("demo_events_total").add(2);
+//! let text = obs::registry::global().prometheus();
+//! assert!(text.contains("demo_events_total 2"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod registry;
+pub mod span;
+
+pub use registry::{counter, gauge, histogram, quantiles, Registry};
+pub use span::{FlameRow, Span, SpanRecord};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Environment variable turning span recording on (`1`/`true`).
+pub const OBS_ENV: &str = "ARCHDSE_OBS";
+
+/// Tri-state enablement: 0 = unresolved (consult the environment),
+/// 1 = forced off, 2 = forced on.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether span recording is on (`ARCHDSE_OBS=1` or [`set_enabled`]).
+///
+/// The environment is consulted once, on the first call that finds no
+/// programmatic override.
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            let on = matches!(
+                std::env::var(OBS_ENV).as_deref(),
+                Ok("1") | Ok("true") | Ok("TRUE")
+            );
+            ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Forces span recording on or off, overriding `ARCHDSE_OBS`.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Escapes `s` as the inside of a JSON string literal (no quotes added).
+///
+/// The observability layer has no JSON dependency by design — span logs
+/// and the JSONL exposition only ever *write* JSON, and this is the one
+/// primitive writing needs.
+pub(crate) fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_enabled_overrides() {
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        let mut out = String::new();
+        json_escape_into(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

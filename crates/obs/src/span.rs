@@ -1,0 +1,458 @@
+//! Structured tracing: span trees with monotonic timing.
+//!
+//! A span is an RAII guard created by [`crate::span!`]; while it lives,
+//! any span opened on the same thread becomes its child. Finished spans
+//! accumulate in a global log drained by [`take_spans`], rendered as
+//! JSONL by [`to_jsonl`], and aggregated into a self-time flame table by
+//! [`flame_table`].
+//!
+//! Work handed to another thread keeps its ancestry when the spawning
+//! code captures [`current`] and the worker installs it with
+//! [`ThreadContext::enter`] — this is what `dse_util::par::par_map` does,
+//! so spans opened inside parallel jobs nest under the caller's span.
+//!
+//! Recording is gated on [`crate::enabled`]; a disabled span costs one
+//! relaxed atomic load and never allocates.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Span ids start at 1; 0 is never issued so `parent == 0` means "root".
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+static LOG: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// The innermost live span on this thread (`None` at top level).
+    static CURRENT: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Nanoseconds since the process-wide monotonic epoch (first use).
+fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// A finished span, as drained by [`take_spans`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id (process-wide, starts at 1).
+    pub id: u64,
+    /// Id of the enclosing span, or `None` for roots.
+    pub parent: Option<u64>,
+    /// Static span name, e.g. `"train_mlp"`.
+    pub name: &'static str,
+    /// Pre-rendered `key=value` pairs, space-separated ("" when none).
+    pub fields: String,
+    /// Start time in nanoseconds since the monotonic epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// An RAII span guard. Create with [`crate::span!`]; the span closes
+/// (records its duration and restores its parent as current) on drop.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span {
+    /// `None` when recording was disabled at creation.
+    live: Option<LiveSpan>,
+}
+
+struct LiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    fields: String,
+    start_ns: u64,
+}
+
+impl Span {
+    /// Starts a span if recording is enabled. Prefer [`crate::span!`],
+    /// which skips rendering `fields` entirely when disabled.
+    pub fn start(name: &'static str, fields: String) -> Span {
+        if !crate::enabled() {
+            return Span { live: None };
+        }
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT.with(|c| c.replace(Some(id)));
+        Span {
+            live: Some(LiveSpan {
+                id,
+                parent,
+                name,
+                fields,
+                start_ns: now_ns(),
+            }),
+        }
+    }
+
+    /// A no-op span (what [`crate::span!`] returns when disabled).
+    pub fn disabled() -> Span {
+        Span { live: None }
+    }
+
+    /// This span's id, or `None` if recording was disabled.
+    pub fn id(&self) -> Option<u64> {
+        self.live.as_ref().map(|l| l.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        let end = now_ns();
+        CURRENT.with(|c| c.set(live.parent));
+        let record = SpanRecord {
+            id: live.id,
+            parent: live.parent,
+            name: live.name,
+            fields: live.fields,
+            start_ns: live.start_ns,
+            dur_ns: end.saturating_sub(live.start_ns),
+        };
+        LOG.lock().unwrap_or_else(|e| e.into_inner()).push(record);
+    }
+}
+
+/// Opens a timed span over the enclosing scope.
+///
+/// `span!("name")` or `span!("name", key = expr, ...)`; field values are
+/// rendered with `Display` **only when recording is enabled**. Bind the
+/// result (`let _guard = span!(...)`) — dropping it immediately records
+/// an empty span.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::Span::start($name, ::std::string::String::new())
+    };
+    ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {
+        if $crate::enabled() {
+            let mut __fields = ::std::string::String::new();
+            $(
+                if !__fields.is_empty() {
+                    __fields.push(' ');
+                }
+                __fields.push_str(stringify!($key));
+                __fields.push('=');
+                let _ = ::std::fmt::Write::write_fmt(
+                    &mut __fields,
+                    ::std::format_args!("{}", $val),
+                );
+            )+
+            $crate::span::Span::start($name, __fields)
+        } else {
+            $crate::span::Span::disabled()
+        }
+    };
+}
+
+/// The innermost live span id on this thread. Capture this before
+/// spawning workers and hand it to [`ThreadContext::enter`] in each
+/// worker so their spans nest under the caller's.
+pub fn current() -> Option<u64> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Installs a foreign span id as this thread's current span for the
+/// guard's lifetime; the previous current span is restored on drop.
+pub struct ThreadContext {
+    prev: Option<u64>,
+}
+
+impl ThreadContext {
+    /// Makes `parent` the current span on this thread.
+    pub fn enter(parent: Option<u64>) -> ThreadContext {
+        ThreadContext {
+            prev: CURRENT.with(|c| c.replace(parent)),
+        }
+    }
+}
+
+impl Drop for ThreadContext {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Drains and returns every finished span recorded so far, ordered by
+/// completion time.
+pub fn take_spans() -> Vec<SpanRecord> {
+    std::mem::take(&mut *LOG.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Renders spans as one JSON object per line.
+pub fn to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(spans.len() * 96);
+    for s in spans {
+        out.push_str(&format!("{{\"id\":{},\"parent\":", s.id));
+        match s.parent {
+            Some(p) => out.push_str(&p.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"name\":\"");
+        crate::json_escape_into(&mut out, s.name);
+        out.push_str("\",\"fields\":\"");
+        crate::json_escape_into(&mut out, &s.fields);
+        out.push_str(&format!(
+            "\",\"start_us\":{},\"dur_us\":{}}}\n",
+            s.start_ns / 1_000,
+            s.dur_ns / 1_000
+        ));
+    }
+    out
+}
+
+/// One row of the self-time flame table: all spans sharing a name,
+/// aggregated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlameRow {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Summed wall durations.
+    pub total_ns: u64,
+    /// Summed self times: duration minus the durations of direct
+    /// children, clamped at zero per span (parallel children can sum to
+    /// more than their parent's wall time).
+    pub self_ns: u64,
+}
+
+/// Aggregates spans into a flame table sorted by self time, descending
+/// (ties broken by name so the table is deterministic).
+pub fn flame_table(spans: &[SpanRecord]) -> Vec<FlameRow> {
+    use std::collections::HashMap;
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for s in spans {
+        if let Some(p) = s.parent {
+            *child_ns.entry(p).or_insert(0) += s.dur_ns;
+        }
+    }
+    let mut rows: HashMap<&'static str, FlameRow> = HashMap::new();
+    for s in spans {
+        let self_ns = s
+            .dur_ns
+            .saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+        let row = rows.entry(s.name).or_insert(FlameRow {
+            name: s.name,
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+        });
+        row.count += 1;
+        row.total_ns += s.dur_ns;
+        row.self_ns += self_ns;
+    }
+    let mut out: Vec<FlameRow> = rows.into_values().collect();
+    out.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(b.name)));
+    out
+}
+
+/// Renders a flame table as aligned text, one row per span name.
+pub fn render_flame(rows: &[FlameRow]) -> String {
+    let total_self: u64 = rows.iter().map(|r| r.self_ns).sum::<u64>().max(1);
+    let name_w = rows
+        .iter()
+        .map(|r| r.name.len())
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = format!(
+        "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>6}\n",
+        "span", "count", "total_ms", "self_ms", "self%"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<name_w$}  {:>8}  {:>12.3}  {:>12.3}  {:>5.1}%\n",
+            r.name,
+            r.count,
+            r.total_ns as f64 / 1e6,
+            r.self_ns as f64 / 1e6,
+            100.0 * r.self_ns as f64 / total_self as f64,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// Span tests share the global log and enablement flag; serialise.
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn with_obs<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(true);
+        let _ = take_spans();
+        let r = f();
+        crate::set_enabled(false);
+        let _ = take_spans();
+        r
+    }
+
+    #[test]
+    fn nesting_records_parent_links() {
+        with_obs(|| {
+            {
+                let outer = crate::span!("t.outer");
+                let outer_id = outer.id().unwrap();
+                {
+                    let inner = crate::span!("t.inner", n = 7);
+                    assert_eq!(
+                        current(),
+                        inner.id(),
+                        "current should be the innermost span"
+                    );
+                }
+                assert_eq!(current(), Some(outer_id));
+            }
+            assert_eq!(current(), None);
+            let spans = take_spans();
+            assert_eq!(spans.len(), 2);
+            // Inner closes first.
+            assert_eq!(spans[0].name, "t.inner");
+            assert_eq!(spans[0].fields, "n=7");
+            assert_eq!(spans[0].parent, Some(spans[1].id));
+            assert_eq!(spans[1].name, "t.outer");
+            assert_eq!(spans[1].parent, None);
+        });
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing_and_skip_fields() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(false);
+        let _ = take_spans();
+        let mut evaluated = false;
+        {
+            let _s = crate::span!(
+                "t.off",
+                x = {
+                    evaluated = true;
+                    1
+                }
+            );
+        }
+        assert!(!evaluated, "field exprs must not run when disabled");
+        assert!(take_spans().is_empty());
+    }
+
+    #[test]
+    fn thread_context_propagates_ancestry() {
+        with_obs(|| {
+            {
+                let outer = crate::span!("t.root");
+                let parent = current();
+                assert_eq!(parent, outer.id());
+                std::thread::scope(|s| {
+                    s.spawn(move || {
+                        let _ctx = ThreadContext::enter(parent);
+                        let _child = crate::span!("t.worker");
+                    });
+                });
+            }
+            let spans = take_spans();
+            let worker = spans.iter().find(|s| s.name == "t.worker").unwrap();
+            let root = spans.iter().find(|s| s.name == "t.root").unwrap();
+            assert_eq!(worker.parent, Some(root.id));
+        });
+    }
+
+    #[test]
+    fn flame_table_subtracts_child_time() {
+        let spans = vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "outer",
+                fields: String::new(),
+                start_ns: 0,
+                dur_ns: 100,
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "inner",
+                fields: String::new(),
+                start_ns: 10,
+                dur_ns: 60,
+            },
+        ];
+        let rows = flame_table(&spans);
+        assert_eq!(rows.len(), 2);
+        let outer = rows.iter().find(|r| r.name == "outer").unwrap();
+        assert_eq!(outer.total_ns, 100);
+        assert_eq!(outer.self_ns, 40);
+        let inner = rows.iter().find(|r| r.name == "inner").unwrap();
+        assert_eq!(inner.self_ns, 60);
+    }
+
+    #[test]
+    fn flame_table_clamps_parallel_children_at_zero() {
+        // Two children each as long as the parent (ran in parallel).
+        let spans = vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "outer",
+                fields: String::new(),
+                start_ns: 0,
+                dur_ns: 100,
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "job",
+                fields: String::new(),
+                start_ns: 0,
+                dur_ns: 100,
+            },
+            SpanRecord {
+                id: 3,
+                parent: Some(1),
+                name: "job",
+                fields: String::new(),
+                start_ns: 0,
+                dur_ns: 100,
+            },
+        ];
+        let rows = flame_table(&spans);
+        let outer = rows.iter().find(|r| r.name == "outer").unwrap();
+        assert_eq!(outer.self_ns, 0, "self time clamps at zero");
+    }
+
+    #[test]
+    fn jsonl_escapes_and_shapes() {
+        let spans = vec![SpanRecord {
+            id: 3,
+            parent: Some(1),
+            name: "t.json",
+            fields: "path=a\"b".to_string(),
+            start_ns: 2_000,
+            dur_ns: 5_000,
+        }];
+        let line = to_jsonl(&spans);
+        assert_eq!(
+            line,
+            "{\"id\":3,\"parent\":1,\"name\":\"t.json\",\"fields\":\"path=a\\\"b\",\"start_us\":2,\"dur_us\":5}\n"
+        );
+    }
+
+    #[test]
+    fn render_flame_is_aligned_text() {
+        let rows = vec![FlameRow {
+            name: "alpha",
+            count: 2,
+            total_ns: 3_000_000,
+            self_ns: 3_000_000,
+        }];
+        let text = render_flame(&rows);
+        assert!(text.starts_with("span"), "{text}");
+        assert!(text.contains("alpha"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
+    }
+}

@@ -319,12 +319,15 @@ fn healthz(state: &State) -> Response {
 }
 
 fn metrics(state: &State) -> Response {
-    Response::text(
-        200,
+    let mut body =
         state
             .telemetry
-            .exposition(state.cache.hits(), state.cache.misses(), state.cache.len()),
-    )
+            .exposition(state.cache.hits(), state.cache.misses(), state.cache.len());
+    // Workspace-wide metrics (simulator runs, dataset sweeps, MLP fits,
+    // …) share the exposition: anything any crate registered in the
+    // process-wide registry appears alongside the server's own series.
+    body.push_str(&dse_obs::registry::global().prometheus());
+    Response::text(200, body)
 }
 
 fn models(state: &State) -> Response {

@@ -1,28 +1,26 @@
 //! Request telemetry for the `/metrics` endpoint.
 //!
-//! Counts requests per route and per status class, and keeps a bounded
-//! ring of recent request latencies from which p50/p95/p99 are computed
-//! on demand. The ring is deliberately small and mutex-guarded: recording
-//! a latency is a push into a fixed slot, and the sort happens only when
-//! `/metrics` is scraped.
+//! Counts requests per route and per status class, and tracks request
+//! latency through the workspace's shared quantile estimator
+//! ([`dse_obs::registry::QuantileRing`]): recording is a push into the
+//! calling thread's own shard — connection handler threads never queue
+//! on one lock — and the merge + sort happens only when `/metrics` is
+//! scraped.
+//!
+//! The exposition keeps the established `dse_serve_*` metric names and
+//! adds `dse_serve_build_info` (package version plus git hash when the
+//! server runs inside a checkout) and the uptime gauge.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-/// How many recent latencies the percentile window retains.
-const RING_CAPACITY: usize = 4096;
+use dse_obs::registry::QuantileRing;
 
-#[derive(Default)]
-struct Counters {
-    /// route → request count (BTreeMap so the exposition is sorted).
-    routes: BTreeMap<String, u64>,
-    /// Bounded ring of recent latencies, in microseconds.
-    latencies: Vec<u64>,
-    /// Next slot to overwrite once the ring is full.
-    cursor: usize,
-}
+/// How many recent latencies the percentile window retains (total across
+/// all shards).
+const RING_CAPACITY: usize = 4096;
 
 /// Server-wide request telemetry.
 pub struct Telemetry {
@@ -32,7 +30,10 @@ pub struct Telemetry {
     ok: AtomicU64,
     client_error: AtomicU64,
     server_error: AtomicU64,
-    counters: Mutex<Counters>,
+    /// route → request count (BTreeMap so the exposition is sorted).
+    routes: Mutex<BTreeMap<String, u64>>,
+    /// Recent request latencies in microseconds, thread-sharded.
+    latencies: QuantileRing,
 }
 
 /// A latency percentile snapshot in microseconds.
@@ -46,6 +47,24 @@ pub struct LatencySummary {
     pub p95_us: u64,
     /// 99th-percentile latency.
     pub p99_us: u64,
+}
+
+/// The git hash of the running checkout, resolved once; `None` when the
+/// server does not run inside a git work tree (e.g. a deployed binary).
+fn git_hash() -> Option<&'static str> {
+    static HASH: OnceLock<Option<String>> = OnceLock::new();
+    HASH.get_or_init(|| {
+        let out = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        let hash = String::from_utf8(out.stdout).ok()?.trim().to_string();
+        (!hash.is_empty()).then_some(hash)
+    })
+    .as_deref()
 }
 
 impl Default for Telemetry {
@@ -63,7 +82,8 @@ impl Telemetry {
             ok: AtomicU64::new(0),
             client_error: AtomicU64::new(0),
             server_error: AtomicU64::new(0),
-            counters: Mutex::new(Counters::default()),
+            routes: Mutex::new(BTreeMap::new()),
+            latencies: QuantileRing::new(RING_CAPACITY),
         }
     }
 
@@ -76,15 +96,13 @@ impl Telemetry {
             _ => &self.server_error,
         }
         .fetch_add(1, Ordering::Relaxed);
-        let mut c = self.counters.lock().unwrap();
-        *c.routes.entry(route.to_string()).or_insert(0) += 1;
-        if c.latencies.len() < RING_CAPACITY {
-            c.latencies.push(latency_us);
-        } else {
-            let cursor = c.cursor;
-            c.latencies[cursor] = latency_us;
-            c.cursor = (cursor + 1) % RING_CAPACITY;
-        }
+        *self
+            .routes
+            .lock()
+            .unwrap()
+            .entry(route.to_string())
+            .or_insert(0) += 1;
+        self.latencies.record(latency_us);
     }
 
     /// Total requests recorded since startup.
@@ -92,29 +110,28 @@ impl Telemetry {
         self.total.load(Ordering::Relaxed)
     }
 
+    /// Seconds since the server started.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
     /// Latency percentiles over the current window.
     pub fn latency(&self) -> LatencySummary {
-        let mut sorted = self.counters.lock().unwrap().latencies.clone();
-        sorted.sort_unstable();
-        let pick = |p: f64| -> u64 {
-            if sorted.is_empty() {
-                return 0;
-            }
-            let rank = ((sorted.len() as f64) * p).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
-        };
+        let s = self.latencies.snapshot();
         LatencySummary {
-            samples: sorted.len(),
-            p50_us: pick(0.50),
-            p95_us: pick(0.95),
-            p99_us: pick(0.99),
+            samples: s.samples,
+            p50_us: s.p50,
+            p95_us: s.p95,
+            p99_us: s.p99,
         }
     }
 
     /// Renders the plain-text exposition served at `GET /metrics`.
     ///
     /// `cache_hits`/`cache_misses` come from the prediction cache so the
-    /// hit rate appears alongside the request counters.
+    /// hit rate appears alongside the request counters. Workspace-wide
+    /// metrics from [`dse_obs::registry::global`] are appended by the
+    /// route handler, not here.
     pub fn exposition(&self, cache_hits: u64, cache_misses: u64, cache_len: usize) -> String {
         let lat = self.latency();
         let lookups = cache_hits + cache_misses;
@@ -123,10 +140,15 @@ impl Telemetry {
         } else {
             cache_hits as f64 / lookups as f64
         };
-        let mut out = String::with_capacity(512);
+        let mut out = String::with_capacity(768);
+        out.push_str(&format!(
+            "dse_serve_build_info{{version=\"{}\",git=\"{}\"}} 1\n",
+            env!("CARGO_PKG_VERSION"),
+            git_hash().unwrap_or("unknown"),
+        ));
         out.push_str(&format!(
             "dse_serve_uptime_seconds {}\n",
-            self.started.elapsed().as_secs()
+            self.uptime_seconds()
         ));
         out.push_str(&format!("dse_serve_requests_total {}\n", self.total()));
         out.push_str(&format!(
@@ -141,13 +163,10 @@ impl Telemetry {
             "dse_serve_responses_total{{class=\"5xx\"}} {}\n",
             self.server_error.load(Ordering::Relaxed)
         ));
-        {
-            let c = self.counters.lock().unwrap();
-            for (route, count) in &c.routes {
-                out.push_str(&format!(
-                    "dse_serve_route_requests_total{{route=\"{route}\"}} {count}\n"
-                ));
-            }
+        for (route, count) in self.routes.lock().unwrap().iter() {
+            out.push_str(&format!(
+                "dse_serve_route_requests_total{{route=\"{route}\"}} {count}\n"
+            ));
         }
         out.push_str(&format!(
             "dse_serve_latency_microseconds{{quantile=\"0.5\"}} {}\n",
@@ -193,6 +212,20 @@ mod tests {
     }
 
     #[test]
+    fn exposition_includes_build_info_and_uptime() {
+        let t = Telemetry::new();
+        let text = t.exposition(0, 0, 0);
+        assert!(
+            text.contains(&format!(
+                "dse_serve_build_info{{version=\"{}\"",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "{text}"
+        );
+        assert!(text.contains("dse_serve_uptime_seconds "), "{text}");
+    }
+
+    #[test]
     fn percentiles_over_known_distribution() {
         let t = Telemetry::new();
         for us in 1..=100 {
@@ -215,9 +248,11 @@ mod tests {
     }
 
     #[test]
-    fn ring_overwrites_oldest_samples() {
+    fn ring_bounds_memory_and_displaces_old_samples() {
         let t = Telemetry::new();
-        // Fill the ring with large values, then overwrite with small ones.
+        // Fill well past capacity with large values, then small ones.
+        // A single test thread writes one shard, so the retained window
+        // is capacity/shards — still bounded and still displacing.
         for _ in 0..RING_CAPACITY {
             t.record("/v1/predict", 200, 1_000_000);
         }
@@ -225,7 +260,7 @@ mod tests {
             t.record("/v1/predict", 200, 1);
         }
         let lat = t.latency();
-        assert_eq!(lat.samples, RING_CAPACITY);
+        assert!(lat.samples > 0 && lat.samples <= RING_CAPACITY);
         assert_eq!(lat.p99_us, 1, "old samples should have been displaced");
     }
 }

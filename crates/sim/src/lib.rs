@@ -39,11 +39,13 @@ pub mod branch;
 pub mod cache;
 pub mod check;
 pub mod energy;
+pub mod obs;
 pub mod oracle;
 pub mod pipeline;
 pub mod timing;
 
 pub use check::CheckError;
+pub use obs::{NoObs, SimObs, StallProfile, StallReport};
 pub use pipeline::{Pipeline, RunRecord, SimOptions, SimResult};
 
 use dse_space::{Config, ConstantParams};
@@ -220,7 +222,27 @@ impl FromJson for SimResult {
 /// (see [`Pipeline::new`]).
 pub fn simulate(cfg: &Config, trace: &Trace, options: SimOptions) -> Metrics {
     let result = Pipeline::new(cfg, &ConstantParams::standard(), trace, options).run();
+    record_run(&result);
     Metrics::from_result(&result)
+}
+
+/// Bumps the workspace-wide simulation counters for one finished run.
+/// Handles are resolved once and cached; the per-run cost is three
+/// sharded atomic adds.
+fn record_run(result: &SimResult) {
+    use dse_obs::registry::Counter;
+    use std::sync::{Arc, OnceLock};
+    static RUNS: OnceLock<Arc<Counter>> = OnceLock::new();
+    static CYCLES: OnceLock<Arc<Counter>> = OnceLock::new();
+    static INSTRS: OnceLock<Arc<Counter>> = OnceLock::new();
+    RUNS.get_or_init(|| dse_obs::counter("dse_sim_runs_total"))
+        .inc();
+    CYCLES
+        .get_or_init(|| dse_obs::counter("dse_sim_cycles_total"))
+        .add(result.cycles);
+    INSTRS
+        .get_or_init(|| dse_obs::counter("dse_sim_instructions_total"))
+        .add(result.instructions);
 }
 
 /// Like [`simulate`], but returns a sanitizer violation as an error
@@ -232,14 +254,39 @@ pub fn try_simulate(
     options: SimOptions,
 ) -> Result<Metrics, CheckError> {
     let result = Pipeline::new(cfg, &ConstantParams::standard(), trace, options).try_run()?;
+    record_run(&result);
     Ok(Metrics::from_result(&result))
 }
 
 /// Simulates and returns both the raw result and the normalised metrics.
 pub fn simulate_detailed(cfg: &Config, trace: &Trace, options: SimOptions) -> (SimResult, Metrics) {
     let result = Pipeline::new(cfg, &ConstantParams::standard(), trace, options).run();
+    record_run(&result);
     let metrics = Metrics::from_result(&result);
     (result, metrics)
+}
+
+/// Simulates with stall attribution enabled and returns the metrics plus
+/// a [`StallReport`] saying where the cycles went (see [`obs`]).
+///
+/// The instrumented run produces metrics bit-identical to [`simulate`];
+/// only the attribution is extra.
+///
+/// # Panics
+///
+/// Panics on an invariant violation, like [`simulate`].
+pub fn simulate_profiled(
+    cfg: &Config,
+    trace: &Trace,
+    options: SimOptions,
+) -> (Metrics, StallReport) {
+    let mut profile = StallProfile::default();
+    let record = Pipeline::new(cfg, &ConstantParams::standard(), trace, options)
+        .try_run_full_obs(&mut profile)
+        .unwrap_or_else(|e| panic!("{e}"));
+    record_run(&record.result);
+    let metrics = Metrics::from_result(&record.result);
+    (metrics, StallReport { profile, record })
 }
 
 #[cfg(test)]

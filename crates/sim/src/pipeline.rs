@@ -56,6 +56,7 @@ use crate::branch::{Btb, Gshare};
 use crate::cache::{Cache, CacheOutcome};
 use crate::check::{self, Bounds, CheckError, InvariantChecker, Occupancy};
 use crate::energy::{EnergyCounters, EnergyModel};
+use crate::obs::{CycleObs, NoObs, SimObs};
 use crate::timing::{MemorySpec, SramSpec};
 use dse_space::{Config, ConstantParams};
 use dse_workload::{meta, InstrKind, Trace};
@@ -506,7 +507,18 @@ impl<'t> Pipeline<'t> {
     /// Like [`Pipeline::try_run`], but additionally returns the measured
     /// event counters and the energy model so callers can reconcile the
     /// run against an independent reference (see [`crate::oracle`]).
-    pub fn try_run_full(mut self) -> Result<RunRecord, CheckError> {
+    pub fn try_run_full(self) -> Result<RunRecord, CheckError> {
+        self.try_run_full_obs(&mut NoObs)
+    }
+
+    /// Like [`Pipeline::try_run_full`], with an observer receiving
+    /// per-cycle stage activity (see [`crate::obs`]).
+    ///
+    /// The hooks are gated on the monomorphised constant
+    /// [`SimObs::ENABLED`]: with [`NoObs`] this compiles to exactly the
+    /// un-instrumented loop, so results are bit-identical whether or not
+    /// a run is observed (pinned by `tests/golden_sim.rs`).
+    pub fn try_run_full_obs<O: SimObs>(mut self, obs: &mut O) -> Result<RunRecord, CheckError> {
         let warmup = self.options.warmup;
         let n = self.kinds.len();
         let mut warm_counters: Option<EnergyCounters> = None;
@@ -517,6 +529,19 @@ impl<'t> Pipeline<'t> {
         while self.committed < n {
             self.cycle += 1;
             self.counters.cycles += 1;
+
+            // Stage-entry facts the observer needs but later stages
+            // overwrite; `O::ENABLED` is a monomorphised constant, so the
+            // whole block vanishes for the default `NoObs` run.
+            let pre = if O::ENABLED {
+                Some((
+                    self.committed >= self.dispatched,
+                    self.dispatched >= self.next_fetch,
+                    self.counters,
+                ))
+            } else {
+                None
+            };
 
             let committed_now = self.commit();
             if committed_now > 0 {
@@ -534,6 +559,24 @@ impl<'t> Pipeline<'t> {
             self.issue();
             self.dispatch();
             self.fetch();
+
+            if O::ENABLED {
+                let (rob_was_empty, fetch_q_was_empty, prev) =
+                    pre.expect("pre-stage snapshot is taken whenever O::ENABLED");
+                obs.on_cycle(&CycleObs {
+                    committed: committed_now,
+                    issued: (self.counters.iq_wakeups - prev.iq_wakeups) as u32,
+                    dispatched: (self.counters.renamed - prev.renamed) as u32,
+                    fetched: (self.counters.fetched - prev.fetched) as u32,
+                    rob_was_empty,
+                    fetch_q_was_empty,
+                    fetch_blocked_mispredict: self.fetch_blocked_on.is_some(),
+                    fetch_icache_stall: self.cycle < self.fetch_stall_until,
+                    trace_exhausted: self.next_fetch >= n,
+                    occ: self.occupancy(),
+                    bounds: self.bounds(),
+                });
+            }
 
             if self.checker.is_some() {
                 if let Some(e) = self.check_fail.take() {
@@ -555,6 +598,9 @@ impl<'t> Pipeline<'t> {
             // results are bit-identical to stepping through them.
             if self.committed < n {
                 let skip = self.idle_skip();
+                if O::ENABLED && skip > 0 {
+                    obs.on_idle(skip);
+                }
                 self.cycle += skip;
                 self.counters.cycles += skip;
             }

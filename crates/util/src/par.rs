@@ -77,19 +77,25 @@ where
     slots.resize_with(n, || None);
     let out = Mutex::new(slots);
     let f = &f;
+    // Spans opened inside `f` on a worker thread nest under the span that
+    // was current on the calling thread.
+    let parent_span = dse_obs::span::current();
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                // Compute outside the lock; only the merge is serialised.
-                let results: Vec<R> = items[start..end].iter().map(f).collect();
-                let mut guard = out.lock().unwrap();
-                for (slot, r) in guard[start..end].iter_mut().zip(results) {
-                    *slot = Some(r);
+            s.spawn(|| {
+                let _span_ctx = dse_obs::span::ThreadContext::enter(parent_span);
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    // Compute outside the lock; only the merge is serialised.
+                    let results: Vec<R> = items[start..end].iter().map(f).collect();
+                    let mut guard = out.lock().unwrap();
+                    for (slot, r) in guard[start..end].iter_mut().zip(results) {
+                        *slot = Some(r);
+                    }
                 }
             });
         }

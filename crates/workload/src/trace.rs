@@ -429,6 +429,15 @@ impl TraceGenerator {
 
     /// Generates a dynamic trace of exactly `len` instructions.
     pub fn generate(&self, len: usize) -> Trace {
+        let _span = dse_obs::span!("trace.generate", program = self.profile.name, len = len);
+        {
+            use dse_obs::registry::Counter;
+            use std::sync::{Arc, OnceLock};
+            static TRACES: OnceLock<Arc<Counter>> = OnceLock::new();
+            TRACES
+                .get_or_init(|| dse_obs::counter("dse_workload_traces_total"))
+                .inc();
+        }
         let mut rng = Xoshiro256::seed_from(self.profile.seed ^ 0x5452_4143); // "TRAC"
         let mut out = Trace::with_capacity(self.profile.name.to_string(), len);
         let mut branch_state = vec![BranchState::default(); self.blocks.len()];

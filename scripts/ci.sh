@@ -20,6 +20,28 @@ cargo test -q --offline
 echo "== ARCHDSE_SANITIZE=1 cargo test -q --offline =="
 ARCHDSE_SANITIZE=1 cargo test -q --offline
 
+# Observability: the test pass must also hold with spans/metrics forced
+# on (golden_sim pins bit-identity either way), and `train --obs json`
+# must emit span JSONL that `obs report` can parse back. Skip with
+# DSE_OBS_SKIP=1.
+if [ "${DSE_OBS_SKIP:-0}" = "1" ]; then
+  echo "== obs gate skipped (DSE_OBS_SKIP=1) =="
+else
+  echo "== ARCHDSE_OBS=1 cargo test -q --offline =="
+  ARCHDSE_OBS=1 cargo test -q --offline
+  echo "== obs smoke: train --obs json | obs report =="
+  OBS_DIR="$(mktemp -d)"
+  trap 'rm -rf "$OBS_DIR"' EXIT
+  cargo run --release --offline -q -- train \
+    --out "$OBS_DIR/models" --benchmarks 2 --configs 8 --t 6 \
+    --obs json 2>"$OBS_DIR/train.log" >"$OBS_DIR/spans.jsonl"
+  [ -s "$OBS_DIR/spans.jsonl" ] || { echo "train --obs json emitted no spans"; exit 1; }
+  cargo run --release --offline -q -- obs report "$OBS_DIR/spans.jsonl"
+  rm -rf "$OBS_DIR"
+  trap - EXIT
+  echo "== obs smoke passed =="
+fi
+
 # Perf gate: quick bench run compared against the committed baseline
 # (BENCH_sim.json); a >25% median regression on any row fails the build.
 # Constrained or noisy runners can skip it with DSE_BENCH_SKIP=1.

@@ -23,6 +23,7 @@
 //! | [`ml`] | `dse-ml` | MLP, linear regression, stats, clustering |
 //! | [`core`] | `dse-core` | the architecture-centric predictor + evaluation harness |
 //! | [`serve`] | `dse-serve` | HTTP prediction server, model artifact store, client |
+//! | [`obs`] | `dse-obs` | metrics registry, tracing spans, structured logging |
 //!
 //! # Quick start
 //!
@@ -45,6 +46,7 @@
 
 pub use dse_core as core;
 pub use dse_ml as ml;
+pub use dse_obs as obs;
 pub use dse_rng as rng;
 pub use dse_serve as serve;
 pub use dse_sim as sim;

@@ -28,10 +28,15 @@ const USAGE: &str = "usage: archdse <command> [args]
 commands:
   space                                   design-space summary
   benchmarks                              list workload profiles
-  simulate <bench> [--sanitize] [k=v...]  run one benchmark on one config
+  simulate <bench> [--sanitize] [--profile] [k=v...]
+                                          run one benchmark on one config
+                                          (--profile: stall attribution)
   predict <bench> [r=32]                  leave-one-out prediction demo
   train --out <dir> [--benchmarks N] [--configs N] [--t N] [--metrics m,..|all]
-                                          train + persist serving artifacts
+        [--obs json|pretty|off]           train + persist serving artifacts
+                                          (--obs json: span JSONL on stdout;
+                                           --obs pretty: self-time flame table)
+  obs report <spans.jsonl>                flame table from a span log
   serve --models <dir> [--addr host:port] [--workers N]
                                           serve predictions over HTTP
   client <addr> health                    check a running server
@@ -49,6 +54,7 @@ fn main() {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
+        Some("obs") => cmd_obs(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
@@ -188,9 +194,10 @@ fn cmd_simulate(args: &[String]) -> i32 {
         }
     };
     let sanitize = args[1..].iter().any(|a| a == "--sanitize");
+    let profile_run = args[1..].iter().any(|a| a == "--profile");
     let overrides: Vec<String> = args[1..]
         .iter()
-        .filter(|a| *a != "--sanitize")
+        .filter(|a| *a != "--sanitize" && *a != "--profile")
         .cloned()
         .collect();
     let cfg = match parse_config(&overrides) {
@@ -211,13 +218,20 @@ fn cmd_simulate(args: &[String]) -> i32 {
         &trace,
         options,
     );
-    let r = match pipeline.try_run() {
-        Ok(r) => r,
+    let mut stall = archdse::sim::StallProfile::default();
+    let rec = if profile_run {
+        pipeline.try_run_full_obs(&mut stall)
+    } else {
+        pipeline.try_run_full()
+    };
+    let rec = match rec {
+        Ok(rec) => rec,
         Err(e) => {
             eprintln!("{e}");
             return 1;
         }
     };
+    let r = rec.result;
     let m = archdse::sim::Metrics::from_result(&r);
     println!("benchmark : {bench}");
     println!("config    : {cfg}");
@@ -232,6 +246,14 @@ fn cmd_simulate(args: &[String]) -> i32 {
     println!("cycles    : {:.4e} /10M-instr phase", m.cycles);
     println!("energy    : {:.4e} nJ", m.energy);
     println!("ED / EDD  : {:.4e} / {:.4e}", m.ed, m.edd);
+    if profile_run {
+        let report = archdse::sim::StallReport {
+            profile: stall,
+            record: rec,
+        };
+        println!();
+        println!("{}", report.pretty());
+    }
     0
 }
 
@@ -320,11 +342,27 @@ fn cmd_predict(args: &[String]) -> i32 {
 fn cmd_train(args: &[String]) -> i32 {
     let flags = match parse_flags(
         args,
-        &["out", "benchmarks", "configs", "t", "metrics", "seed"],
+        &[
+            "out",
+            "benchmarks",
+            "configs",
+            "t",
+            "metrics",
+            "seed",
+            "obs",
+        ],
     ) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("{e}\nusage: archdse train --out <dir> [--benchmarks N] [--configs N] [--t N] [--metrics m,..|all] [--seed N]");
+            eprintln!("{e}\nusage: archdse train --out <dir> [--benchmarks N] [--configs N] [--t N] [--metrics m,..|all] [--seed N] [--obs json|pretty|off]");
+            return 2;
+        }
+    };
+    let obs_mode = match flags.get("obs").map(String::as_str) {
+        None | Some("off") => "off",
+        Some(m @ ("json" | "pretty")) => m,
+        Some(other) => {
+            eprintln!("--obs '{other}' must be one of: json, pretty, off");
             return 2;
         }
     };
@@ -385,33 +423,191 @@ fn cmd_train(args: &[String]) -> i32 {
         warmup: SERVE_WARMUP,
         seed: SERVE_SEED,
     };
-    eprintln!(
-        "simulating {} benchmarks x {} configurations ...",
-        profiles.len(),
-        n_configs
-    );
-    let ds = SuiteDataset::generate(&profiles, &spec);
-    eprintln!("training {} metric model(s) ...", metrics.len());
-    match save_artifacts(
-        std::path::Path::new(out),
-        &ds,
-        &metrics,
-        t.min(n_configs),
-        &MlpConfig::default(),
-        seed,
-    ) {
-        Ok(manifest) => {
-            println!("wrote {}", manifest.display());
-            for m in &metrics {
-                println!("  model-{}.json", m.to_string().to_lowercase());
+    if obs_mode != "off" {
+        archdse::obs::set_enabled(true);
+    }
+    // With `--obs json`, stdout carries nothing but span JSONL so the log
+    // can be piped straight into `archdse obs report`; status lines move
+    // to stderr.
+    let status = {
+        let _root = archdse::obs::span!(
+            "train",
+            benchmarks = profiles.len(),
+            configs = n_configs,
+            metrics = metrics.len()
+        );
+        eprintln!(
+            "simulating {} benchmarks x {} configurations ...",
+            profiles.len(),
+            n_configs
+        );
+        let ds = SuiteDataset::generate(&profiles, &spec);
+        eprintln!("training {} metric model(s) ...", metrics.len());
+        match save_artifacts(
+            std::path::Path::new(out),
+            &ds,
+            &metrics,
+            t.min(n_configs),
+            &MlpConfig::default(),
+            seed,
+        ) {
+            Ok(manifest) => {
+                let mut lines = vec![format!("wrote {}", manifest.display())];
+                for m in &metrics {
+                    lines.push(format!("  model-{}.json", m.to_string().to_lowercase()));
+                }
+                for line in lines {
+                    if obs_mode == "json" {
+                        eprintln!("{line}");
+                    } else {
+                        println!("{line}");
+                    }
+                }
+                0
             }
-            0
+            Err(e) => {
+                eprintln!("{e}");
+                1
+            }
         }
+    };
+    match obs_mode {
+        "json" => {
+            let spans = archdse::obs::span::take_spans();
+            print!("{}", archdse::obs::span::to_jsonl(&spans));
+        }
+        "pretty" => {
+            let spans = archdse::obs::span::take_spans();
+            let rows = archdse::obs::span::flame_table(&spans);
+            println!("{}", archdse::obs::span::render_flame(&rows));
+        }
+        _ => {}
+    }
+    status
+}
+
+/// `archdse obs report <spans.jsonl>`: aggregates a span log written by
+/// `train --obs json` into a self-time flame table.
+///
+/// Reimplements the flame aggregation over parsed (owned-name) records,
+/// since [`archdse::obs::span::flame_table`] works on live in-process
+/// spans with `&'static str` names.
+fn cmd_obs(args: &[String]) -> i32 {
+    let (Some(verb), Some(path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: archdse obs report <spans.jsonl>");
+        return 2;
+    };
+    if verb != "report" {
+        eprintln!("unknown obs verb '{verb}'\nusage: archdse obs report <spans.jsonl>");
+        return 2;
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
         Err(e) => {
-            eprintln!("{e}");
-            1
+            eprintln!("cannot read '{path}': {e}");
+            return 1;
+        }
+    };
+    struct Rec {
+        id: u64,
+        parent: Option<u64>,
+        name: String,
+        dur_us: u64,
+    }
+    let mut recs: Vec<Rec> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parse = |line: &str| -> Result<Rec, dse_util::json::JsonError> {
+            let v = Json::parse(line)?;
+            let parent = match v.field("parent")? {
+                Json::Null => None,
+                j => Some(j.as_u64()?),
+            };
+            Ok(Rec {
+                id: v.field("id")?.as_u64()?,
+                parent,
+                name: v.field("name")?.as_str()?.to_string(),
+                dur_us: v.field("dur_us")?.as_u64()?,
+            })
+        };
+        match parse(line) {
+            Ok(rec) => recs.push(rec),
+            Err(e) => {
+                eprintln!("{path}:{}: {e}", i + 1);
+                return 1;
+            }
         }
     }
+    if recs.is_empty() {
+        eprintln!("no spans in '{path}'");
+        return 1;
+    }
+    // Self time per span: duration minus direct children's durations,
+    // clamped at zero (parallel children can overlap their parent).
+    let mut child_us: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for r in &recs {
+        if let Some(p) = r.parent {
+            *child_us.entry(p).or_insert(0) += r.dur_us;
+        }
+    }
+    #[derive(Default)]
+    struct Row {
+        count: u64,
+        total_us: u64,
+        self_us: u64,
+    }
+    let mut rows: std::collections::BTreeMap<&str, Row> = std::collections::BTreeMap::new();
+    for r in &recs {
+        let self_us = r
+            .dur_us
+            .saturating_sub(child_us.get(&r.id).copied().unwrap_or(0));
+        let e = rows.entry(r.name.as_str()).or_default();
+        e.count += 1;
+        e.total_us += r.dur_us;
+        e.self_us += self_us;
+    }
+    let wall_us: u64 = recs
+        .iter()
+        .filter(|r| r.parent.is_none())
+        .map(|r| r.dur_us)
+        .sum();
+    let self_total: u64 = rows.values().map(|r| r.self_us).sum();
+    let mut sorted: Vec<(&str, &Row)> = rows.iter().map(|(k, v)| (*k, v)).collect();
+    sorted.sort_by(|a, b| b.1.self_us.cmp(&a.1.self_us).then(a.0.cmp(b.0)));
+    println!(
+        "{:<28} {:>8} {:>12} {:>12} {:>7}",
+        "span", "count", "total_ms", "self_ms", "self%"
+    );
+    for (name, row) in &sorted {
+        let pct = if wall_us > 0 {
+            100.0 * row.self_us as f64 / wall_us as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<28} {:>8} {:>12.3} {:>12.3} {:>6.1}%",
+            name,
+            row.count,
+            row.total_us as f64 / 1000.0,
+            row.self_us as f64 / 1000.0,
+            pct
+        );
+    }
+    let coverage = if wall_us > 0 {
+        100.0 * self_total as f64 / wall_us as f64
+    } else {
+        0.0
+    };
+    println!();
+    println!(
+        "{} spans, wall {:.3} ms, self-time coverage {coverage:.1}%",
+        recs.len(),
+        wall_us as f64 / 1000.0
+    );
+    0
 }
 
 fn cmd_serve(args: &[String]) -> i32 {

@@ -13,7 +13,7 @@
 //! grid is thinned to the checkerboard `(pi + ci) % 2 == 0`.
 
 use dse_rng::Xoshiro256;
-use dse_sim::{simulate_detailed, SimOptions, SimResult};
+use dse_sim::{simulate_detailed, simulate_profiled, SimOptions, SimResult};
 use dse_space::sample_legal;
 use dse_workload::{suites, TraceGenerator};
 
@@ -75,5 +75,69 @@ fn sim_results_match_pre_optimization_golden_values() {
                 "{name} × config[{ci}]: {field} drifted: got {g:?}, want {e:?}"
             );
         }
+    }
+}
+
+/// The observed (stall-attributed) run must be bit-identical to the
+/// golden values: instrumentation only reads pipeline state, never
+/// steers it. Also checks the attribution's internal invariants — the
+/// commit-outcome buckets partition the stepped cycles and, together
+/// with the idle-skipped cycles, account for every cycle of the run.
+#[test]
+fn profiled_runs_are_bit_identical_and_attribution_sums() {
+    let mut rng = Xoshiro256::seed_from(SEED);
+    let configs = sample_legal(&mut rng, 4);
+    let opts = SimOptions::with_warmup(WARMUP);
+
+    for (name, ci, expected) in golden() {
+        let profile = suites::all_benchmarks()
+            .into_iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("profile {name} missing"));
+        let trace = TraceGenerator::new(&profile).generate(TRACE_LEN);
+        let (_, report) = simulate_profiled(&configs[ci], &trace, opts);
+        let got = report.record.result;
+        assert_eq!(
+            got.instructions, expected.instructions,
+            "{name} × config[{ci}]: instructions drifted under obs"
+        );
+        assert_eq!(
+            got.cycles, expected.cycles,
+            "{name} × config[{ci}]: cycles drifted under obs"
+        );
+        for (field, g, e) in [
+            ("energy_nj", got.energy_nj, expected.energy_nj),
+            ("ipc", got.ipc, expected.ipc),
+            ("l1i_miss_rate", got.l1i_miss_rate, expected.l1i_miss_rate),
+            ("l1d_miss_rate", got.l1d_miss_rate, expected.l1d_miss_rate),
+            ("l2_miss_rate", got.l2_miss_rate, expected.l2_miss_rate),
+            (
+                "bpred_miss_rate",
+                got.bpred_miss_rate,
+                expected.bpred_miss_rate,
+            ),
+        ] {
+            assert_eq!(
+                g.to_bits(),
+                e.to_bits(),
+                "{name} × config[{ci}]: {field} drifted under obs: got {g:?}, want {e:?}"
+            );
+        }
+
+        let p = &report.profile;
+        assert_eq!(
+            p.instructions, TRACE_LEN as u64,
+            "{name} × config[{ci}]: attribution lost instructions"
+        );
+        assert_eq!(
+            p.cycles_stepped,
+            p.cycles_with_commit + p.commit_stall_rob_empty + p.commit_stall_head_wait,
+            "{name} × config[{ci}]: commit buckets must partition stepped cycles"
+        );
+        assert!(
+            p.total_cycles() >= got.cycles,
+            "{name} × config[{ci}]: full-run cycles must cover the measured phase"
+        );
+        assert!(p.hw_rob > 0 && p.hw_fetch_q > 0);
     }
 }

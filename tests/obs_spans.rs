@@ -1,0 +1,137 @@
+//! Workspace-level observability tests.
+//!
+//! Pins the two properties the tracing layer promises its consumers:
+//!
+//! 1. The span *tree* (names and parent/child edges) produced by a
+//!    `par_map` workload is deterministic across thread counts — only
+//!    the timings may differ between `ARCHDSE_THREADS=1` and `=4`.
+//! 2. The sharded quantile ring reports exact nearest-rank percentiles,
+//!    matching an independently sorted copy of the samples.
+//!
+//! (Bit-identity of the simulator with observation on vs. off is pinned
+//! separately in `tests/golden_sim.rs`.)
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use dse_obs::registry::{QuantileRing, SHARDS};
+use dse_obs::span::{self, SpanRecord};
+use dse_util::par::{par_map, THREADS_ENV};
+
+/// The span log, the obs enable flag, and `ARCHDSE_THREADS` are all
+/// process-global; every test in this binary serialises on this lock.
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `body` with obs enabled and `ARCHDSE_THREADS` set, returning the
+/// spans it produced; restores the previous state afterwards.
+fn spans_with_threads(threads: &str, body: impl FnOnce()) -> Vec<SpanRecord> {
+    std::env::set_var(THREADS_ENV, threads);
+    dse_obs::set_enabled(true);
+    let _ = span::take_spans(); // drop leftovers from other tests
+    body();
+    let spans = span::take_spans();
+    dse_obs::set_enabled(false);
+    std::env::remove_var(THREADS_ENV);
+    spans
+}
+
+/// A thread-count-independent shape signature: sorted multiset of
+/// `(name, parent-name, fields)` triples.
+fn tree_shape(spans: &[SpanRecord]) -> Vec<(String, String, String)> {
+    let names: BTreeMap<u64, &str> = spans.iter().map(|s| (s.id, s.name)).collect();
+    let mut shape: Vec<(String, String, String)> = spans
+        .iter()
+        .map(|s| {
+            let parent = s
+                .parent
+                .and_then(|p| names.get(&p).copied())
+                .unwrap_or("<root>");
+            (s.name.to_string(), parent.to_string(), s.fields.clone())
+        })
+        .collect();
+    shape.sort();
+    shape
+}
+
+/// The workload under test: a root span fanning out to one `work` span
+/// per item through the scoped-thread pool.
+fn spanned_workload() {
+    let _root = dse_obs::span!("root", items = 24);
+    let items: Vec<u64> = (0..24).collect();
+    let out = par_map(&items, |&i| {
+        let _s = dse_obs::span!("work", i = i);
+        i * 2
+    });
+    assert_eq!(out, items.iter().map(|&i| i * 2).collect::<Vec<_>>());
+}
+
+#[test]
+fn span_tree_is_deterministic_across_thread_counts() {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let serial = spans_with_threads("1", spanned_workload);
+    let parallel = spans_with_threads("4", spanned_workload);
+
+    assert_eq!(serial.len(), 25, "one root + 24 work spans");
+    assert_eq!(tree_shape(&serial), tree_shape(&parallel));
+
+    // Every worker-thread span must have been re-parented onto the root
+    // span that was current when `par_map` spawned the pool.
+    for spans in [&serial, &parallel] {
+        let root = spans.iter().find(|s| s.name == "root").unwrap();
+        assert_eq!(root.parent, None);
+        for s in spans.iter().filter(|s| s.name == "work") {
+            assert_eq!(s.parent, Some(root.id), "work span not under root");
+        }
+    }
+}
+
+#[test]
+fn spans_nest_and_time_monotonically() {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let spans = spans_with_threads("2", spanned_workload);
+    let by_id: BTreeMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    for s in &spans {
+        if let Some(p) = s.parent.and_then(|p| by_id.get(&p)) {
+            assert!(s.start_ns >= p.start_ns, "child starts before parent");
+            assert!(
+                s.start_ns + s.dur_ns <= p.start_ns + p.dur_ns,
+                "child {} outlives parent {}",
+                s.name,
+                p.name
+            );
+        }
+    }
+}
+
+#[test]
+fn quantile_ring_matches_exact_sorted_percentiles() {
+    // One thread writes one shard, so size the ring to hold everything.
+    let n = 500u64;
+    let ring = QuantileRing::new(n as usize * SHARDS);
+    // A scrambled but fully known sample set: 1..=500 each exactly once.
+    let mut vals: Vec<u64> = (1..=n).collect();
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for i in (1..vals.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        vals.swap(i, (state >> 33) as usize % (i + 1));
+    }
+    for v in &vals {
+        ring.record(*v);
+    }
+    let mut sorted = ring.samples();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (1..=n).collect::<Vec<_>>());
+    // Nearest-rank: value at index ceil(n*p) - 1 of the sorted samples.
+    for (p, want) in [(0.5, 250), (0.95, 475), (0.99, 495), (1.0, 500)] {
+        let rank = ((n as f64 * p).ceil() as usize).clamp(1, n as usize);
+        assert_eq!(sorted[rank - 1], want);
+        assert_eq!(ring.quantile(p), want, "quantile({p})");
+    }
+    let snap = ring.snapshot();
+    assert_eq!(
+        (snap.samples, snap.p50, snap.p95, snap.p99),
+        (n as usize, 250, 475, 495)
+    );
+}
