@@ -1,0 +1,53 @@
+//! Profiling driver: repeated scalar gzip simulations with no harness
+//! statistics and no batching, so external profilers (or interleaved
+//! A/B timing against a reference build) attribute time cleanly to the
+//! pipeline hot loop. `PROF_SIMS` sets the simulation count and
+//! `PROF_CFG=tiny` swaps the baseline machine for the narrow
+//! stall-heavy configuration from `bench_sim`'s tiny-config row.
+
+use dse_bench::harness::black_box;
+use dse_sim::{simulate, SimOptions};
+use dse_space::Config;
+use dse_workload::{suites, TraceGenerator};
+
+fn main() {
+    let n: usize = std::env::var("PROF_SIMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    let cfg = if std::env::var("PROF_CFG").as_deref() == Ok("tiny") {
+        Config {
+            width: 2,
+            rob: 32,
+            iq: 8,
+            lsq: 8,
+            rf: 40,
+            rf_read: 2,
+            rf_write: 1,
+            bpred_k: 1,
+            btb_k: 1,
+            max_branches: 8,
+            icache_kb: 8,
+            dcache_kb: 8,
+            l2_kb: 256,
+        }
+    } else {
+        Config::baseline()
+    };
+    let gzip = suites::spec2000()
+        .into_iter()
+        .find(|p| p.name == "gzip")
+        .unwrap();
+    let trace = TraceGenerator::new(&gzip).generate(20_000);
+    let opts = SimOptions::with_warmup(2_000);
+    let start = std::time::Instant::now();
+    for _ in 0..n {
+        black_box(simulate(black_box(&cfg), &trace, opts));
+    }
+    let elapsed = start.elapsed();
+    eprintln!(
+        "{n} sims in {:.3}s ({:.3} ms/sim)",
+        elapsed.as_secs_f64(),
+        elapsed.as_secs_f64() * 1e3 / n as f64
+    );
+}

@@ -135,12 +135,30 @@ impl Report {
         cycles_per_run: Option<u64>,
         f: F,
     ) -> BenchResult {
+        self.bench_scaled(name, warmup, iters, 1, cycles_per_run, f)
+    }
+
+    /// Like [`Report::bench`], but one call of `f` performs `runs` whole
+    /// simulations (e.g. a batch sweep over many configurations):
+    /// `sims_per_sec` is priced per simulation (`runs / median`), so
+    /// sweep rows compare directly against single-simulation rows.
+    /// `cycles_per_run` stays the total simulated cycles of one call.
+    pub fn bench_scaled<F: FnMut()>(
+        &mut self,
+        name: &str,
+        warmup: usize,
+        iters: usize,
+        runs: usize,
+        cycles_per_run: Option<u64>,
+        f: F,
+    ) -> BenchResult {
+        assert!(runs > 0, "a bench row must perform at least one run");
         let r = bench(name, warmup, iters, f);
         let secs = r.median.as_secs_f64();
         self.rows.push(BenchRecord {
             name: name.to_string(),
             result: r,
-            sims_per_sec: 1.0 / secs,
+            sims_per_sec: runs as f64 / secs,
             cycles_per_sec: cycles_per_run.map(|c| c as f64 / secs),
         });
         r

@@ -1,0 +1,669 @@
+//! Lockstep batched simulation: run N configurations per trace pass.
+//!
+//! A sweep simulates the *same* trace under many configurations, so the
+//! per-instruction front-end work — I-cache tag probes, gshare lookups,
+//! BTB target checks — is repeated per configuration even though its
+//! outcome stream is **timing-independent**: branches are predicted in
+//! program order no matter when fetch reaches them, and the I-cache access
+//! pattern is a deterministic automaton over the trace and the
+//! flow-correct bits (see [`FrontendPlans`]). This module exploits that in
+//! two layers:
+//!
+//! 1. **Batched front-end kernels** — [`FrontendPlans::build`] runs one
+//!    flat, fixed-stride kernel per *distinct* predictor / BTB / I-cache
+//!    geometry in the batch, over shared structure-of-arrays branch
+//!    columns, producing per-geometry outcome bitsets. B lanes sharing a
+//!    geometry pay for it once instead of B times, and each kernel is a
+//!    tight table-walk loop the compiler can optimise in isolation.
+//! 2. **Lockstep stepping** — [`try_simulate_batch_records`] advances the
+//!    lanes round-robin in [`LOCKSTEP_CHUNK`]-instruction turns over the
+//!    *shared* borrowed trace, so all lanes stream the same trace window
+//!    through the host cache together. Finished (or failed) lanes retire
+//!    from the rotation; per-lane event-driven idle skipping keeps
+//!    working unchanged inside each turn.
+//!
+//! The back end (issue timing, D-cache, L2, energy) is config- and
+//! timing-dependent, so it stays fully live per lane; every lane is a
+//! complete [`Pipeline`] and produces results **bit-identical** to the
+//! scalar path (pinned by `tests/golden_sim.rs` and `tests/batch_sim.rs`).
+//!
+//! The sweep batch width is controlled by `ARCHDSE_BATCH`
+//! ([`batch_width`]): unset or `0`/garbage means the default, `1` forces
+//! the legacy scalar path.
+
+use crate::branch::{Btb, Gshare};
+use crate::cache::{Cache, CacheOutcome};
+use crate::check::{self, CheckError};
+use crate::obs::NoObs;
+use crate::pipeline::{Pipeline, RunRecord, SimOptions};
+use crate::Metrics;
+use dse_space::{Config, ConstantParams};
+use dse_workload::{meta, Trace};
+
+/// Environment variable overriding the sweep batch width.
+pub const BATCH_ENV: &str = "ARCHDSE_BATCH";
+
+/// Default lockstep batch width: large enough to amortise the shared
+/// front-end kernels and keep the shared trace window hot across lanes,
+/// small enough that B sets of per-lane state stay cache-resident.
+pub const DEFAULT_BATCH_WIDTH: usize = 8;
+
+/// Instructions each lane commits per lockstep turn. Bounds how far lanes
+/// drift apart on the shared trace (trace locality) while keeping the
+/// turn overhead negligible against thousands of simulated cycles.
+const LOCKSTEP_CHUNK: usize = 4096;
+
+/// Sweep batch width: `ARCHDSE_BATCH` if set to a positive integer,
+/// otherwise [`DEFAULT_BATCH_WIDTH`]. A width of 1 is the legacy scalar
+/// path. Unparsable or zero values fall back to the default rather than
+/// aborting a long run (mirroring `ARCHDSE_THREADS`). Read per call so
+/// tests can vary it.
+pub fn batch_width() -> usize {
+    if let Ok(v) = std::env::var(BATCH_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    DEFAULT_BATCH_WIDTH
+}
+
+/// A packed bit vector; one bit per precomputed front-end outcome.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(bits / 64 + 1),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, bit: bool) {
+        if self.len & 63 == 0 {
+            self.words.push(0);
+        }
+        self.words[self.len >> 6] |= (bit as u64) << (self.len & 63);
+        self.len += 1;
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of {}", self.len);
+        (self.words[i >> 6] >> (i & 63)) & 1 != 0
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Precomputed direction predictions for one gshare geometry.
+#[derive(Debug)]
+struct BpPlan {
+    /// Predicted direction per branch, in program order.
+    pred: BitVec,
+    /// The trained predictor, kept for end-of-run sanitizer checks.
+    gshare: Gshare,
+}
+
+/// Precomputed target-correctness bits for one BTB geometry.
+#[derive(Debug)]
+struct BtbPlan {
+    /// Whether the BTB held the branch's actual target at lookup time,
+    /// per branch in program order.
+    ok: BitVec,
+    /// The trained BTB, kept for end-of-run sanitizer checks.
+    btb: Btb,
+}
+
+/// Precomputed I-cache outcomes for one (I-cache geometry, predictor,
+/// BTB) combination — the access *sequence* depends on the flow-correct
+/// bits, so the cache alone does not determine it.
+#[derive(Debug)]
+struct IcPlan {
+    /// Hit/miss per I-cache access, in access order.
+    miss: BitVec,
+    /// The warmed cache, kept for end-of-run sanitizer checks.
+    cache: Cache,
+}
+
+/// Shared per-batch front-end outcome plans.
+///
+/// The front end of [`Pipeline`] is timing-independent, which makes its
+/// outcome streams precomputable:
+///
+/// * **branches** are fetched in program order and each is predicted and
+///   trained exactly once, so the gshare/BTB input sequence `(pc, taken,
+///   target)` is the trace's branch substream regardless of timing;
+/// * **I-cache accesses** follow a deterministic automaton: fetch
+///   accesses the cache when the line of the next PC differs from the
+///   last fetched line, and the line register resets (forcing a re-access
+///   even within a line) only after a *correctly-predicted taken* branch
+///   — a function of the plan's own prediction bits. Stall replays
+///   (I-cache miss, mispredict block, branch-limit retry) re-enter fetch
+///   at the same position with the line register unchanged, so they never
+///   re-access.
+///
+/// [`FrontendPlans::build`] therefore runs one kernel per *distinct*
+/// geometry over shared structure-of-arrays branch columns and hands each
+/// lane a cursor ([`PlanLane`]) over the matching outcome bitsets.
+#[derive(Debug)]
+pub struct FrontendPlans {
+    bp: Vec<BpPlan>,
+    btbs: Vec<BtbPlan>,
+    ics: Vec<IcPlan>,
+    /// Per-config plan indices `(bp, btb, ic)`.
+    lanes: Vec<(usize, usize, usize)>,
+}
+
+impl FrontendPlans {
+    /// Precomputes front-end outcome plans for `cfgs` over `trace`.
+    pub fn build(cfgs: &[Config], cons: &ConstantParams, trace: &Trace) -> Self {
+        let metas = trace.metas();
+        let pcs = trace.pcs();
+        let takens = trace.takens();
+        let targets = trace.targets();
+        let n = trace.len();
+
+        // Shared SoA branch substream: every predictor/BTB kernel walks
+        // these columns, so they are extracted once per batch.
+        let n_branches = metas.iter().filter(|&&m| m & meta::IS_BRANCH != 0).count();
+        let mut bpc: Vec<u64> = Vec::with_capacity(n_branches);
+        let mut btk: Vec<bool> = Vec::with_capacity(n_branches);
+        let mut btg: Vec<u32> = Vec::with_capacity(n_branches);
+        for i in 0..n {
+            if metas[i] & meta::IS_BRANCH != 0 {
+                bpc.push(pcs[i] as u64);
+                btk.push(takens[i]);
+                btg.push(targets[i]);
+            }
+        }
+
+        // Dedupe geometries: lanes sharing a predictor size (etc.) share
+        // one plan. The I-cache plan is keyed by the (cache, predictor,
+        // BTB) triple because the access sequence depends on the
+        // flow-correct bits.
+        let mut bp_keys: Vec<u64> = Vec::new();
+        let mut btb_keys: Vec<u64> = Vec::new();
+        let mut ic_keys: Vec<(u64, usize, usize)> = Vec::new();
+        let mut lanes = Vec::with_capacity(cfgs.len());
+        let intern = |keys: &mut Vec<u64>, k: u64| match keys.iter().position(|&x| x == k) {
+            Some(i) => i,
+            None => {
+                keys.push(k);
+                keys.len() - 1
+            }
+        };
+        for cfg in cfgs {
+            let bi = intern(&mut bp_keys, cfg.bpred_k as u64);
+            let ti = intern(&mut btb_keys, cfg.btb_k as u64);
+            let key = (cfg.icache_kb as u64, bi, ti);
+            let ii = match ic_keys.iter().position(|&k| k == key) {
+                Some(i) => i,
+                None => {
+                    ic_keys.push(key);
+                    ic_keys.len() - 1
+                }
+            };
+            lanes.push((bi, ti, ii));
+        }
+
+        // Direction kernel: one flat pass over the branch columns per
+        // predictor geometry.
+        let bp: Vec<BpPlan> = bp_keys
+            .iter()
+            .map(|&k| {
+                let mut gshare = Gshare::new(k * 1024);
+                let mut pred = BitVec::with_capacity(n_branches);
+                for j in 0..n_branches {
+                    pred.push(gshare.predict(bpc[j]));
+                    gshare.update(bpc[j], btk[j]);
+                }
+                BpPlan { pred, gshare }
+            })
+            .collect();
+
+        // Target kernel: one flat pass per BTB geometry.
+        let btbs: Vec<BtbPlan> = btb_keys
+            .iter()
+            .map(|&k| {
+                let mut btb = Btb::new(k * 1024);
+                let mut ok = BitVec::with_capacity(n_branches);
+                for j in 0..n_branches {
+                    ok.push(btb.lookup(bpc[j]) == Some(btg[j]));
+                    if btk[j] {
+                        btb.update(bpc[j], btg[j]);
+                    }
+                }
+                BtbPlan { ok, btb }
+            })
+            .collect();
+
+        // I-cache kernel: replay the fetch-line automaton per combination,
+        // consuming the direction/target bits just produced.
+        let line_shift = cons.l1_line_bytes.trailing_zeros();
+        let ics: Vec<IcPlan> = ic_keys
+            .iter()
+            .map(|&(kb, bi, ti)| {
+                let mut cache = Cache::new(kb * 1024, cons.l1_line_bytes, cons.l1i_assoc);
+                let mut miss = BitVec::with_capacity(n / 8);
+                let pred = &bp[bi].pred;
+                let ok = &btbs[ti].ok;
+                let mut last = u64::MAX;
+                let mut j = 0usize;
+                for i in 0..n {
+                    let pc = pcs[i] as u64;
+                    let line = pc >> line_shift;
+                    if line != last {
+                        last = line;
+                        miss.push(cache.access(pc) == CacheOutcome::Miss);
+                    }
+                    if metas[i] & meta::IS_BRANCH != 0 {
+                        if takens[i] && pred.get(j) && ok.get(j) {
+                            // Correctly-predicted taken branch: the fetch
+                            // group ends and the line register resets.
+                            last = u64::MAX;
+                        }
+                        j += 1;
+                    }
+                }
+                IcPlan { miss, cache }
+            })
+            .collect();
+
+        Self {
+            bp,
+            btbs,
+            ics,
+            lanes,
+        }
+    }
+
+    /// A fresh replay cursor for lane `i` (the i-th config passed to
+    /// [`FrontendPlans::build`]).
+    pub(crate) fn lane(&self, i: usize) -> PlanLane<'_> {
+        let (bi, ti, ii) = self.lanes[i];
+        PlanLane {
+            pred: &self.bp[bi].pred,
+            ok: &self.btbs[ti].ok,
+            miss: &self.ics[ii].miss,
+            chk_gshare: &self.bp[bi].gshare,
+            chk_btb: &self.btbs[ti].btb,
+            chk_icache: &self.ics[ii].cache,
+            branch_pos: 0,
+            ic_pos: 0,
+            bp_preds: 0,
+            bp_mispreds: 0,
+            ic_accs: 0,
+            ic_misses: 0,
+        }
+    }
+}
+
+/// One lane's replay cursor over a [`FrontendPlans`]: yields the same
+/// outcome stream the live structures would produce, plus the statistics
+/// the result assembly and sanitizer need.
+#[derive(Debug)]
+pub(crate) struct PlanLane<'p> {
+    pred: &'p BitVec,
+    ok: &'p BitVec,
+    miss: &'p BitVec,
+    chk_gshare: &'p Gshare,
+    chk_btb: &'p Btb,
+    chk_icache: &'p Cache,
+    branch_pos: usize,
+    ic_pos: usize,
+    bp_preds: u64,
+    bp_mispreds: u64,
+    ic_accs: u64,
+    ic_misses: u64,
+}
+
+impl PlanLane<'_> {
+    /// Next branch outcome: returns the flow-correct bit (direction
+    /// right, and for taken branches the BTB target too), mirroring the
+    /// live predict/lookup/update sequence.
+    #[inline]
+    pub(crate) fn next_branch(&mut self, taken: bool) -> bool {
+        let j = self.branch_pos;
+        self.branch_pos = j + 1;
+        let pred = self.pred.get(j);
+        self.bp_preds += 1;
+        if pred != taken {
+            self.bp_mispreds += 1;
+        }
+        if taken {
+            pred && self.ok.get(j)
+        } else {
+            !pred
+        }
+    }
+
+    /// Next I-cache access outcome.
+    #[inline]
+    pub(crate) fn next_icache(&mut self) -> CacheOutcome {
+        let m = self.miss.get(self.ic_pos);
+        self.ic_pos += 1;
+        self.ic_accs += 1;
+        if m {
+            self.ic_misses += 1;
+            CacheOutcome::Miss
+        } else {
+            CacheOutcome::Hit
+        }
+    }
+
+    /// (predictions, direction mispredictions) so far.
+    pub(crate) fn bpred_stats(&self) -> (u64, u64) {
+        (self.bp_preds, self.bp_mispreds)
+    }
+
+    /// (accesses, misses) of the planned I-cache so far.
+    pub(crate) fn icache_stats(&self) -> (u64, u64) {
+        (self.ic_accs, self.ic_misses)
+    }
+
+    /// End-of-run sanitizer checks: the shared plan structures are
+    /// self-consistent, the lane consumed the plan *exactly* (every
+    /// outcome used once, none left over), and its replayed statistics
+    /// reconcile with the plan structures' own counts.
+    pub(crate) fn check_final(&self) -> Result<(), CheckError> {
+        self.chk_icache.check_invariants("l1i")?;
+        self.chk_gshare.check_invariants()?;
+        self.chk_btb.check_invariants()?;
+        check::reconcile(
+            "plan-branches-consumed",
+            self.branch_pos as u64,
+            self.pred.len() as u64,
+        )?;
+        check::reconcile(
+            "plan-icache-consumed",
+            self.ic_pos as u64,
+            self.miss.len() as u64,
+        )?;
+        check::reconcile(
+            "plan-bpred-mispredicts",
+            self.bp_mispreds,
+            self.chk_gshare.mispredictions(),
+        )?;
+        check::reconcile(
+            "plan-icache-misses",
+            self.ic_misses,
+            self.chk_icache.misses(),
+        )?;
+        Ok(())
+    }
+}
+
+/// A whole sweep's batched execution engine: the front-end plans for
+/// *every* configuration in the sweep are built once and shared across
+/// all batch ranges, so a 300-config sweep chunked into width-8 batches
+/// pays for each distinct predictor/BTB/I-cache geometry once, not once
+/// per chunk.
+///
+/// The engine is `Sync` over read-only shared state, so `par_map` workers
+/// can run disjoint ranges concurrently against one engine.
+#[derive(Debug)]
+pub struct SweepEngine<'a> {
+    cfgs: &'a [Config],
+    cons: ConstantParams,
+    trace: &'a Trace,
+    options: SimOptions,
+    width: usize,
+    /// Built lazily so a width-1 (legacy scalar) schedule never pays for
+    /// plans; pre-built in [`SweepEngine::new`] for wider schedules.
+    plans: std::sync::OnceLock<FrontendPlans>,
+}
+
+impl<'a> SweepEngine<'a> {
+    /// Prepares a sweep over `cfgs` at the given lockstep `width`
+    /// (clamped to at least 1). Front-end plans for all configurations
+    /// are precomputed here — one kernel per distinct geometry — unless
+    /// `width` is 1, in which case every range takes the scalar path and
+    /// no plans are needed.
+    pub fn new(
+        cfgs: &'a [Config],
+        cons: &ConstantParams,
+        trace: &'a Trace,
+        options: SimOptions,
+        width: usize,
+    ) -> Self {
+        let engine = Self {
+            cfgs,
+            cons: *cons,
+            trace,
+            options,
+            width: width.max(1),
+            plans: std::sync::OnceLock::new(),
+        };
+        if engine.width > 1 && cfgs.len() > 1 {
+            engine.plans();
+        }
+        engine
+    }
+
+    /// The lockstep batch width this engine was scheduled for.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The number of configurations in the sweep.
+    pub fn len(&self) -> usize {
+        self.cfgs.len()
+    }
+
+    /// Whether the sweep holds no configurations.
+    pub fn is_empty(&self) -> bool {
+        self.cfgs.is_empty()
+    }
+
+    fn plans(&self) -> &FrontendPlans {
+        self.plans
+            .get_or_init(|| FrontendPlans::build(self.cfgs, &self.cons, self.trace))
+    }
+
+    /// Runs the configurations in `range` as one lockstep batch,
+    /// returning a [`RunRecord`] (or sanitizer violation) per lane in
+    /// range order. Results are bit-identical to running each
+    /// configuration through [`Pipeline::new`] alone. A range of one
+    /// takes the scalar live path; an empty range returns no lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics where the scalar path would (illegal configuration, trace
+    /// not longer than the warm-up, simulator deadlock) and on a range
+    /// out of bounds of the sweep's configurations.
+    pub fn run_range(&self, range: std::ops::Range<usize>) -> Vec<Result<RunRecord, CheckError>> {
+        let cfgs = &self.cfgs[range.clone()];
+        if cfgs.is_empty() {
+            return Vec::new();
+        }
+        if cfgs.len() == 1 {
+            return vec![
+                Pipeline::new(&cfgs[0], &self.cons, self.trace, self.options).try_run_full(),
+            ];
+        }
+
+        let plans = self.plans();
+        let mut lanes: Vec<Option<Pipeline>> = cfgs
+            .iter()
+            .enumerate()
+            .map(|(k, cfg)| {
+                Some(Pipeline::new_planned(
+                    cfg,
+                    &self.cons,
+                    self.trace,
+                    self.options,
+                    plans.lane(range.start + k),
+                ))
+            })
+            .collect();
+        let mut results: Vec<Option<Result<RunRecord, CheckError>>> =
+            (0..cfgs.len()).map(|_| None).collect();
+
+        // Round-robin lockstep: each live lane advances one chunk of
+        // committed instructions per turn, so all lanes stream the same
+        // trace window together. Failed or finished lanes retire.
+        let mut live = lanes.len();
+        while live > 0 {
+            for i in 0..lanes.len() {
+                let Some(lane) = lanes[i].as_mut() else {
+                    continue;
+                };
+                let target = lane.progress() + LOCKSTEP_CHUNK;
+                match lane.step_until(&mut NoObs, target) {
+                    Err(e) => {
+                        results[i] = Some(Err(e));
+                        lanes[i] = None;
+                        live -= 1;
+                    }
+                    Ok(()) => {
+                        if lane.finished() {
+                            let lane = lanes[i].take().expect("lane is live");
+                            results[i] = Some(lane.into_record());
+                            live -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every lane retired with a result"))
+            .collect()
+    }
+}
+
+/// Simulates `trace` under every configuration in `cfgs` in lockstep,
+/// returning one full [`RunRecord`] (or sanitizer violation) per lane, in
+/// input order. Results are bit-identical to running each configuration
+/// through [`Pipeline::new`] alone.
+///
+/// A batch of one falls back to the scalar live path (the `ARCHDSE_BATCH=1`
+/// legacy semantics); an empty batch returns an empty vector. Sweeps that
+/// chunk one config list into many batches should build one
+/// [`SweepEngine`] instead, so front-end plans are shared across chunks.
+///
+/// # Panics
+///
+/// Panics where the scalar path would: illegal configuration, trace not
+/// longer than the warm-up, or simulator deadlock.
+pub fn try_simulate_batch_records(
+    cfgs: &[Config],
+    cons: &ConstantParams,
+    trace: &Trace,
+    options: SimOptions,
+) -> Vec<Result<RunRecord, CheckError>> {
+    SweepEngine::new(cfgs, cons, trace, options, cfgs.len().max(1)).run_range(0..cfgs.len())
+}
+
+/// Batched counterpart of [`crate::try_simulate`]: one phase-normalised
+/// [`Metrics`] (or sanitizer violation) per configuration, in input
+/// order, computed in one lockstep trace pass. Bumps the workspace-wide
+/// simulation counters once per *lane*, exactly like scalar runs.
+pub fn try_simulate_batch(
+    cfgs: &[Config],
+    trace: &Trace,
+    options: SimOptions,
+) -> Vec<Result<Metrics, CheckError>> {
+    try_simulate_batch_records(cfgs, &ConstantParams::standard(), trace, options)
+        .into_iter()
+        .map(|r| r.map(|rec| crate::record_metrics(&rec.result)))
+        .collect()
+}
+
+/// Batched counterpart of [`crate::simulate`].
+///
+/// # Panics
+///
+/// Panics on the first sanitizer violation in any lane.
+pub fn simulate_batch(cfgs: &[Config], trace: &Trace, options: SimOptions) -> Vec<Metrics> {
+    try_simulate_batch(cfgs, trace, options)
+        .into_iter()
+        .map(|r| match r {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_workload::{Profile, Suite, TraceGenerator};
+
+    #[test]
+    fn bitvec_round_trips() {
+        let mut v = BitVec::default();
+        let bits: Vec<bool> = (0..200).map(|i| i % 3 == 0 || i % 7 == 0).collect();
+        for &b in &bits {
+            v.push(b);
+        }
+        assert_eq!(v.len(), bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(v.get(i), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_bit_for_bit() {
+        let profile = Profile::template("batch", Suite::SpecCpu2000, 21);
+        let trace = TraceGenerator::new(&profile).generate(9_000);
+        let mut rng = dse_rng::Xoshiro256::seed_from(0xBA7C_0001);
+        let cfgs = dse_space::sample_legal(&mut rng, 5);
+        let options = SimOptions {
+            warmup: 1_500,
+            sanitize: true,
+        };
+        let cons = ConstantParams::standard();
+        let batched = try_simulate_batch_records(&cfgs, &cons, &trace, options);
+        for (cfg, b) in cfgs.iter().zip(&batched) {
+            let scalar = Pipeline::new(cfg, &cons, &trace, options)
+                .try_run_full()
+                .expect("scalar run is clean");
+            let b = b.as_ref().expect("batched run is clean");
+            assert_eq!(b.result, scalar.result, "lane differs on {cfg}");
+            assert_eq!(b.counters, scalar.counters, "counters differ on {cfg}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let profile = Profile::template("batch1", Suite::SpecCpu2000, 22);
+        let trace = TraceGenerator::new(&profile).generate(6_000);
+        let options = SimOptions {
+            warmup: 1_000,
+            sanitize: true,
+        };
+        let cons = ConstantParams::standard();
+        assert!(try_simulate_batch_records(&[], &cons, &trace, options).is_empty());
+        let cfg = dse_space::Config::baseline();
+        let one = try_simulate_batch_records(&[cfg], &cons, &trace, options);
+        let scalar = Pipeline::new(&cfg, &cons, &trace, options)
+            .try_run_full()
+            .unwrap();
+        assert_eq!(one[0].as_ref().unwrap().result, scalar.result);
+    }
+
+    #[test]
+    fn batch_width_parses_env() {
+        // The only test in this binary touching ARCHDSE_BATCH, so no
+        // cross-test interference despite process-global env state.
+        std::env::remove_var(BATCH_ENV);
+        assert_eq!(batch_width(), DEFAULT_BATCH_WIDTH);
+        std::env::set_var(BATCH_ENV, "4");
+        assert_eq!(batch_width(), 4);
+        std::env::set_var(BATCH_ENV, "0");
+        assert_eq!(batch_width(), DEFAULT_BATCH_WIDTH);
+        std::env::set_var(BATCH_ENV, "nope");
+        assert_eq!(batch_width(), DEFAULT_BATCH_WIDTH);
+        std::env::remove_var(BATCH_ENV);
+    }
+}

@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod branch;
 pub mod cache;
 pub mod check;
@@ -44,6 +45,10 @@ pub mod oracle;
 pub mod pipeline;
 pub mod timing;
 
+pub use batch::{
+    batch_width, simulate_batch, try_simulate_batch, try_simulate_batch_records, SweepEngine,
+    BATCH_ENV,
+};
 pub use check::CheckError;
 pub use obs::{NoObs, SimObs, StallProfile, StallReport};
 pub use pipeline::{Pipeline, RunRecord, SimOptions, SimResult};
@@ -229,7 +234,7 @@ pub fn simulate(cfg: &Config, trace: &Trace, options: SimOptions) -> Metrics {
 /// Bumps the workspace-wide simulation counters for one finished run.
 /// Handles are resolved once and cached; the per-run cost is three
 /// sharded atomic adds.
-fn record_run(result: &SimResult) {
+pub(crate) fn record_run(result: &SimResult) {
     use dse_obs::registry::Counter;
     use std::sync::{Arc, OnceLock};
     static RUNS: OnceLock<Arc<Counter>> = OnceLock::new();
@@ -243,6 +248,15 @@ fn record_run(result: &SimResult) {
     INSTRS
         .get_or_init(|| dse_obs::counter("dse_sim_instructions_total"))
         .add(result.instructions);
+}
+
+/// Bumps the workspace-wide simulation counters for one finished run and
+/// converts its result to phase-normalised [`Metrics`] — the per-lane
+/// accounting step shared by the scalar and batched sweep paths, so
+/// sims/cycles/instructions totals count lanes, never batch passes.
+pub fn record_metrics(result: &SimResult) -> Metrics {
+    record_run(result);
+    Metrics::from_result(result)
 }
 
 /// Like [`simulate`], but returns a sanitizer violation as an error

@@ -37,7 +37,14 @@
 //!   position, sized to cover the in-flight window (ROB + fetch queue);
 //!   positions below the commit watermark are complete by definition;
 //! * the issue queue is a fixed array compacted in program order during
-//!   the issue scan (replacing `Vec::remove`);
+//!   the issue scan: entries stay dense and age-sorted for free, and a
+//!   cached per-entry ready bound rules most of them out on one compare.
+//!   (A fixed-slot layout with a vectorized SSE2 ready sweep was
+//!   prototyped and measured: parity on large queues — the scan is
+//!   latency-bound on its completion-ring probes, not compare
+//!   throughput — and ~1.4× *slower* on small stall-heavy queues, where
+//!   the per-scan sweep/sort constant dwarfs the handful of entries the
+//!   compaction touches. The compacting scan won on evidence.);
 //! * the wakeup heap is a tagged wheel indexed by completion cycle: slot
 //!   `t & (WHEEL-1)` holds `t` while a completion is scheduled there, and
 //!   the issue stage probes exactly one slot per cycle.
@@ -52,6 +59,7 @@
 //! computes — so metrics are bit-identical to stepping every cycle
 //! (pinned by `tests/golden_sim.rs`).
 
+use crate::batch::PlanLane;
 use crate::branch::{Btb, Gshare};
 use crate::cache::{Cache, CacheOutcome};
 use crate::check::{self, Bounds, CheckError, InvariantChecker, Occupancy};
@@ -73,11 +81,17 @@ const FETCH_QUEUE_WIDTHS: usize = 4;
 /// on purpose: the ring is probed at random offsets per issued result,
 /// and at 8 Ki entries it stays resident in the host cache.
 const WB_RING: usize = 1 << 13;
-/// Size of the wakeup wheel; shares the writeback ring's horizon bound
-/// (every scheduled wakeup is strictly in the future and closer than
-/// this, so each event's slot is unambiguous; beyond-horizon events spill
-/// to `wheel_overflow` and migrate lazily).
-const WAKE_WHEEL: usize = WB_RING;
+/// Size of the wakeup wheel. Unlike the writeback ring, the wheel need
+/// not cover the worst-case completion horizon: each slot stores its
+/// exact target cycle, so beyond-horizon events simply spill to
+/// `wheel_overflow` and migrate in lazily. 8 Ki slots (64 KiB of tags +
+/// 1 KiB of summary bits) covers all but deep memory-backlog
+/// completions while staying host-cache resident (a 2 Ki wheel was
+/// tried and measured at parity — kept at the writeback ring's size so
+/// [`MAX_IDLE_SKIP`] has headroom). Must be ≥ [`MAX_IDLE_SKIP`] so the
+/// idle scan's staleness-clearing argument holds (see
+/// [`Pipeline::idle_skip`]).
+const WAKE_WHEEL: usize = 1 << 13;
 /// Largest per-class functional-unit pool (`int_alu` = width ≤ 8).
 const MAX_FU: usize = 8;
 /// High bit of a completion-ring slot: the value is a *lower bound* on an
@@ -90,8 +104,13 @@ const PENDING: u64 = 1 << 63;
 /// Upper bound on one idle fast-forward step ([`Pipeline::idle_skip`]):
 /// small enough that lazily-migrated beyond-horizon completions are never
 /// overrun and a fruitless wheel scan stays cheap, large enough to clear
-/// any realistic memory-stall gap in one step.
+/// any realistic memory-stall gap in one step (longer stalls take a few
+/// steps — skipped cycles mutate nothing, so the split is invisible).
+/// Must not exceed [`WAKE_WHEEL`]: one idle scan then never wraps the
+/// wheel, which is what lets it clear summary bits for slots it proves
+/// empty.
 const MAX_IDLE_SKIP: u64 = 4096;
+const _: () = assert!(MAX_IDLE_SKIP as usize <= WAKE_WHEEL);
 
 /// Options controlling a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,6 +186,102 @@ struct MissRateSnapshot {
     bp: (u64, u64),
 }
 
+/// Source of front-end outcomes: I-cache hit/miss, branch direction, and
+/// BTB target correctness.
+///
+/// Both variants produce bit-identical outcome *sequences*, because the
+/// front end is timing-independent: branches are predicted in program
+/// order no matter when fetch reaches them (stalls replay the same
+/// position without re-accessing), and fetch touches the I-cache exactly
+/// when the line changes, with the line register reset only after a
+/// correctly-predicted taken branch — a deterministic automaton over the
+/// trace and the flow-correct bits. `Live` owns the structures and
+/// computes outcomes as it goes (the scalar path); `Planned` replays
+/// per-geometry outcome bitsets precomputed once per batch by
+/// [`crate::batch::FrontendPlans`], so B lockstep lanes pay for each
+/// distinct predictor/BTB/I-cache geometry once instead of B times.
+/// Equality of the two paths is pinned by `tests/golden_sim.rs` and
+/// `tests/batch_sim.rs`.
+#[derive(Debug)]
+enum Frontend<'p> {
+    Live {
+        icache: Cache,
+        gshare: Gshare,
+        btb: Btb,
+    },
+    Planned(PlanLane<'p>),
+}
+
+impl Frontend<'_> {
+    /// One I-cache access for the line holding `pc`.
+    #[inline]
+    fn icache_access(&mut self, pc: u64) -> CacheOutcome {
+        match self {
+            Frontend::Live { icache, .. } => icache.access(pc),
+            Frontend::Planned(lane) => lane.next_icache(),
+        }
+    }
+
+    /// Predict + train on the branch at `pc`; returns whether the fetch
+    /// flow was correct (direction right, and for taken branches the BTB
+    /// also supplied the right target).
+    #[inline]
+    fn branch_access(&mut self, pc: u64, taken: bool, target: u32) -> bool {
+        match self {
+            Frontend::Live { gshare, btb, .. } => {
+                let pred_taken = gshare.predict(pc);
+                let btb_target = btb.lookup(pc);
+                // A taken prediction is only useful with a correct target.
+                let correct = if taken {
+                    pred_taken && btb_target == Some(target)
+                } else {
+                    !pred_taken
+                };
+                gshare.update(pc, taken);
+                if taken {
+                    btb.update(pc, target);
+                }
+                correct
+            }
+            Frontend::Planned(lane) => lane.next_branch(taken),
+        }
+    }
+
+    /// (predictions, direction mispredictions) so far.
+    fn bpred_stats(&self) -> (u64, u64) {
+        match self {
+            Frontend::Live { gshare, .. } => (gshare.predictions(), gshare.mispredictions()),
+            Frontend::Planned(lane) => lane.bpred_stats(),
+        }
+    }
+
+    /// (accesses, misses) of the I-cache so far.
+    fn icache_stats(&self) -> (u64, u64) {
+        match self {
+            Frontend::Live { icache, .. } => (icache.accesses(), icache.misses()),
+            Frontend::Planned(lane) => lane.icache_stats(),
+        }
+    }
+
+    /// End-of-run structure checks. A planned lane validates the shared
+    /// plan structures and that it consumed the plan exactly — the
+    /// sanitizer stays fully armed per lane under batching.
+    fn check_invariants(&self) -> Result<(), CheckError> {
+        match self {
+            Frontend::Live {
+                icache,
+                gshare,
+                btb,
+            } => {
+                icache.check_invariants("l1i")?;
+                gshare.check_invariants()?;
+                btb.check_invariants()
+            }
+            Frontend::Planned(lane) => lane.check_final(),
+        }
+    }
+}
+
 /// The machine state for one run. Construct via [`Pipeline::new`] and call
 /// [`Pipeline::run`].
 #[derive(Debug)]
@@ -185,11 +300,13 @@ pub struct Pipeline<'t> {
     targets: &'t [u32],
     metas: &'t [u8],
 
-    icache: Cache,
+    /// Front-end outcome source: live structures (scalar path) or a
+    /// precomputed per-batch plan replay (lockstep path). The D-cache and
+    /// L2 stay live per lane — their access order is issue order, which is
+    /// timing- (hence config-) dependent.
+    frontend: Frontend<'t>,
     dcache: Cache,
     l2: Cache,
-    gshare: Gshare,
-    btb: Btb,
     energy_model: EnergyModel,
     counters: EnergyCounters,
 
@@ -217,15 +334,27 @@ pub struct Pipeline<'t> {
     dispatched: usize,
     next_fetch: usize,
 
-    /// Issue-queue positions in dispatch (program) order; fixed capacity
-    /// `cfg.iq`, compacted in place by the issue scan.
+    /// Issue-queue entries (trace positions), dense and in program order:
+    /// the issue scan compacts survivors in place, so age priority falls
+    /// out of array order and removal costs nothing extra.
     iq: Box<[u32]>,
-    /// Cached earliest-ready lower bound per `iq` entry, compacted
-    /// alongside it. `0` = not yet known; an unexpired bound rules an
-    /// entry out on a single compare, an expired one forces a re-probe of
-    /// the completion ring (bounds under [`PENDING`] are conservative).
+    /// Cached earliest-ready lower bound per `iq` entry (parallel array).
+    /// `0` = not yet known. An unexpired bound rules an entry out on one
+    /// compare; an expired one forces a re-probe of the completion ring
+    /// (bounds under [`PENDING`] are conservative).
     iq_ready: Box<[u64]>,
+    /// Live entries in `iq`/`iq_ready`.
     iq_len: usize,
+    /// Minimum completion latency per [`InstrKind`] (indexed by the
+    /// kind's discriminant): issuing at cycle `c` completes no earlier
+    /// than `c + min_lat[kind]`. Tightens the [`PENDING`] chain bounds
+    /// the issue scan publishes for unissued entries — a dependant is
+    /// then not re-probed during the producer's execute window. Loads use
+    /// the L1-hit latency (every slower outcome is later); stores
+    /// complete in one cycle; everything else uses its fixed unit
+    /// latency, which non-pipelined units and writeback-port queueing can
+    /// only exceed.
+    min_lat: [u64; 9],
     lsq_occ: u32,
     phys_used: u32,
     rename_regs: u32,
@@ -248,7 +377,9 @@ pub struct Pipeline<'t> {
     /// strictly positive cycles), with `wb_used` ports taken. Zeroed
     /// arrays keep construction on the allocator's zero-page fast path.
     wb_tag: Box<[u64]>,
-    wb_used: Box<[u32]>,
+    /// Ports taken per live `wb_tag` slot; `rf_write <= width <= 8` fits
+    /// a byte, keeping the ring's random probes to a quarter the lines.
+    wb_used: Box<[u8]>,
 
     l2_free_at: u64,
     mem_free_at: u64,
@@ -256,12 +387,20 @@ pub struct Pipeline<'t> {
     /// Set when an issue attempt failed on a structural hazard (ports,
     /// units, width); forces a rescan next cycle.
     structural_block: bool,
-    /// Whether anything was dispatched or completed since the last scan.
+    /// Set by dispatch when entries have landed since the last issue
+    /// scan. Fresh entries carry bound `0`, so the next scan picks them
+    /// up regardless of `iq_min_ready`; this flag is what forces that
+    /// scan (and pins the idle fast-forward) until it runs.
     scan_dirty: bool,
     /// Wakeup wheel: slot `t & (WAKE_WHEEL-1)` holds `t` while a
     /// completion is scheduled at cycle `t`. Stale tags are simply never
     /// equal to the probing cycle, so no clearing pass is needed.
     wheel: Box<[u64]>,
+    /// One bit per wheel slot, set when the slot *may* hold a live future
+    /// completion (a pure cache over `wheel`: bits go stale when a tag is
+    /// overwritten or expires, and are lazily cleared by the idle scan).
+    /// Lets [`Pipeline::idle_skip`] sweep 64 slots per word read.
+    wheel_bits: Box<[u64]>,
     /// Completions scheduled beyond the wheel horizon (unreachable for
     /// legal configurations; kept so the wheel cannot silently alias).
     wheel_overflow: Vec<u64>,
@@ -282,16 +421,61 @@ pub struct Pipeline<'t> {
     /// First invariant violation raised from a hook that cannot return a
     /// `Result` directly; drained once per cycle by the run loop.
     check_fail: Option<CheckError>,
+
+    // Resumable-run state ([`Pipeline::step_until`] suspends and resumes
+    // mid-run, so what were locals of the run loop live here).
+    /// Counter snapshot at the end of warm-up (`None` until taken).
+    warm_counters: Option<EnergyCounters>,
+    /// Cycle at which the warm-up snapshot was taken.
+    warm_cycle: u64,
+    /// Cache/predictor statistics at the end of warm-up.
+    warm_rates: Option<MissRateSnapshot>,
+    /// Last cycle that committed anything (deadlock watchdog).
+    last_commit_cycle: u64,
 }
 
 impl<'t> Pipeline<'t> {
-    /// Builds a pipeline for `trace` under `cfg`.
+    /// Builds a pipeline for `trace` under `cfg` with live front-end
+    /// structures (the scalar path).
     ///
     /// # Panics
     ///
     /// Panics if the trace is empty or shorter than the warm-up, or the
     /// configuration is illegal.
     pub fn new(cfg: &Config, cons: &ConstantParams, trace: &'t Trace, options: SimOptions) -> Self {
+        let frontend = Frontend::Live {
+            icache: Cache::new(
+                cfg.icache_kb as u64 * 1024,
+                cons.l1_line_bytes,
+                cons.l1i_assoc,
+            ),
+            gshare: Gshare::new(cfg.bpred_k as u64 * 1024),
+            btb: Btb::new(cfg.btb_k as u64 * 1024),
+        };
+        Self::with_frontend(cfg, cons, trace, options, frontend)
+    }
+
+    /// Builds a lockstep-batch lane replaying a precomputed front-end
+    /// plan. The plan must have been built for this exact (trace, config)
+    /// pair; `lane.check_final()` re-validates consumption at the end of
+    /// the run when the sanitizer is armed.
+    pub(crate) fn new_planned(
+        cfg: &Config,
+        cons: &ConstantParams,
+        trace: &'t Trace,
+        options: SimOptions,
+        lane: PlanLane<'t>,
+    ) -> Self {
+        Self::with_frontend(cfg, cons, trace, options, Frontend::Planned(lane))
+    }
+
+    fn with_frontend(
+        cfg: &Config,
+        cons: &ConstantParams,
+        trace: &'t Trace,
+        options: SimOptions,
+        frontend: Frontend<'t>,
+    ) -> Self {
         assert!(cfg.is_legal(), "configuration fails the legality filter");
         assert!(!trace.is_empty(), "trace must not be empty");
         assert!(
@@ -340,6 +524,19 @@ impl<'t> Pipeline<'t> {
         // `[committed, next_fetch)` plus slack for same-cycle transitions.
         let window = cfg.rob as usize + fetch_cap + 2 * cfg.width as usize;
         let csize = window.next_power_of_two();
+        // Indexed by `InstrKind` discriminant order: IntAlu, IntMul,
+        // IntDiv, FpAlu, FpMul, FpDiv, Load, Store, Branch.
+        let min_lat = [
+            cons.int_alu_latency as u64,
+            cons.int_mul_latency as u64,
+            cons.int_div_latency as u64,
+            cons.fp_alu_latency as u64,
+            cons.fp_mul_latency as u64,
+            cons.fp_div_latency as u64,
+            l1d_spec.latency_cycles() as u64,
+            1,
+            cons.int_alu_latency as u64,
+        ];
         Self {
             cfg: *cfg,
             cons: *cons,
@@ -352,19 +549,13 @@ impl<'t> Pipeline<'t> {
             takens: trace.takens(),
             targets: trace.targets(),
             metas: trace.metas(),
-            icache: Cache::new(
-                cfg.icache_kb as u64 * 1024,
-                cons.l1_line_bytes,
-                cons.l1i_assoc,
-            ),
+            frontend,
             dcache: Cache::new(
                 cfg.dcache_kb as u64 * 1024,
                 cons.l1_line_bytes,
                 cons.l1d_assoc,
             ),
             l2: Cache::new(cfg.l2_kb as u64 * 1024, cons.l2_line_bytes, cons.l2_assoc),
-            gshare: Gshare::new(cfg.bpred_k as u64 * 1024),
-            btb: Btb::new(cfg.btb_k as u64 * 1024),
             energy_model: EnergyModel::new(cfg, cons),
             counters: EnergyCounters::default(),
             l1d_lat: l1d_spec.latency_cycles() as u64,
@@ -380,6 +571,7 @@ impl<'t> Pipeline<'t> {
             iq: vec![0; cfg.iq as usize].into_boxed_slice(),
             iq_ready: vec![0; cfg.iq as usize].into_boxed_slice(),
             iq_len: 0,
+            min_lat,
             lsq_occ: 0,
             phys_used: 0,
             rename_regs: cfg.rf.saturating_sub(ARCH_REGS).max(4),
@@ -397,11 +589,16 @@ impl<'t> Pipeline<'t> {
             structural_block: false,
             scan_dirty: true,
             wheel: vec![0; WAKE_WHEEL].into_boxed_slice(),
+            wheel_bits: vec![0; WAKE_WHEEL / 64].into_boxed_slice(),
             wake_floor: 1,
             iq_min_ready: u64::MAX,
             wheel_overflow: Vec::with_capacity(16),
             checker: sanitize.then(InvariantChecker::new),
             check_fail,
+            warm_counters: None,
+            warm_cycle: 0,
+            warm_rates: None,
+            last_commit_cycle: 0,
         }
     }
 
@@ -465,15 +662,23 @@ impl<'t> Pipeline<'t> {
         }
     }
 
+    /// Writes wheel slot for cycle `t` (tag + summary bit + floor).
+    #[inline]
+    fn set_wheel(&mut self, t: u64) {
+        let slot = (t as usize) & (WAKE_WHEEL - 1);
+        self.wheel[slot] = t;
+        self.wheel_bits[slot >> 6] |= 1 << (slot & 63);
+        if t < self.wake_floor {
+            self.wake_floor = t;
+        }
+    }
+
     /// Schedules a wakeup probe for completion cycle `t` (strictly in the
     /// future: every latency is ≥ 1 cycle).
     #[inline]
     fn wake_at(&mut self, t: u64) {
         if t - self.cycle < WAKE_WHEEL as u64 {
-            self.wheel[(t as usize) & (WAKE_WHEEL - 1)] = t;
-            if t < self.wake_floor {
-                self.wake_floor = t;
-            }
+            self.set_wheel(t);
         } else {
             self.wheel_overflow.push(t);
         }
@@ -519,14 +724,37 @@ impl<'t> Pipeline<'t> {
     /// un-instrumented loop, so results are bit-identical whether or not
     /// a run is observed (pinned by `tests/golden_sim.rs`).
     pub fn try_run_full_obs<O: SimObs>(mut self, obs: &mut O) -> Result<RunRecord, CheckError> {
+        self.step_until(obs, usize::MAX)?;
+        self.into_record()
+    }
+
+    /// Whether the whole trace has committed.
+    pub(crate) fn finished(&self) -> bool {
+        self.committed >= self.kinds.len()
+    }
+
+    /// Instructions committed so far (the lockstep driver's progress
+    /// cursor).
+    pub(crate) fn progress(&self) -> usize {
+        self.committed
+    }
+
+    /// Advances the machine until at least `target` instructions have
+    /// committed (or the trace ends). The loop body never reads `target`
+    /// beyond the continuation condition, and all loop-carried state lives
+    /// in fields, so chunked stepping is bit-identical to one
+    /// uninterrupted run — the property the lockstep batch driver relies
+    /// on (pinned by `tests/batch_sim.rs`).
+    pub(crate) fn step_until<O: SimObs>(
+        &mut self,
+        obs: &mut O,
+        target: usize,
+    ) -> Result<(), CheckError> {
         let warmup = self.options.warmup;
         let n = self.kinds.len();
-        let mut warm_counters: Option<EnergyCounters> = None;
-        let mut warm_cycle = 0u64;
-        let mut warm_rates: Option<MissRateSnapshot> = None;
-        let mut last_commit_cycle = 0u64;
+        let target = target.min(n);
 
-        while self.committed < n {
+        while self.committed < target {
             self.cycle += 1;
             self.counters.cycles += 1;
 
@@ -545,10 +773,10 @@ impl<'t> Pipeline<'t> {
 
             let committed_now = self.commit();
             if committed_now > 0 {
-                last_commit_cycle = self.cycle;
+                self.last_commit_cycle = self.cycle;
             }
             assert!(
-                self.cycle - last_commit_cycle < 2_000_000,
+                self.cycle - self.last_commit_cycle < 2_000_000,
                 "pipeline deadlock at cycle {} (committed {}/{}, cfg {})",
                 self.cycle,
                 self.committed,
@@ -587,10 +815,10 @@ impl<'t> Pipeline<'t> {
                 }
             }
 
-            if warm_counters.is_none() && self.committed >= warmup {
-                warm_counters = Some(self.counters);
-                warm_cycle = self.cycle;
-                warm_rates = Some(self.rates_snapshot());
+            if self.warm_counters.is_none() && self.committed >= warmup {
+                self.warm_counters = Some(self.counters);
+                self.warm_cycle = self.cycle;
+                self.warm_rates = Some(self.rates_snapshot());
             }
 
             // Event-driven fast-forward: jump the clock over cycles in
@@ -605,15 +833,24 @@ impl<'t> Pipeline<'t> {
                 self.counters.cycles += skip;
             }
         }
+        Ok(())
+    }
+
+    /// Final checks and measured-phase result assembly, after the trace
+    /// has fully committed.
+    pub(crate) fn into_record(mut self) -> Result<RunRecord, CheckError> {
+        debug_assert!(self.finished());
+        let warmup = self.options.warmup;
+        let n = self.kinds.len();
 
         if let Some(chk) = self.checker.take() {
             self.final_checks(&chk)?;
         }
 
-        let warm_counters = warm_counters.unwrap_or_default();
+        let warm_counters = self.warm_counters.unwrap_or_default();
         let measured = self.counters.since(&warm_counters);
         let instructions = (n - warmup.min(n)) as u64;
-        let cycles = self.cycle - warm_cycle;
+        let cycles = self.cycle - self.warm_cycle;
         let energy_nj = measured.total_nj(&self.energy_model);
         let zero = MissRateSnapshot {
             l1i: (0, 0),
@@ -621,7 +858,7 @@ impl<'t> Pipeline<'t> {
             l2: (0, 0),
             bp: (0, 0),
         };
-        let w = warm_rates.unwrap_or(zero);
+        let w = self.warm_rates.unwrap_or(zero);
         let rate = |acc: u64, miss: u64, w_acc: u64, w_miss: u64| {
             let a = acc - w_acc;
             if a == 0 {
@@ -630,17 +867,14 @@ impl<'t> Pipeline<'t> {
                 (miss - w_miss) as f64 / a as f64
             }
         };
+        let (ic_acc, ic_miss) = self.frontend.icache_stats();
+        let (bp_pred, bp_miss) = self.frontend.bpred_stats();
         let result = SimResult {
             instructions,
             cycles,
             energy_nj,
             ipc: instructions as f64 / cycles.max(1) as f64,
-            l1i_miss_rate: rate(
-                self.icache.accesses(),
-                self.icache.misses(),
-                w.l1i.0,
-                w.l1i.1,
-            ),
+            l1i_miss_rate: rate(ic_acc, ic_miss, w.l1i.0, w.l1i.1),
             l1d_miss_rate: rate(
                 self.dcache.accesses(),
                 self.dcache.misses(),
@@ -648,12 +882,7 @@ impl<'t> Pipeline<'t> {
                 w.l1d.1,
             ),
             l2_miss_rate: rate(self.l2.accesses(), self.l2.misses(), w.l2.0, w.l2.1),
-            bpred_miss_rate: rate(
-                self.gshare.predictions(),
-                self.gshare.mispredictions(),
-                w.bp.0,
-                w.bp.1,
-            ),
+            bpred_miss_rate: rate(bp_pred, bp_miss, w.bp.0, w.bp.1),
         };
         Ok(RunRecord {
             result,
@@ -670,29 +899,26 @@ impl<'t> Pipeline<'t> {
         let n = self.kinds.len() as u64;
         chk.on_finish(self.kinds.len())?;
 
-        // Per-structure self-consistency.
-        self.icache.check_invariants("l1i")?;
+        // Per-structure self-consistency (a planned front end validates
+        // the shared plan structures plus exact plan consumption).
+        self.frontend.check_invariants()?;
         self.dcache.check_invariants("l1d")?;
         self.l2.check_invariants("l2")?;
-        self.gshare.check_invariants()?;
-        self.btb.check_invariants()?;
 
         // Pipeline event counters vs the structures' own statistics.
         let c = &self.counters;
-        check::reconcile("icache-accesses", c.icache_accesses, self.icache.accesses())?;
+        let (ic_acc, ic_miss) = self.frontend.icache_stats();
+        let (bp_pred, _) = self.frontend.bpred_stats();
+        check::reconcile("icache-accesses", c.icache_accesses, ic_acc)?;
         check::reconcile("dcache-accesses", c.dcache_accesses, self.dcache.accesses())?;
         check::reconcile("l2-accesses", c.l2_accesses, self.l2.accesses())?;
         check::reconcile(
             "l1-misses-feed-l2",
             self.l2.accesses(),
-            self.icache.misses() + self.dcache.misses(),
+            ic_miss + self.dcache.misses(),
         )?;
         check::reconcile("l2-misses-feed-memory", c.memory_accesses, self.l2.misses())?;
-        check::reconcile(
-            "bpred-accesses",
-            c.bpred_accesses,
-            self.gshare.predictions(),
-        )?;
+        check::reconcile("bpred-accesses", c.bpred_accesses, bp_pred)?;
 
         // Every trace instruction flows through each stage exactly once.
         check::reconcile("fetched-count", c.fetched, n)?;
@@ -713,10 +939,10 @@ impl<'t> Pipeline<'t> {
 
     fn rates_snapshot(&self) -> MissRateSnapshot {
         MissRateSnapshot {
-            l1i: (self.icache.accesses(), self.icache.misses()),
+            l1i: self.frontend.icache_stats(),
             l1d: (self.dcache.accesses(), self.dcache.misses()),
             l2: (self.l2.accesses(), self.l2.misses()),
-            bp: (self.gshare.predictions(), self.gshare.mispredictions()),
+            bp: self.frontend.bpred_stats(),
         }
     }
 
@@ -728,7 +954,8 @@ impl<'t> Pipeline<'t> {
     /// The per-stage obligations are local:
     ///
     /// * issue acts only on a wakeup-wheel event, a pending rescan
-    ///   (`scan_dirty`) or a structural retry (`structural_block`);
+    ///   (a fresh dispatch, `scan_dirty`) or a structural retry
+    ///   (`structural_block`);
     /// * commit acts only when the ROB head's completion cycle arrives —
     ///   known from the ring, or wake-gated for an unissued head;
     /// * dispatch acts only when the fetch queue is non-empty and its head
@@ -801,21 +1028,43 @@ impl<'t> Pipeline<'t> {
             bound = bound.min(t);
         }
         // The earliest scheduled wakeup bounds everything else: scan the
-        // wheel across the candidate gap. The scan costs one slot read
-        // per skipped cycle — far below a full pipeline step — and the
-        // `wake_floor` frontier makes it incremental: slots a previous
-        // scan already proved empty are never re-read. Wakeups below
-        // `iq_min_ready` are skipped over: the issue scan they would
-        // trigger is provably fruitless, and every other stage's
-        // obligation is bounded explicitly above. A filtered wakeup ends
-        // up behind the landing cycle (`target - 1`), so advancing the
-        // frontier over it can never hide a still-future event.
+        // wheel across the candidate gap using the per-slot summary
+        // bitmap — 64 slots per word read, so a long empty gap costs a
+        // handful of loads — with the `wake_floor` frontier making it
+        // incremental: slots a previous scan already proved empty are
+        // never re-read. Wakeups below `iq_min_ready` are skipped over:
+        // the issue scan they would trigger is provably fruitless, and
+        // every other stage's obligation is bounded explicitly above. A
+        // filtered wakeup ends up behind the landing cycle
+        // (`target - 1`), so advancing the frontier over it can never
+        // hide a still-future event. (The scan range is < MAX_IDLE_SKIP
+        // < WAKE_WHEEL, and any tag in a scanned slot that differs from
+        // the probe cycle is provably stale — an equal-slot *future*
+        // cycle would have been beyond the wheel horizon at scheduling
+        // time — so clearing its summary bit is safe.)
         let mut target = bound;
         let mut t = (self.cycle + 1).max(self.wake_floor);
         while t < target {
-            if self.wheel[(t as usize) & (WAKE_WHEEL - 1)] == t && t >= self.iq_min_ready {
-                target = t;
+            let slot = (t as usize) & (WAKE_WHEEL - 1);
+            let word = slot >> 6;
+            let off = slot & 63;
+            let rem = self.wheel_bits[word] >> off;
+            if rem == 0 {
+                t += (64 - off) as u64;
+                continue;
             }
+            let step = rem.trailing_zeros() as u64;
+            if step > 0 {
+                t += step;
+                continue;
+            }
+            if self.wheel[slot] == t && t >= self.iq_min_ready {
+                target = t;
+                break;
+            }
+            // Stale tag, or a filtered wakeup the skip passes over — the
+            // slot lands behind the frontier either way.
+            self.wheel_bits[word] &= !(1u64 << off);
             t += 1;
         }
         self.wake_floor = target;
@@ -875,10 +1124,7 @@ impl<'t> Pipeline<'t> {
                     woke = true;
                     self.wheel_overflow.swap_remove(i);
                 } else if t - cycle < WAKE_WHEEL as u64 {
-                    self.wheel[(t as usize) & (WAKE_WHEEL - 1)] = t;
-                    if t < self.wake_floor {
-                        self.wake_floor = t;
-                    }
+                    self.set_wheel(t);
                     self.wheel_overflow.swap_remove(i);
                 } else {
                     i += 1;
@@ -930,12 +1176,13 @@ impl<'t> Pipeline<'t> {
             let rt = self.op_bound(idx, d1).max(self.op_bound(idx, d2));
             if rt > cycle {
                 // Not ready: cache the ready bound and publish a completion
-                // lower bound (ready + 1 = issue + minimum latency) so that
+                // lower bound (ready + the kind's minimum latency) so that
                 // dependants — later in this same program-ordered scan and
                 // in later scans — bound whole chains without re-probing.
                 self.iq[w] = idx as u32;
                 self.iq_ready[w] = rt;
-                self.complete[idx & self.cmask] = (rt + 1) | PENDING;
+                self.complete[idx & self.cmask] =
+                    (rt + self.min_lat[self.kinds[idx] as usize]) | PENDING;
                 min = min.min(rt);
                 w += 1;
                 continue;
@@ -1096,10 +1343,10 @@ impl<'t> Pipeline<'t> {
                 self.wb_used[slot] = 1;
                 return t;
             }
-            if self.wb_used[slot] < ports {
+            if (self.wb_used[slot] as u32) < ports {
                 self.wb_used[slot] += 1;
                 if let Some(chk) = self.checker.as_ref() {
-                    if let Err(e) = chk.on_writeback_grant(self.wb_used[slot], ports, t) {
+                    if let Err(e) = chk.on_writeback_grant(self.wb_used[slot] as u32, ports, t) {
                         self.check_fail.get_or_insert(e);
                     }
                 }
@@ -1137,10 +1384,13 @@ impl<'t> Pipeline<'t> {
                 break;
             }
             self.dispatched += 1;
+            // Append in program order; the zero bound marks the entry
+            // unexamined, and `scan_dirty` forces the next scan to fold
+            // it into `iq_min_ready`.
             self.iq[self.iq_len] = idx as u32;
             self.iq_ready[self.iq_len] = 0;
-            self.iq_min_ready = 0;
             self.iq_len += 1;
+            self.scan_dirty = true;
             if is_mem {
                 self.lsq_occ += 1;
             }
@@ -1150,7 +1400,6 @@ impl<'t> Pipeline<'t> {
             self.counters.renamed += 1;
             self.counters.rob_writes += 1;
             self.counters.iq_inserts += 1;
-            self.scan_dirty = true;
             n += 1;
         }
     }
@@ -1202,7 +1451,7 @@ impl<'t> Pipeline<'t> {
             let line = pc >> self.l1_line_shift;
             if line != self.last_fetch_line {
                 self.counters.icache_accesses += 1;
-                let outcome = self.icache.access(pc);
+                let outcome = self.frontend.icache_access(pc);
                 self.last_fetch_line = line;
                 if outcome == CacheOutcome::Miss {
                     let ready = self.l2_access(pc, self.cycle);
@@ -1219,18 +1468,7 @@ impl<'t> Pipeline<'t> {
                 self.counters.btb_accesses += 1;
                 let taken = self.takens[idx];
                 let target = self.targets[idx];
-                let pred_taken = self.gshare.predict(pc);
-                let btb_target = self.btb.lookup(pc);
-                // A taken prediction is only useful with a correct target.
-                let correct = if taken {
-                    pred_taken && btb_target == Some(target)
-                } else {
-                    !pred_taken
-                };
-                self.gshare.update(pc, taken);
-                if taken {
-                    self.btb.update(pc, target);
-                }
+                let correct = self.frontend.branch_access(pc, taken, target);
                 self.unresolved[self.unresolved_len] = idx as u32;
                 self.unresolved_len += 1;
                 self.complete[idx & self.cmask] = u64::MAX;

@@ -20,6 +20,15 @@ cargo test -q --offline
 echo "== ARCHDSE_SANITIZE=1 cargo test -q --offline =="
 ARCHDSE_SANITIZE=1 cargo test -q --offline
 
+# The lockstep sweep path must stay sanitizable too: force both the
+# sanitizer and a batch width >1 over the batched/golden/oracle suites,
+# so the per-lane InvariantChecker cannot silently go dead on the
+# batched hot path (the suites assert checker violations still surface
+# lane-for-lane).
+echo "== ARCHDSE_SANITIZE=1 ARCHDSE_BATCH=4 batched suites =="
+ARCHDSE_SANITIZE=1 ARCHDSE_BATCH=4 cargo test -q --offline \
+  --test batch_sim --test golden_sim --test differential_oracle
+
 # Observability: the test pass must also hold with spans/metrics forced
 # on (golden_sim pins bit-identity either way), and `train --obs json`
 # must emit span JSONL that `obs report` can parse back. Skip with
@@ -44,7 +53,9 @@ fi
 
 # Perf gate: quick bench run compared against the committed baseline
 # (BENCH_sim.json); a >25% median regression on any row fails the build.
-# Constrained or noisy runners can skip it with DSE_BENCH_SKIP=1.
+# The sweep-w4/w8 rows run the lockstep SweepEngine, so this is also the
+# quick batched smoke. Constrained or noisy runners can skip it with
+# DSE_BENCH_SKIP=1.
 if [ "${DSE_BENCH_SKIP:-0}" = "1" ]; then
   echo "== bench gate skipped (DSE_BENCH_SKIP=1) =="
 else
@@ -62,7 +73,10 @@ else
   echo "== serve smoke: train -> serve -> client fit/predict -> shutdown =="
   SMOKE_DIR="$(mktemp -d)"
   trap 'rm -rf "$SMOKE_DIR"; [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
-  cargo run --release --offline -q -- train \
+  # ARCHDSE_BATCH=8 makes this train run double as the end-to-end
+  # batched dataset-generation smoke (sweeps schedule through the
+  # lockstep engine; results are width-independent by construction).
+  ARCHDSE_BATCH=8 cargo run --release --offline -q -- train \
     --out "$SMOKE_DIR/models" --benchmarks 3 --configs 40 --t 30
   cargo run --release --offline -q -- serve \
     --models "$SMOKE_DIR/models" --addr 127.0.0.1:0 >"$SMOKE_DIR/serve.log" 2>&1 &

@@ -1,0 +1,219 @@
+//! Batched lockstep engine edge cases: ragged batch widths, singleton
+//! batches, lanes retiring at very different times, profiled-vs-batched
+//! identity, and the per-lane global observability counters.
+//!
+//! The envelope and golden suites already pin batched-vs-scalar identity
+//! on sampled grids; this file targets the *scheduling* edges of
+//! `try_simulate_batch_records` that those grids don't stress.
+
+use dse_sim::{
+    simulate_detailed, simulate_profiled, try_simulate_batch, try_simulate_batch_records,
+    SimOptions, SimResult,
+};
+use dse_space::{sample_legal, Config, ConstantParams};
+use dse_workload::{suites, Trace, TraceGenerator};
+use std::sync::Mutex;
+
+/// Serialises every test in this binary: the per-lane counter test reads
+/// workspace-global counters, so no other test may simulate concurrently.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn trace_for(name: &str, len: usize) -> Trace {
+    let profile = suites::all_benchmarks()
+        .into_iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| panic!("profile {name} missing"));
+    TraceGenerator::new(&profile).generate(len)
+}
+
+fn assert_results_equal(got: &SimResult, want: &SimResult, ctx: &str) {
+    assert_eq!(got.instructions, want.instructions, "{ctx}: instructions");
+    assert_eq!(got.cycles, want.cycles, "{ctx}: cycles");
+    for (field, g, w) in [
+        ("energy_nj", got.energy_nj, want.energy_nj),
+        ("ipc", got.ipc, want.ipc),
+        ("l1i_miss_rate", got.l1i_miss_rate, want.l1i_miss_rate),
+        ("l1d_miss_rate", got.l1d_miss_rate, want.l1d_miss_rate),
+        ("l2_miss_rate", got.l2_miss_rate, want.l2_miss_rate),
+        ("bpred_miss_rate", got.bpred_miss_rate, want.bpred_miss_rate),
+    ] {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{ctx}: {field} drifted: got {g:?}, want {w:?}"
+        );
+    }
+}
+
+/// A tiny, slow, narrow machine: finishes the trace in far more cycles
+/// than the baseline, so mixing it into a batch forces some lanes to
+/// retire thousands of cycles before others.
+fn tiny_config() -> Config {
+    Config {
+        width: 2,
+        rob: 32,
+        iq: 8,
+        lsq: 8,
+        rf: 40,
+        rf_read: 2,
+        rf_write: 1,
+        bpred_k: 1,
+        btb_k: 1,
+        max_branches: 8,
+        icache_kb: 8,
+        dcache_kb: 8,
+        l2_kb: 256,
+    }
+}
+
+/// Ragged batch: seven configs (not divisible by any default width) in
+/// one lockstep pass must match seven independent scalar runs lane for
+/// lane, bit for bit, with the sanitizer live in every lane.
+#[test]
+fn ragged_batch_matches_scalar_lane_for_lane() {
+    let _g = LOCK.lock().unwrap();
+    let mut rng = dse_rng::Xoshiro256::seed_from(0xBA7C_0001);
+    let configs = sample_legal(&mut rng, 7);
+    let trace = trace_for("gzip", 8_000);
+    let opts = SimOptions {
+        warmup: 1_000,
+        sanitize: true,
+    };
+    let records = try_simulate_batch_records(&configs, &ConstantParams::standard(), &trace, opts);
+    assert_eq!(records.len(), configs.len());
+    for (i, (cfg, rec)) in configs.iter().zip(&records).enumerate() {
+        let rec = rec
+            .as_ref()
+            .unwrap_or_else(|e| panic!("lane {i} failed: {e}"));
+        let (scalar, _) = simulate_detailed(cfg, &trace, opts);
+        assert_results_equal(&rec.result, &scalar, &format!("lane {i}"));
+    }
+}
+
+/// A single-config batch takes the scalar fast path and must be exactly
+/// the scalar result; an empty batch is an empty result, not a panic.
+#[test]
+fn singleton_and_empty_batches() {
+    let _g = LOCK.lock().unwrap();
+    let trace = trace_for("sha", 6_000);
+    let opts = SimOptions::with_warmup(1_000);
+    let cfg = Config::baseline();
+    let records = try_simulate_batch_records(
+        std::slice::from_ref(&cfg),
+        &ConstantParams::standard(),
+        &trace,
+        opts,
+    );
+    assert_eq!(records.len(), 1);
+    let (scalar, _) = simulate_detailed(&cfg, &trace, opts);
+    assert_results_equal(&records[0].as_ref().unwrap().result, &scalar, "singleton");
+
+    let none = try_simulate_batch_records(&[], &ConstantParams::standard(), &trace, opts);
+    assert!(none.is_empty(), "empty batch must yield no lanes");
+}
+
+/// Lanes retiring early must not disturb the survivors: a batch mixing
+/// the tiny machine (slowest), the baseline, and duplicate lanes still
+/// matches the scalar runs exactly, including the duplicated lanes
+/// agreeing with each other.
+#[test]
+fn early_lane_retirement_leaves_survivors_exact() {
+    let _g = LOCK.lock().unwrap();
+    let trace = trace_for("art", 9_000);
+    let opts = SimOptions {
+        warmup: 1_500,
+        sanitize: true,
+    };
+    let configs = [
+        Config::baseline(),
+        tiny_config(),
+        Config::baseline(),
+        tiny_config(),
+    ];
+    let records = try_simulate_batch_records(&configs, &ConstantParams::standard(), &trace, opts);
+    for (i, (cfg, rec)) in configs.iter().zip(&records).enumerate() {
+        let rec = rec
+            .as_ref()
+            .unwrap_or_else(|e| panic!("lane {i} failed: {e}"));
+        let (scalar, _) = simulate_detailed(cfg, &trace, opts);
+        assert_results_equal(&rec.result, &scalar, &format!("lane {i}"));
+    }
+    // Duplicate configs are independent lanes but must agree exactly.
+    let r0 = &records[0].as_ref().unwrap().result;
+    let r2 = &records[2].as_ref().unwrap().result;
+    assert_results_equal(r0, r2, "duplicate baseline lanes");
+    // The tiny machine really is slower — early retirement happened.
+    let base_cycles = records[0].as_ref().unwrap().result.cycles;
+    let tiny_cycles = records[1].as_ref().unwrap().result.cycles;
+    assert!(
+        tiny_cycles > base_cycles,
+        "tiny config should outlive the baseline lane ({tiny_cycles} vs {base_cycles})"
+    );
+}
+
+/// Satellite: the profiled (stall-attributed) path stays scalar and must
+/// agree bit-for-bit with the same config's lane inside a batch.
+#[test]
+fn profiled_run_matches_batched_lane() {
+    let _g = LOCK.lock().unwrap();
+    let mut rng = dse_rng::Xoshiro256::seed_from(0xBA7C_0002);
+    let configs = sample_legal(&mut rng, 3);
+    let trace = trace_for("gcc", 8_000);
+    let opts = SimOptions::with_warmup(1_000);
+    let records = try_simulate_batch_records(&configs, &ConstantParams::standard(), &trace, opts);
+    for (i, cfg) in configs.iter().enumerate() {
+        let (_, report) = simulate_profiled(cfg, &trace, opts);
+        assert_results_equal(
+            &records[i].as_ref().unwrap().result,
+            &report.record.result,
+            &format!("profiled vs batched lane {i}"),
+        );
+    }
+}
+
+/// Satellite: the workspace-global sims/cycles/instructions counters
+/// count per *lane*, not per batch pass — a width-5 batch bumps the run
+/// counter by 5 and the cycle/instruction counters by the per-lane sums.
+#[test]
+fn obs_counters_count_per_lane() {
+    let _g = LOCK.lock().unwrap();
+    let mut rng = dse_rng::Xoshiro256::seed_from(0xBA7C_0003);
+    let configs = sample_legal(&mut rng, 5);
+    let trace = trace_for("gzip", 6_000);
+    let opts = SimOptions::with_warmup(1_000);
+
+    // Expected per-lane totals from the records path (which does not
+    // touch the global counters).
+    let records = try_simulate_batch_records(&configs, &ConstantParams::standard(), &trace, opts);
+    let want_cycles: u64 = records
+        .iter()
+        .map(|r| r.as_ref().unwrap().result.cycles)
+        .sum();
+    let want_instrs: u64 = records
+        .iter()
+        .map(|r| r.as_ref().unwrap().result.instructions)
+        .sum();
+
+    let runs = dse_obs::counter("dse_sim_runs_total");
+    let cycles = dse_obs::counter("dse_sim_cycles_total");
+    let instrs = dse_obs::counter("dse_sim_instructions_total");
+    let (r0, c0, i0) = (runs.get(), cycles.get(), instrs.get());
+    let metrics = try_simulate_batch(&configs, &trace, opts);
+    assert_eq!(metrics.len(), configs.len());
+    assert!(metrics.iter().all(Result::is_ok));
+    assert_eq!(
+        runs.get() - r0,
+        configs.len() as u64,
+        "run counter must count lanes"
+    );
+    assert_eq!(
+        cycles.get() - c0,
+        want_cycles,
+        "cycle counter must sum per-lane cycles"
+    );
+    assert_eq!(
+        instrs.get() - i0,
+        want_instrs,
+        "instruction counter must sum per-lane instructions"
+    );
+}

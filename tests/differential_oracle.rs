@@ -38,6 +38,44 @@ fn profiles() -> Vec<Profile> {
         .collect()
 }
 
+/// The shared envelope assertions: cycle bounds, exact scheduling-
+/// independent event counts, energy bounds, and the counters repricing
+/// to the reported energy.
+fn check_against_oracle(tag: &str, report: &oracle::OracleReport, rec: &dse_sim::RunRecord) {
+    // Cycle bounds.
+    let cycles = rec.result.cycles;
+    assert!(
+        cycles >= report.cycles_lo,
+        "{tag}: {cycles} cycles below oracle lower bound {}",
+        report.cycles_lo
+    );
+    assert!(
+        cycles <= report.cycles_hi,
+        "{tag}: {cycles} cycles above oracle upper bound {}",
+        report.cycles_hi
+    );
+
+    // Exact event-count equality.
+    if let Some((name, obs, exp)) = report.count_mismatch(&rec.counters) {
+        panic!("{tag}: event count `{name}` is {obs}, oracle expects {exp}");
+    }
+
+    // Energy bounds, and the counters must reprice to the result's
+    // own energy (accounting reconciliation across layers).
+    let e = rec.result.energy_nj;
+    assert!(
+        e >= report.energy_lo_nj && e <= report.energy_hi_nj,
+        "{tag}: energy {e} nJ outside oracle bounds [{}, {}]",
+        report.energy_lo_nj,
+        report.energy_hi_nj
+    );
+    let repriced = rec.counters.total_nj(&rec.model);
+    assert!(
+        (repriced - e).abs() <= 1e-9 * e.max(1.0),
+        "{tag}: counters reprice to {repriced} nJ but result reports {e} nJ"
+    );
+}
+
 #[test]
 fn simulator_stays_within_oracle_envelope_on_200_pairs() {
     let cons = ConstantParams::standard();
@@ -57,41 +95,40 @@ fn simulator_stays_within_oracle_envelope_on_200_pairs() {
             let rec = Pipeline::new(cfg, &cons, &trace, options)
                 .try_run_full()
                 .unwrap_or_else(|e| panic!("sanitizer violation on {} × {cfg}: {e}", profile.name));
-            let tag = format!("{} × {cfg}", profile.name);
+            check_against_oracle(&format!("{} × {cfg}", profile.name), &report, &rec);
+            checked += 1;
+        }
+    }
+    assert!(checked >= 200, "only {checked} pairs checked");
+}
 
-            // Cycle bounds.
-            let cycles = rec.result.cycles;
-            assert!(
-                cycles >= report.cycles_lo,
-                "{tag}: {cycles} cycles below oracle lower bound {}",
-                report.cycles_lo
-            );
-            assert!(
-                cycles <= report.cycles_hi,
-                "{tag}: {cycles} cycles above oracle upper bound {}",
-                report.cycles_hi
-            );
+/// The same 200 pairs through the lockstep batched engine: each profile's
+/// forty configs run as one batch over a shared trace with the sanitizer
+/// forced on per lane, and every lane must satisfy the identical oracle
+/// envelope — bounds, exact counts, and energy reconciliation.
+#[test]
+fn batched_lanes_stay_within_oracle_envelope_on_200_pairs() {
+    let cons = ConstantParams::standard();
+    let configs = sampled_configs(CONFIGS);
+    let profiles = profiles();
+    assert!(configs.len() * profiles.len() >= 200);
 
-            // Exact event-count equality.
-            if let Some((name, obs, exp)) = report.count_mismatch(&rec.counters) {
-                panic!("{tag}: event count `{name}` is {obs}, oracle expects {exp}");
-            }
-
-            // Energy bounds, and the counters must reprice to the result's
-            // own energy (accounting reconciliation across layers).
-            let e = rec.result.energy_nj;
-            assert!(
-                e >= report.energy_lo_nj && e <= report.energy_hi_nj,
-                "{tag}: energy {e} nJ outside oracle bounds [{}, {}]",
-                report.energy_lo_nj,
-                report.energy_hi_nj
-            );
-            let repriced = rec.counters.total_nj(&rec.model);
-            assert!(
-                (repriced - e).abs() <= 1e-9 * e.max(1.0),
-                "{tag}: counters reprice to {repriced} nJ but result reports {e} nJ"
-            );
-
+    let options = SimOptions {
+        warmup: 0,
+        sanitize: true,
+    };
+    let mut checked = 0usize;
+    for profile in &profiles {
+        let trace = TraceGenerator::new(profile).generate(TRACE_LEN);
+        let records = dse_sim::try_simulate_batch_records(&configs, &cons, &trace, options);
+        assert_eq!(records.len(), configs.len());
+        for (cfg, rec) in configs.iter().zip(&records) {
+            let tag = format!("{} × {cfg} [batched]", profile.name);
+            let rec = rec
+                .as_ref()
+                .unwrap_or_else(|e| panic!("sanitizer violation on {tag}: {e}"));
+            let report = oracle::analyze(cfg, &cons, &trace);
+            check_against_oracle(&tag, &report, rec);
             checked += 1;
         }
     }
