@@ -1,0 +1,542 @@
+//! Objectives (what to minimize) and constraints (where to look).
+//!
+//! An [`Objective`] is a list of axes, each axis a weighted blend of the
+//! four simulated metrics; the explorer minimizes all axes simultaneously
+//! and returns the Pareto front over them. A single-axis objective
+//! degenerates to scalar optimization (the front is one point).
+//!
+//! [`Constraints`] restrict the search to a box in parameter space:
+//! per-dimension lower/upper bounds on the *actual* parameter values
+//! (entries, KB, bits), on top of the design space's own legality filter.
+
+use dse_sim::{Metric, Metrics};
+use dse_space::{Config, Param};
+use dse_util::json::{FromJson, Json, JsonError, ToJson};
+use std::fmt;
+
+/// One `weight × metric` term of an objective axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectiveTerm {
+    /// Multiplier applied to the metric (must be finite and positive).
+    pub weight: f64,
+    /// The simulated metric.
+    pub metric: Metric,
+}
+
+/// One minimized axis: a weighted sum of metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectiveAxis {
+    /// The blend; at least one term, metrics distinct within the axis.
+    pub terms: Vec<ObjectiveTerm>,
+}
+
+impl ObjectiveAxis {
+    /// A single-metric axis with weight 1.
+    pub fn metric(metric: Metric) -> Self {
+        Self {
+            terms: vec![ObjectiveTerm {
+                weight: 1.0,
+                metric,
+            }],
+        }
+    }
+
+    /// Evaluates the axis on simulated metrics.
+    pub fn eval(&self, m: &Metrics) -> f64 {
+        self.terms.iter().map(|t| t.weight * m.get(t.metric)).sum()
+    }
+
+    /// Evaluates the axis on per-metric predictions, in [`Metric::ALL`]
+    /// order.
+    pub fn eval_predicted(&self, by_metric: &[f64; 4]) -> f64 {
+        self.terms
+            .iter()
+            .map(|t| t.weight * by_metric[t.metric as usize])
+            .sum()
+    }
+
+    /// The metrics this axis reads.
+    pub fn metrics(&self) -> impl Iterator<Item = Metric> + '_ {
+        self.terms.iter().map(|t| t.metric)
+    }
+}
+
+impl fmt::Display for ObjectiveAxis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                f.write_str("+")?;
+            }
+            if t.weight == 1.0 && self.terms.len() == 1 {
+                write!(f, "{}", metric_name(t.metric))?;
+            } else {
+                write!(f, "{}*{}", t.weight, metric_name(t.metric))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A multi-objective minimization target: one or more axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    /// The minimized axes (1–4 of them).
+    pub axes: Vec<ObjectiveAxis>,
+}
+
+/// Error from parsing or validating an objective or constraint set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn metric_name(m: Metric) -> &'static str {
+    match m {
+        Metric::Cycles => "cycles",
+        Metric::Energy => "energy",
+        Metric::Ed => "ed",
+        Metric::Edd => "edd",
+    }
+}
+
+/// Parses a metric name: `cycles`, `energy`, `ed` (energy·delay), `edd`
+/// (aliases `ed2`, `ed^2` — energy·delay²). Case-insensitive.
+pub fn parse_metric(s: &str) -> Result<Metric, ParseError> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "cycles" => Ok(Metric::Cycles),
+        "energy" => Ok(Metric::Energy),
+        "ed" => Ok(Metric::Ed),
+        "edd" | "ed2" | "ed^2" => Ok(Metric::Edd),
+        other => Err(ParseError(format!(
+            "unknown metric `{other}` (expected cycles|energy|ed|edd)"
+        ))),
+    }
+}
+
+impl Objective {
+    /// Parses a comma-separated axis list. Each axis is a metric name or
+    /// a weighted blend `0.5*cycles+0.5*energy`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty input, unknown metrics, non-positive or non-finite
+    /// weights, repeated metrics within an axis, and identical axes.
+    pub fn parse(s: &str) -> Result<Self, ParseError> {
+        let mut axes = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(ParseError("empty objective axis".to_string()));
+            }
+            axes.push(Self::parse_axis(part)?);
+        }
+        Self::from_axes(axes)
+    }
+
+    fn parse_axis(s: &str) -> Result<ObjectiveAxis, ParseError> {
+        let mut terms = Vec::new();
+        for term in s.split('+') {
+            let term = term.trim();
+            let (weight, metric) = match term.split_once('*') {
+                Some((w, m)) => {
+                    let weight: f64 = w
+                        .trim()
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad weight `{w}` in `{s}`")))?;
+                    (weight, parse_metric(m)?)
+                }
+                None => (1.0, parse_metric(term)?),
+            };
+            if !weight.is_finite() || weight <= 0.0 {
+                return Err(ParseError(format!(
+                    "weight {weight} in `{s}` must be finite and positive"
+                )));
+            }
+            if terms.iter().any(|t: &ObjectiveTerm| t.metric == metric) {
+                return Err(ParseError(format!(
+                    "metric `{}` repeated within axis `{s}`",
+                    metric_name(metric)
+                )));
+            }
+            terms.push(ObjectiveTerm { weight, metric });
+        }
+        Ok(ObjectiveAxis { terms })
+    }
+
+    /// Builds an objective from axes, validating the set.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty axis lists, more than four axes, and duplicate axes.
+    pub fn from_axes(axes: Vec<ObjectiveAxis>) -> Result<Self, ParseError> {
+        if axes.is_empty() {
+            return Err(ParseError("objective needs at least one axis".to_string()));
+        }
+        if axes.len() > 4 {
+            return Err(ParseError(format!(
+                "{} axes requested; at most 4 are supported",
+                axes.len()
+            )));
+        }
+        for i in 0..axes.len() {
+            for j in i + 1..axes.len() {
+                if axes[i] == axes[j] {
+                    return Err(ParseError(format!(
+                        "duplicate objective axis `{}`",
+                        axes[i]
+                    )));
+                }
+            }
+        }
+        Ok(Self { axes })
+    }
+
+    /// Number of minimized axes.
+    pub fn dim(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Evaluates every axis on simulated metrics.
+    pub fn eval(&self, m: &Metrics) -> Vec<f64> {
+        self.axes.iter().map(|a| a.eval(m)).collect()
+    }
+
+    /// Evaluates every axis on per-metric predictions in [`Metric::ALL`]
+    /// order.
+    pub fn eval_predicted(&self, by_metric: &[f64; 4]) -> Vec<f64> {
+        self.axes
+            .iter()
+            .map(|a| a.eval_predicted(by_metric))
+            .collect()
+    }
+
+    /// The distinct metrics any axis reads, in [`Metric::ALL`] order —
+    /// the set of predictors an explorer run needs.
+    pub fn metrics(&self) -> Vec<Metric> {
+        Metric::ALL
+            .into_iter()
+            .filter(|m| self.axes.iter().any(|a| a.metrics().any(|x| x == *m)))
+            .collect()
+    }
+
+    /// A filesystem-safe slug naming the objective (for output files).
+    pub fn slug(&self) -> String {
+        self.axes
+            .iter()
+            .map(|a| {
+                a.terms
+                    .iter()
+                    .map(|t| {
+                        if t.weight == 1.0 {
+                            metric_name(t.metric).to_string()
+                        } else {
+                            format!("{}{}", t.weight, metric_name(t.metric)).replace('.', "p")
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join("+")
+            })
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.axes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for Objective {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for Objective {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Self::parse(v.as_str()?).map_err(|e| JsonError::msg(e.0))
+    }
+}
+
+/// Looks up a parameter by its display name, case-insensitively, with
+/// spaces and underscores interchangeable (`"rf read"` ≡ `"RF_read"`).
+pub fn parse_param(s: &str) -> Result<Param, ParseError> {
+    let want = s.trim().to_ascii_lowercase().replace('_', " ");
+    Param::ALL
+        .into_iter()
+        .find(|p| p.def().name.to_ascii_lowercase() == want)
+        .ok_or_else(|| {
+            ParseError(format!(
+                "unknown parameter `{}` (expected one of {})",
+                s.trim(),
+                Param::ALL
+                    .into_iter()
+                    .map(|p| p.def().name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+}
+
+/// An inclusive bound on one parameter's actual value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Constraint {
+    /// The bounded parameter.
+    pub param: Param,
+    /// Inclusive lower bound on the value, if any.
+    pub min: Option<u64>,
+    /// Inclusive upper bound on the value, if any.
+    pub max: Option<u64>,
+}
+
+impl Constraint {
+    /// Whether `cfg` satisfies this bound.
+    pub fn allows(&self, cfg: &Config) -> bool {
+        let v = cfg.param(self.param);
+        self.min.is_none_or(|lo| v >= lo) && self.max.is_none_or(|hi| v <= hi)
+    }
+}
+
+/// A conjunction of per-parameter bounds; the empty set allows everything.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Constraints {
+    /// One entry per bounded parameter, in [`Param::ALL`] order.
+    pub items: Vec<Constraint>,
+}
+
+impl Constraints {
+    /// The unconstrained set.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether `cfg` satisfies every bound.
+    pub fn allows(&self, cfg: &Config) -> bool {
+        self.items.iter().all(|c| c.allows(cfg))
+    }
+
+    /// Parses a comma-separated bound list: `rob<=96`, `l2>=1024`,
+    /// `width=4` (an equality pins both bounds). The empty string parses
+    /// to the unconstrained set.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown parameters, malformed bounds, values no legal
+    /// configuration can satisfy (`min > max`), and repeated parameters.
+    pub fn parse(s: &str) -> Result<Self, ParseError> {
+        let mut by_param: Vec<Constraint> = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (name, op, value) = if let Some((n, v)) = part.split_once("<=") {
+                (n, "<=", v)
+            } else if let Some((n, v)) = part.split_once(">=") {
+                (n, ">=", v)
+            } else if let Some((n, v)) = part.split_once('=') {
+                (n, "=", v)
+            } else {
+                return Err(ParseError(format!(
+                    "bad constraint `{part}` (expected name<=v, name>=v or name=v)"
+                )));
+            };
+            let param = parse_param(name)?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseError(format!("bad value in constraint `{part}`")))?;
+            let entry = match by_param.iter_mut().find(|c| c.param == param) {
+                Some(e) => e,
+                None => {
+                    by_param.push(Constraint {
+                        param,
+                        min: None,
+                        max: None,
+                    });
+                    by_param.last_mut().unwrap()
+                }
+            };
+            match op {
+                "<=" => entry.max = Some(entry.max.map_or(value, |m| m.min(value))),
+                ">=" => entry.min = Some(entry.min.map_or(value, |m| m.max(value))),
+                _ => {
+                    entry.min = Some(value);
+                    entry.max = Some(value);
+                }
+            }
+        }
+        let mut items = by_param;
+        items.sort_by_key(|c| c.param as usize);
+        for c in &items {
+            if let (Some(lo), Some(hi)) = (c.min, c.max) {
+                if lo > hi {
+                    return Err(ParseError(format!(
+                        "constraint on {} is empty: min {lo} > max {hi}",
+                        c.param.def().name
+                    )));
+                }
+            }
+            let vals = c.param.def().values;
+            if !vals
+                .iter()
+                .any(|&v| c.min.is_none_or(|lo| v >= lo) && c.max.is_none_or(|hi| v <= hi))
+            {
+                return Err(ParseError(format!(
+                    "no {} value satisfies the bound (choices: {:?})",
+                    c.param.def().name,
+                    vals
+                )));
+            }
+        }
+        Ok(Self { items })
+    }
+
+    /// Whether any bound is active.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl fmt::Display for Constraints {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            let name = c.param.def().name.to_ascii_lowercase().replace(' ', "_");
+            match (c.min, c.max) {
+                (Some(lo), Some(hi)) if lo == hi => write!(f, "{name}={lo}")?,
+                (lo, hi) => {
+                    if let Some(lo) = lo {
+                        write!(f, "{name}>={lo}")?;
+                    }
+                    if let Some(hi) = hi {
+                        if lo.is_some() {
+                            f.write_str(",")?;
+                        }
+                        write!(f, "{name}<={hi}")?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for Constraints {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for Constraints {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Self::parse(v.as_str()?).map_err(|e| JsonError::msg(e.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_axis_lists_and_blends() {
+        let o = Objective::parse("cycles,energy").unwrap();
+        assert_eq!(o.dim(), 2);
+        let o = Objective::parse("0.5*cycles+0.5*energy").unwrap();
+        assert_eq!(o.dim(), 1);
+        assert_eq!(o.axes[0].terms.len(), 2);
+        assert_eq!(
+            Objective::parse("ed2").unwrap(),
+            Objective::parse("edd").unwrap()
+        );
+    }
+
+    #[test]
+    fn objective_round_trips_as_json_string() {
+        for s in ["cycles", "cycles,energy", "0.5*cycles+0.5*energy,edd"] {
+            let o = Objective::parse(s).unwrap();
+            let j = dse_util::json::to_string(&o);
+            let back: Objective = dse_util::json::from_str(&j).unwrap();
+            assert_eq!(back, o, "via {j}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_objectives() {
+        for bad in [
+            "",
+            "cycles,,energy",
+            "watts",
+            "-1*cycles",
+            "0*cycles",
+            "cycles+cycles",
+            "cycles,cycles",
+            "cycles,energy,ed,edd,cycles",
+        ] {
+            assert!(Objective::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn objective_eval_blends_metrics() {
+        let m = Metrics {
+            cycles: 100.0,
+            energy: 10.0,
+            ed: 1000.0,
+            edd: 100_000.0,
+        };
+        let o = Objective::parse("0.5*cycles+2*energy").unwrap();
+        assert_eq!(o.eval(&m), vec![70.0]);
+        let o = Objective::parse("cycles,energy").unwrap();
+        assert_eq!(o.eval(&m), vec![100.0, 10.0]);
+    }
+
+    #[test]
+    fn constraints_parse_and_filter() {
+        let c = Constraints::parse("rob<=96, width>=4").unwrap();
+        let mut cfg = Config::baseline();
+        cfg.rob = 96;
+        cfg.width = 4;
+        assert!(c.allows(&cfg));
+        cfg.rob = 128;
+        assert!(!c.allows(&cfg));
+        assert!(Constraints::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn constraint_names_accept_spaces_and_underscores() {
+        assert!(Constraints::parse("rf_read<=8").is_ok());
+        assert!(Constraints::parse("RF read<=8").is_ok());
+        assert!(Constraints::parse("l2>=1024").is_ok());
+    }
+
+    #[test]
+    fn rejects_unsatisfiable_constraints() {
+        assert!(Constraints::parse("width>=9").is_err());
+        assert!(Constraints::parse("rob>=96,rob<=64").is_err());
+        assert!(Constraints::parse("turbo<=1").is_err());
+    }
+
+    #[test]
+    fn constraints_round_trip_as_json() {
+        let c = Constraints::parse("width=4,rob<=96,l2>=1024").unwrap();
+        let j = dse_util::json::to_string(&c);
+        let back: Constraints = dse_util::json::from_str(&j).unwrap();
+        assert_eq!(back, c, "via {j}");
+    }
+}

@@ -1,0 +1,366 @@
+//! Async explore jobs: submit, poll, cancel.
+//!
+//! A frontier run outlives any sane HTTP timeout, so `/v1/explore` is an
+//! async-job surface: `POST` validates the request, registers a job, and
+//! schedules the run on the server's *existing* worker pool (a running
+//! job occupies one worker, exactly like a long-lived connection);
+//! `GET /v1/explore/<id>` polls status and the latest partial frontier;
+//! `DELETE /v1/explore/<id>` requests cancellation, honoured at the next
+//! round boundary. Graceful drain falls out of the same mechanism: the
+//! job's round callback watches the server shutdown flag, so a draining
+//! server cancels in-flight explorations within one round instead of
+//! holding the pool open for the full budget.
+//!
+//! Capacity is two-layered: [`JobManager`] rejects submissions beyond
+//! `max_explore_jobs` active jobs (HTTP 429 — the *job* surface is
+//! saturated), and the worker pool itself can still refuse the closure
+//! (HTTP 503 — the *server* is saturated).
+
+use crate::registry::{ModelRegistry, RegistryError};
+use dse_explore::{Frontier, MetricPredictor, RoundStatus};
+use dse_ml::LinearRegression;
+use dse_sim::{Metric, SimOptions};
+use dse_space::Config;
+use dse_workload::{Profile, Trace, TraceGenerator};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The simulation protocol every online oracle call follows — identical
+/// to the protocol `archdse train` and `archdse client fit` use, or the
+/// online-fitted combiner would mix scales.
+pub mod protocol {
+    use super::*;
+
+    /// Dynamic trace length per oracle simulation, in instructions.
+    pub const TRACE_LEN: usize = 30_000;
+    /// Warm-up instructions excluded from the metrics.
+    pub const WARMUP: usize = 6_000;
+    /// Trace-generation seed.
+    pub const SEED: u64 = 21;
+
+    /// The protocol trace for a benchmark profile.
+    pub fn trace(profile: &Profile) -> Trace {
+        TraceGenerator::new(profile).generate(TRACE_LEN)
+    }
+
+    /// The protocol simulation options.
+    pub fn options() -> SimOptions {
+        SimOptions::with_warmup(WARMUP)
+    }
+}
+
+/// A [`MetricPredictor`] over resolved registry models: the artifact and
+/// online-fitted combiner per metric are pinned at submit time, so a
+/// concurrent `/v1/fit` or hot reload cannot shift a running job's cheap
+/// oracle mid-flight (and prediction is infallible afterwards).
+pub struct RegistryPredictor {
+    models: Vec<(
+        Metric,
+        Arc<crate::registry::MetricArtifact>,
+        Arc<LinearRegression>,
+    )>,
+}
+
+impl RegistryPredictor {
+    /// Resolves `program`'s predictor for every metric in `metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any metric has no artifact or no fitted combiner for the
+    /// program — the same errors `/v1/predict` maps to 404.
+    pub fn resolve(
+        registry: &ModelRegistry,
+        program: &str,
+        metrics: &[Metric],
+    ) -> Result<Self, RegistryError> {
+        let mut models = Vec::with_capacity(metrics.len());
+        for &m in metrics {
+            let (artifact, reg) = registry.predictor(program, m)?;
+            models.push((m, artifact, reg));
+        }
+        Ok(Self { models })
+    }
+}
+
+impl MetricPredictor for RegistryPredictor {
+    fn predict(&self, cfg: &Config, metric: Metric) -> f64 {
+        match self.models.iter().find(|(m, _, _)| *m == metric) {
+            Some((_, artifact, reg)) => artifact.offline.predict_with(reg, &cfg.to_features()),
+            // Unreachable when resolved from the objective's own metric
+            // set; a NaN objective value is rejected by the archive.
+            None => f64::NAN,
+        }
+    }
+}
+
+/// Lifecycle of an explore job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a pool worker.
+    Queued,
+    /// The acquisition loop is running.
+    Running,
+    /// Finished its budget; the full frontier is available.
+    Done,
+    /// Cancelled (by `DELETE` or server drain); partial frontier kept.
+    Cancelled,
+    /// Failed (simulator violation or internal error).
+    Failed,
+}
+
+impl JobState {
+    /// The wire spelling used in JSON responses.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Whether the job still holds (or waits for) a worker.
+    pub fn is_active(self) -> bool {
+        matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+#[derive(Debug)]
+struct JobInner {
+    state: JobState,
+    rounds_done: usize,
+    rounds_total: usize,
+    frontier: Option<Frontier>,
+    error: Option<String>,
+}
+
+/// One explore job: shared between the HTTP handlers and the worker
+/// running the loop.
+#[derive(Debug)]
+pub struct ExploreJob {
+    /// Opaque job id (`explore-<n>`).
+    pub id: String,
+    cancel: AtomicBool,
+    inner: Mutex<JobInner>,
+}
+
+/// A point-in-time copy of a job's externally visible state.
+pub struct JobSnapshot {
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Rounds completed.
+    pub rounds_done: usize,
+    /// Rounds budgeted.
+    pub rounds_total: usize,
+    /// Latest frontier: partial while running, final afterwards.
+    pub frontier: Option<Frontier>,
+    /// Failure message, if failed.
+    pub error: Option<String>,
+}
+
+impl ExploreJob {
+    /// Requests cancellation (idempotent); the loop notices at the next
+    /// round boundary.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+
+    /// Marks the job running (called by the worker as it picks it up).
+    pub fn mark_running(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.state == JobState::Queued {
+            inner.state = JobState::Running;
+        }
+    }
+
+    /// Records round progress and the latest partial frontier.
+    pub fn update(&self, status: &RoundStatus<'_>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.rounds_done = status.rounds_done;
+        inner.rounds_total = status.rounds_total;
+        inner.frontier = Some(status.frontier.clone());
+    }
+
+    /// Stores the final frontier; the state follows its `cancelled` flag.
+    pub fn finish(&self, frontier: Frontier) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.rounds_done = frontier.rounds.len();
+        inner.state = if frontier.cancelled {
+            JobState::Cancelled
+        } else {
+            JobState::Done
+        };
+        inner.frontier = Some(frontier);
+    }
+
+    /// Marks the job failed.
+    pub fn fail(&self, message: String) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.state = JobState::Failed;
+        inner.error = Some(message);
+    }
+
+    /// A copy of the current state.
+    pub fn snapshot(&self) -> JobSnapshot {
+        let inner = self.inner.lock().unwrap();
+        JobSnapshot {
+            state: inner.state,
+            rounds_done: inner.rounds_done,
+            rounds_total: inner.rounds_total,
+            frontier: inner.frontier.clone(),
+            error: inner.error.clone(),
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitRejected {
+    /// `max_explore_jobs` jobs are already queued or running (HTTP 429).
+    TooManyJobs,
+}
+
+/// Registry of explore jobs with an active-job cap.
+///
+/// Finished jobs stay pollable; to bound memory the manager keeps only
+/// the most recent [`FINISHED_KEPT`] finished jobs (older ones 404).
+pub struct JobManager {
+    max_active: usize,
+    next: AtomicU64,
+    jobs: Mutex<Vec<Arc<ExploreJob>>>,
+}
+
+/// Finished jobs retained for polling before being pruned.
+pub const FINISHED_KEPT: usize = 32;
+
+impl JobManager {
+    /// A manager admitting at most `max_active` queued-or-running jobs.
+    pub fn new(max_active: usize) -> Self {
+        Self {
+            max_active: max_active.max(1),
+            next: AtomicU64::new(1),
+            jobs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a new job in `Queued` state.
+    ///
+    /// # Errors
+    ///
+    /// Rejects when the active-job cap is reached.
+    pub fn submit(&self, rounds_total: usize) -> Result<Arc<ExploreJob>, SubmitRejected> {
+        let mut jobs = self.jobs.lock().unwrap();
+        let active = jobs
+            .iter()
+            .filter(|j| j.inner.lock().unwrap().state.is_active())
+            .count();
+        if active >= self.max_active {
+            return Err(SubmitRejected::TooManyJobs);
+        }
+        // Prune the oldest finished jobs beyond the retention window.
+        let finished = jobs.len() - active;
+        if finished > FINISHED_KEPT {
+            let mut to_drop = finished - FINISHED_KEPT;
+            jobs.retain(|j| {
+                if to_drop > 0 && !j.inner.lock().unwrap().state.is_active() {
+                    to_drop -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let id = format!("explore-{}", self.next.fetch_add(1, Ordering::SeqCst));
+        let job = Arc::new(ExploreJob {
+            id,
+            cancel: AtomicBool::new(false),
+            inner: Mutex::new(JobInner {
+                state: JobState::Queued,
+                rounds_done: 0,
+                rounds_total,
+                frontier: None,
+                error: None,
+            }),
+        });
+        jobs.push(job.clone());
+        Ok(job)
+    }
+
+    /// Looks a job up by id.
+    pub fn get(&self, id: &str) -> Option<Arc<ExploreJob>> {
+        self.jobs
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|j| j.id == id)
+            .cloned()
+    }
+
+    /// Removes a job that never started (pool rejected its closure), so
+    /// a 503'd submission does not consume the job cap.
+    pub fn discard(&self, id: &str) {
+        self.jobs.lock().unwrap().retain(|j| j.id != id);
+    }
+
+    /// Ids of all known jobs, newest last (for `GET /v1/explore`).
+    pub fn ids(&self) -> Vec<String> {
+        self.jobs
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|j| j.id.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manager_caps_active_jobs_and_recovers() {
+        let m = JobManager::new(2);
+        let a = m.submit(4).unwrap();
+        let _b = m.submit(4).unwrap();
+        assert_eq!(m.submit(4).unwrap_err(), SubmitRejected::TooManyJobs);
+        // Finishing a job frees a slot.
+        a.fail("test".to_string());
+        // The rejected submission consumed no id: the counter advances
+        // only past the cap check.
+        let c = m.submit(4).unwrap();
+        assert_eq!(c.id, "explore-3");
+        assert!(m.get(&c.id).is_some());
+        assert!(m.get("explore-999").is_none());
+    }
+
+    #[test]
+    fn discard_releases_the_slot() {
+        let m = JobManager::new(1);
+        let a = m.submit(4).unwrap();
+        assert!(m.submit(4).is_err());
+        m.discard(&a.id);
+        assert!(m.submit(4).is_ok());
+    }
+
+    #[test]
+    fn job_lifecycle_states() {
+        let m = JobManager::new(1);
+        let j = m.submit(3).unwrap();
+        assert_eq!(j.snapshot().state, JobState::Queued);
+        j.mark_running();
+        assert_eq!(j.snapshot().state, JobState::Running);
+        assert!(!j.cancel_requested());
+        j.cancel();
+        assert!(j.cancel_requested());
+        j.fail("boom".to_string());
+        let s = j.snapshot();
+        assert_eq!(s.state, JobState::Failed);
+        assert_eq!(s.error.as_deref(), Some("boom"));
+    }
+}

@@ -48,12 +48,14 @@
 pub mod cache;
 pub mod client;
 pub mod http;
+pub mod jobs;
 pub mod registry;
 pub mod server;
 pub mod telemetry;
 
 pub use cache::{CacheKey, PredictionCache};
 pub use client::{Client, ClientError, ClientResponse};
+pub use jobs::{protocol, ExploreJob, JobManager, JobState, RegistryPredictor};
 pub use registry::{save_artifacts, FitSummary, MetricArtifact, ModelRegistry, RegistryError};
 pub use server::{Server, ServerConfig};
 pub use telemetry::Telemetry;

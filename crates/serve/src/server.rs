@@ -15,8 +15,10 @@
 
 use crate::cache::{CacheKey, PredictionCache};
 use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::jobs::{protocol, JobManager, RegistryPredictor, SubmitRejected};
 use crate::registry::{ModelRegistry, RegistryError};
 use crate::telemetry::Telemetry;
+use dse_explore::{Command, Constraints, ExploreBudget, Explorer, Objective, SimOracle};
 use dse_sim::Metric;
 use dse_space::Config;
 use dse_util::json::{FromJson, Json, ToJson};
@@ -48,6 +50,10 @@ pub struct ServerConfig {
     pub cache_shards: usize,
     /// Prediction-cache total capacity (entries).
     pub cache_capacity: usize,
+    /// Cap on queued-or-running explore jobs (`POST /v1/explore` answers
+    /// 429 beyond it). Keep this below `workers`: a running job occupies
+    /// a worker, and polling needs at least one free.
+    pub max_explore_jobs: usize,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +67,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             cache_shards: 8,
             cache_capacity: 4096,
+            max_explore_jobs: 2,
         }
     }
 }
@@ -70,6 +77,10 @@ struct State {
     registry: Arc<ModelRegistry>,
     cache: PredictionCache,
     telemetry: Telemetry,
+    jobs: JobManager,
+    /// The server's own worker pool; explore jobs are scheduled onto it
+    /// so one knob bounds all concurrency.
+    pool: Arc<WorkerPool>,
     shutdown: AtomicBool,
     addr: SocketAddr,
     max_body: usize,
@@ -93,15 +104,17 @@ impl Server {
     pub fn start(registry: Arc<ModelRegistry>, cfg: &ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let pool = Arc::new(WorkerPool::new("dse-serve", cfg.workers, cfg.backlog));
         let state = Arc::new(State {
             registry,
             cache: PredictionCache::new(cfg.cache_shards, cfg.cache_capacity),
             telemetry: Telemetry::new(),
+            jobs: JobManager::new(cfg.max_explore_jobs),
+            pool: pool.clone(),
             shutdown: AtomicBool::new(false),
             addr,
             max_body: cfg.max_body,
         });
-        let pool = Arc::new(WorkerPool::new("dse-serve", cfg.workers, cfg.backlog));
         let acceptor = {
             let state = state.clone();
             let pool = pool.clone();
@@ -277,7 +290,7 @@ fn handle_connection(state: Arc<State>, mut stream: TcpStream) {
 }
 
 /// Dispatches one request; returns the telemetry label and the response.
-fn route(state: &State, req: &Request) -> (&'static str, Response) {
+fn route(state: &Arc<State>, req: &Request) -> (&'static str, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => ("/healthz", healthz(state)),
         ("GET", "/metrics") => ("/metrics", metrics(state)),
@@ -288,10 +301,23 @@ fn route(state: &State, req: &Request) -> (&'static str, Response) {
         ("POST", "/v1/fit") => ("/v1/fit", fit(state, req)),
         ("POST", "/v1/reload") => ("/v1/reload", reload(state)),
         ("POST", "/v1/shutdown") => ("/v1/shutdown", shutdown_route(state)),
+        ("POST", "/v1/explore") => ("/v1/explore", explore_submit(state, req)),
+        ("GET", "/v1/explore") => ("/v1/explore", explore_list(state)),
+        (method, path) if path.starts_with("/v1/explore/") => {
+            let id = &path["/v1/explore/".len()..];
+            match method {
+                "GET" => ("/v1/explore/:id", explore_status(state, id)),
+                "DELETE" => ("/v1/explore/:id", explore_cancel(state, id)),
+                _ => (
+                    "method_not_allowed",
+                    Response::error(405, &format!("{} not allowed here", req.method)),
+                ),
+            }
+        }
         (
             _,
             "/healthz" | "/metrics" | "/v1/models" | "/v1/configs" | "/v1/predict"
-            | "/v1/predict_batch" | "/v1/fit" | "/v1/reload" | "/v1/shutdown",
+            | "/v1/predict_batch" | "/v1/fit" | "/v1/reload" | "/v1/shutdown" | "/v1/explore",
         ) => (
             "method_not_allowed",
             Response::error(405, &format!("{} not allowed here", req.method)),
@@ -564,6 +590,138 @@ fn reload(state: &State) -> Response {
             Response::json(200, dse_util::json::to_string(&out))
         }
         Err(e) => registry_error(&e),
+    }
+}
+
+/// The JSON body shared by every job-status response.
+fn job_body(job: &crate::jobs::ExploreJob) -> Json {
+    let snap = job.snapshot();
+    let mut fields = vec![
+        ("id".to_string(), job.id.to_json()),
+        ("status".to_string(), snap.state.as_str().to_json()),
+        ("rounds_done".to_string(), snap.rounds_done.to_json()),
+        ("rounds_total".to_string(), snap.rounds_total.to_json()),
+    ];
+    match &snap.frontier {
+        Some(f) => fields.push(("frontier".to_string(), f.to_json())),
+        None => fields.push(("frontier".to_string(), Json::Null)),
+    }
+    if let Some(e) = &snap.error {
+        fields.push(("error".to_string(), e.to_json()));
+    }
+    Json::Obj(fields)
+}
+
+/// `POST /v1/explore`: validate, register a job, schedule the loop on
+/// the worker pool, answer `202` with the job id.
+fn explore_submit(state: &Arc<State>, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let program = match body.field("program").and_then(String::from_json) {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &format!("program: {e}")),
+    };
+    let objective = match body.field("objective").and_then(Objective::from_json) {
+        Ok(o) => o,
+        Err(e) => return Response::error(400, &format!("objective: {e}")),
+    };
+    let constraints = match body.field("constraints") {
+        Ok(v) => match Constraints::from_json(v) {
+            Ok(c) => c,
+            Err(e) => return Response::error(400, &format!("constraints: {e}")),
+        },
+        Err(_) => Constraints::none(),
+    };
+    let budget = match body.field("budget") {
+        Ok(v) => match ExploreBudget::from_json(v) {
+            Ok(b) => b,
+            Err(e) => return Response::error(400, &format!("budget: {e}")),
+        },
+        Err(_) => ExploreBudget::default(),
+    };
+    let Some(profile) = dse_workload::suites::all_benchmarks()
+        .into_iter()
+        .find(|p| p.name == program)
+    else {
+        return Response::error(404, &format!("unknown benchmark '{program}'"));
+    };
+    // Pin the cheap oracle now: a later /v1/fit or reload must not shift
+    // a running job, and an unfitted program should 404 at submit.
+    let predictor =
+        match RegistryPredictor::resolve(&state.registry, &program, &objective.metrics()) {
+            Ok(p) => p,
+            Err(e) => return registry_error(&e),
+        };
+    let job = match state.jobs.submit(budget.rounds) {
+        Ok(j) => j,
+        Err(SubmitRejected::TooManyJobs) => {
+            return Response::error(429, "too many explore jobs, retry later")
+        }
+    };
+    let id = job.id.clone();
+    let run_state = state.clone();
+    let run_job = job.clone();
+    let run = Box::new(move || {
+        run_job.mark_running();
+        let trace = protocol::trace(&profile);
+        let oracle = SimOracle::new(trace, protocol::options());
+        let explorer = Explorer {
+            predictor: &predictor,
+            oracle: &oracle,
+            program: profile.name.to_string(),
+            objective,
+            constraints,
+            budget,
+            pool: None,
+        };
+        let result = explorer.run_with(|status| {
+            run_job.update(status);
+            // Graceful drain: a shutting-down server cancels in-flight
+            // jobs at the next round boundary instead of holding the
+            // pool for the full budget.
+            if run_job.cancel_requested() || run_state.shutdown.load(Ordering::SeqCst) {
+                Command::Cancel
+            } else {
+                Command::Continue
+            }
+        });
+        match result {
+            Ok(frontier) => run_job.finish(frontier),
+            Err(e) => run_job.fail(e.to_string()),
+        }
+    });
+    if state.pool.try_execute(run).is_err() {
+        // Never started: release the job slot so the 503 is retryable.
+        state.jobs.discard(&id);
+        return Response::error(503, "server overloaded, retry later");
+    }
+    Response::json(202, dse_util::json::to_string(&job_body(&job)))
+}
+
+/// `GET /v1/explore`: the known job ids, oldest first.
+fn explore_list(state: &State) -> Response {
+    let body = Json::obj([("jobs", state.jobs.ids().to_json())]);
+    Response::json(200, dse_util::json::to_string(&body))
+}
+
+/// `GET /v1/explore/<id>`: status plus the latest (partial) frontier.
+fn explore_status(state: &State, id: &str) -> Response {
+    match state.jobs.get(id) {
+        Some(job) => Response::json(200, dse_util::json::to_string(&job_body(&job))),
+        None => Response::error(404, &format!("no such explore job '{id}'")),
+    }
+}
+
+/// `DELETE /v1/explore/<id>`: request cancellation (idempotent).
+fn explore_cancel(state: &State, id: &str) -> Response {
+    match state.jobs.get(id) {
+        Some(job) => {
+            job.cancel();
+            Response::json(200, dse_util::json::to_string(&job_body(&job)))
+        }
+        None => Response::error(404, &format!("no such explore job '{id}'")),
     }
 }
 

@@ -358,6 +358,281 @@ fn concurrent_clients_share_the_cache_and_agree() {
     server.stop();
 }
 
+// ---------------------------------------------------------------------------
+// Explore job lifecycle
+// ---------------------------------------------------------------------------
+
+/// Fits the held-out program for `cycles` so explore submissions resolve
+/// a predictor, and returns its name.
+fn fit_target(client: &mut Client) -> String {
+    let s = setup();
+    let target = &s.ds5.benchmarks[4];
+    let responses: Vec<(usize, f64)> = (0..16)
+        .map(|i| (i, target.metrics[i].get(Metric::Cycles)))
+        .collect();
+    client
+        .fit(&target.name, Metric::Cycles, &responses)
+        .unwrap();
+    target.name.clone()
+}
+
+/// Polls `GET /v1/explore/<id>` until the job leaves the active states,
+/// returning the final body.
+fn poll_until_settled(client: &mut Client, id: &str) -> dse_util::json::Json {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let resp = client.get(&format!("/v1/explore/{id}")).unwrap();
+        assert_eq!(resp.status, 200);
+        let body = resp.json().unwrap();
+        let status = body.field("status").and_then(String::from_json).unwrap();
+        if status != "queued" && status != "running" {
+            return body;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "explore job '{id}' never settled (last status: {status})"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn explore_job_runs_to_completion_over_http() {
+    let (server, addr) = start_server(&ServerConfig::default());
+    let mut client = Client::new(addr);
+    let target = fit_target(&mut client);
+
+    let body = format!(
+        "{{\"program\":\"{target}\",\"objective\":\"cycles,energy\",\
+         \"budget\":{{\"rounds\":2,\"candidates_per_round\":12,\
+         \"sims_per_round\":2,\"archive_cap\":8,\"seed\":6}}}}"
+    );
+    // The registry only holds a cycles model: a 2-axis objective needing
+    // energy must be refused before any work is queued.
+    let resp = client.post("/v1/explore", &body).unwrap();
+    assert_eq!(resp.status, 404, "got: {:?}", resp.text());
+
+    let body = format!(
+        "{{\"program\":\"{target}\",\"objective\":\"cycles\",\
+         \"budget\":{{\"rounds\":2,\"candidates_per_round\":12,\
+         \"sims_per_round\":2,\"archive_cap\":8,\"seed\":6}}}}"
+    );
+    let resp = client.post("/v1/explore", &body).unwrap();
+    assert_eq!(resp.status, 202, "got: {:?}", resp.text());
+    let submitted = resp.json().unwrap();
+    let id = submitted.field("id").and_then(String::from_json).unwrap();
+    assert!(id.starts_with("explore-"));
+    let status = submitted
+        .field("status")
+        .and_then(String::from_json)
+        .unwrap();
+    assert!(status == "queued" || status == "running");
+
+    // The job shows up in the listing.
+    let list = client.get("/v1/explore").unwrap().json().unwrap();
+    let ids: Vec<String> = list
+        .field("jobs")
+        .and_then(|v| v.as_array().map(<[_]>::to_vec))
+        .unwrap()
+        .iter()
+        .map(|v| String::from_json(v).unwrap())
+        .collect();
+    assert!(ids.contains(&id));
+
+    let done = poll_until_settled(&mut client, &id);
+    assert_eq!(
+        done.field("status").and_then(String::from_json).unwrap(),
+        "done",
+        "body: {}",
+        dse_util::json::to_string(&done)
+    );
+    assert_eq!(
+        done.field("rounds_done")
+            .and_then(usize::from_json)
+            .unwrap(),
+        2
+    );
+    let frontier = done.field("frontier").unwrap();
+    let points = frontier
+        .field("points")
+        .and_then(|v| v.as_array().map(<[_]>::to_vec))
+        .unwrap();
+    assert!(!points.is_empty(), "a completed frontier holds points");
+    let sim_calls = frontier
+        .field("sim_calls")
+        .and_then(u64::from_json)
+        .unwrap();
+    assert!(sim_calls <= 4, "2 rounds × 2 sims, spent {sim_calls}");
+    server.stop();
+}
+
+#[test]
+fn explore_rejects_bad_requests() {
+    let (server, addr) = start_server(&ServerConfig::default());
+    let mut client = Client::new(addr);
+    let target = fit_target(&mut client);
+
+    // Malformed objective → 400, before any job is registered.
+    let resp = client
+        .post(
+            "/v1/explore",
+            &format!("{{\"program\":\"{target}\",\"objective\":\"potato\"}}"),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400, "got: {:?}", resp.text());
+
+    // Malformed budget → 400.
+    let resp = client
+        .post(
+            "/v1/explore",
+            &format!(
+                "{{\"program\":\"{target}\",\"objective\":\"cycles\",\
+                 \"budget\":{{\"rounds\":0}}}}"
+            ),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400, "got: {:?}", resp.text());
+
+    // Unknown benchmark → 404.
+    let resp = client
+        .post(
+            "/v1/explore",
+            "{\"program\":\"doom\",\"objective\":\"cycles\"}",
+        )
+        .unwrap();
+    assert_eq!(resp.status, 404, "got: {:?}", resp.text());
+
+    // Known benchmark, never fitted → 404 from the registry.
+    let resp = client
+        .post(
+            "/v1/explore",
+            "{\"program\":\"gzip\",\"objective\":\"cycles\"}",
+        )
+        .unwrap();
+    assert_eq!(resp.status, 404, "got: {:?}", resp.text());
+
+    // Unknown job id → 404 on both poll and cancel.
+    let resp = client.get("/v1/explore/explore-999").unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = client
+        .request("DELETE", "/v1/explore/explore-999", None)
+        .unwrap();
+    assert_eq!(resp.status, 404);
+
+    // No jobs were registered by any of the rejections.
+    let list = client.get("/v1/explore").unwrap().json().unwrap();
+    let ids = list
+        .field("jobs")
+        .and_then(|v| v.as_array().map(<[_]>::to_vec))
+        .unwrap();
+    assert!(ids.is_empty(), "rejected submissions must not leak jobs");
+    server.stop();
+}
+
+#[test]
+fn explore_job_cap_answers_429_and_cancel_stops_a_running_job() {
+    let cfg = ServerConfig {
+        max_explore_jobs: 1,
+        ..ServerConfig::default()
+    };
+    let (server, addr) = start_server(&cfg);
+    let mut client = Client::new(addr);
+    let target = fit_target(&mut client);
+
+    // A long-budget job: 40 rounds would take several seconds, so the
+    // DELETE below lands mid-run.
+    let long = format!(
+        "{{\"program\":\"{target}\",\"objective\":\"cycles\",\
+         \"budget\":{{\"rounds\":40,\"candidates_per_round\":16,\
+         \"sims_per_round\":2,\"archive_cap\":8,\"seed\":7}}}}"
+    );
+    let resp = client.post("/v1/explore", &long).unwrap();
+    assert_eq!(resp.status, 202, "got: {:?}", resp.text());
+    let id = resp
+        .json()
+        .unwrap()
+        .field("id")
+        .and_then(String::from_json)
+        .unwrap();
+
+    // The cap is 1: a second submission is refused with 429.
+    let resp = client.post("/v1/explore", &long).unwrap();
+    assert_eq!(resp.status, 429, "got: {:?}", resp.text());
+
+    // Cancel the running job; it settles as cancelled short of its budget.
+    let resp = client
+        .request("DELETE", &format!("/v1/explore/{id}"), None)
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let settled = poll_until_settled(&mut client, &id);
+    assert_eq!(
+        settled.field("status").and_then(String::from_json).unwrap(),
+        "cancelled"
+    );
+    let rounds_done = settled
+        .field("rounds_done")
+        .and_then(usize::from_json)
+        .unwrap();
+    assert!(rounds_done < 40, "cancel must cut the budget short");
+
+    // The slot is free again.
+    let tiny = format!(
+        "{{\"program\":\"{target}\",\"objective\":\"cycles\",\
+         \"budget\":{{\"rounds\":1,\"candidates_per_round\":8,\
+         \"sims_per_round\":1,\"archive_cap\":4,\"seed\":8}}}}"
+    );
+    let resp = client.post("/v1/explore", &tiny).unwrap();
+    assert_eq!(resp.status, 202, "got: {:?}", resp.text());
+    let id2 = resp
+        .json()
+        .unwrap()
+        .field("id")
+        .and_then(String::from_json)
+        .unwrap();
+    let done = poll_until_settled(&mut client, &id2);
+    assert_eq!(
+        done.field("status").and_then(String::from_json).unwrap(),
+        "done"
+    );
+    server.stop();
+}
+
+#[test]
+fn explore_answers_503_when_the_worker_pool_is_saturated() {
+    // One worker (occupied by this very connection) and a backlog of one:
+    // the first submission fills the queue, the second must be refused —
+    // and must not leak a job slot.
+    let cfg = ServerConfig {
+        workers: 1,
+        backlog: 1,
+        max_explore_jobs: 8,
+        ..ServerConfig::default()
+    };
+    let (server, addr) = start_server(&cfg);
+    let mut client = Client::new(addr);
+    let target = fit_target(&mut client);
+
+    let tiny = format!(
+        "{{\"program\":\"{target}\",\"objective\":\"cycles\",\
+         \"budget\":{{\"rounds\":1,\"candidates_per_round\":8,\
+         \"sims_per_round\":1,\"archive_cap\":4,\"seed\":9}}}}"
+    );
+    let resp = client.post("/v1/explore", &tiny).unwrap();
+    assert_eq!(resp.status, 202, "got: {:?}", resp.text());
+
+    let resp = client.post("/v1/explore", &tiny).unwrap();
+    assert_eq!(resp.status, 503, "got: {:?}", resp.text());
+
+    // Only the accepted job is known; the 503'd one was discarded.
+    let list = client.get("/v1/explore").unwrap().json().unwrap();
+    let ids = list
+        .field("jobs")
+        .and_then(|v| v.as_array().map(<[_]>::to_vec))
+        .unwrap();
+    assert_eq!(ids.len(), 1);
+    server.stop();
+}
+
 #[test]
 fn shutdown_endpoint_drains_the_server() {
     let (server, addr) = start_server(&ServerConfig::default());

@@ -29,6 +29,13 @@ echo "== ARCHDSE_SANITIZE=1 ARCHDSE_BATCH=4 batched suites =="
 ARCHDSE_SANITIZE=1 ARCHDSE_BATCH=4 cargo test -q --offline \
   --test batch_sim --test golden_sim --test differential_oracle
 
+# The explorer's ground-truth simulations must stay sanitizable: force
+# the checker over the frontier/determinism suites (the determinism one
+# also pins byte-identity across thread/batch settings under sanitize).
+echo "== ARCHDSE_SANITIZE=1 explore suites =="
+ARCHDSE_SANITIZE=1 cargo test -q --offline \
+  --test explore_frontier --test explore_determinism
+
 # Observability: the test pass must also hold with spans/metrics forced
 # on (golden_sim pins bit-identity either way), and `train --obs json`
 # must emit span JSONL that `obs report` can parse back. Skip with
@@ -96,6 +103,32 @@ else
   wait "$SERVE_PID"
   SERVE_PID=""
   echo "== serve smoke passed =="
+fi
+
+# Explore smoke: train two-metric artifacts, run a tiny-budget frontier
+# search through the CLI, and validate the written frontier JSON. Skip
+# with DSE_EXPLORE_SKIP=1.
+if [ "${DSE_EXPLORE_SKIP:-0}" = "1" ]; then
+  echo "== explore smoke skipped (DSE_EXPLORE_SKIP=1) =="
+else
+  echo "== explore smoke: train -> explore -> validate frontier JSON =="
+  EXPLORE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$EXPLORE_DIR"' EXIT
+  cargo run --release --offline -q -- train \
+    --out "$EXPLORE_DIR/models" --benchmarks 3 --configs 40 --t 30 \
+    --metrics cycles,energy
+  cargo run --release --offline -q -- explore gzip \
+    --models "$EXPLORE_DIR/models" --objective cycles,energy \
+    --rounds 2 --candidates 24 --sims 3 --archive 8 --r 8 \
+    --out "$EXPLORE_DIR/results"
+  FRONTIER="$EXPLORE_DIR/results/frontier-gzip-cycles-energy.json"
+  [ -s "$FRONTIER" ] || { echo "explore wrote no frontier"; exit 1; }
+  grep -q '"version":1' "$FRONTIER" || { echo "bad frontier version"; exit 1; }
+  grep -q '"points":\[{' "$FRONTIER" || { echo "frontier has no points"; exit 1; }
+  grep -q '"sim_calls":' "$FRONTIER" || { echo "frontier lacks cost accounting"; exit 1; }
+  rm -rf "$EXPLORE_DIR"
+  trap - EXIT
+  echo "== explore smoke passed =="
 fi
 
 echo "tier-1 gate passed"

@@ -22,6 +22,7 @@
 //! | [`sim`] | `dse-sim` | cycle-level out-of-order simulator + Wattch-style energy |
 //! | [`ml`] | `dse-ml` | MLP, linear regression, stats, clustering |
 //! | [`core`] | `dse-core` | the architecture-centric predictor + evaluation harness |
+//! | [`explore`] | `dse-explore` | Pareto-frontier explorer: predictor-guided acquisition |
 //! | [`serve`] | `dse-serve` | HTTP prediction server, model artifact store, client |
 //! | [`obs`] | `dse-obs` | metrics registry, tracing spans, structured logging |
 //!
@@ -45,6 +46,7 @@
 //! and figure of the paper.
 
 pub use dse_core as core;
+pub use dse_explore as explore;
 pub use dse_ml as ml;
 pub use dse_obs as obs;
 pub use dse_rng as rng;

@@ -18,8 +18,11 @@
 //! (caches in KB, predictor/BTB in K-entries), e.g.
 //! `archdse simulate gzip width=8 l2=4096`.
 
+use archdse::explore::{Constraints, ExploreBudget, Explorer, Objective, SimOracle};
 use archdse::prelude::*;
-use archdse::serve::{save_artifacts, Client, ModelRegistry, Server, ServerConfig};
+use archdse::serve::{
+    protocol, save_artifacts, Client, ModelRegistry, RegistryPredictor, Server, ServerConfig,
+};
 use dse_space::raw_space_size;
 use dse_util::json::{FromJson, Json, ToJson};
 
@@ -32,6 +35,10 @@ commands:
                                           run one benchmark on one config
                                           (--profile: stall attribution)
   predict <bench> [r=32]                  leave-one-out prediction demo
+  explore <bench> --models <dir> [--objective cycles,energy] [--constraints \"rob<=96,..\"]
+          [--rounds N] [--candidates N] [--sims N] [--archive N] [--seed N]
+          [--r N] [--out <dir>]           predictor-guided Pareto frontier search;
+                                          writes <out>/frontier-<slug>.json (default results/)
   train --out <dir> [--benchmarks N] [--configs N] [--t N] [--metrics m,..|all]
         [--obs json|pretty|off]           train + persist serving artifacts
                                           (--obs json: span JSONL on stdout;
@@ -53,6 +60,7 @@ fn main() {
         Some("benchmarks") => cmd_benchmarks(),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("obs") => cmd_obs(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -73,12 +81,10 @@ fn main() {
     std::process::exit(code);
 }
 
-/// The simulation protocol shared by `train` and `client fit`: responses
-/// must be simulated the same way the training dataset was, or the fitted
-/// combiner would mix scales.
-const SERVE_TRACE_LEN: usize = 30_000;
-const SERVE_WARMUP: usize = 6_000;
-const SERVE_SEED: u64 = 21;
+// The simulation protocol shared by `train`, `client fit`, `explore`, and
+// the server's explore jobs lives in `dse_serve::protocol`: responses must
+// be simulated the same way the training dataset was, or the fitted
+// combiner would mix scales.
 
 /// Parses `--flag value` pairs. Every flag must be in `allowed`.
 fn parse_flags(
@@ -339,6 +345,191 @@ fn cmd_predict(args: &[String]) -> i32 {
     0
 }
 
+/// `archdse explore <bench> --models <dir> ...`: predictor-guided Pareto
+/// frontier search. The trained registry is the cheap oracle; metrics the
+/// registry has not yet fitted for `<bench>` are fitted here first
+/// (simulating `--r` responses, the paper's §5.3 protocol), then the
+/// explorer spends its simulation budget ground-truthing the predictor's
+/// picks.
+fn cmd_explore(args: &[String]) -> i32 {
+    const EXPLORE_USAGE: &str = "usage: archdse explore <bench> --models <dir> \
+[--objective cycles,energy] [--constraints \"rob<=96,..\"] [--rounds N] [--candidates N] \
+[--sims N] [--archive N] [--seed N] [--r N] [--out <dir>]";
+    let Some(bench) = args.first() else {
+        eprintln!("{EXPLORE_USAGE}");
+        return 2;
+    };
+    let flags = match parse_flags(
+        &args[1..],
+        &[
+            "models",
+            "objective",
+            "constraints",
+            "rounds",
+            "candidates",
+            "sims",
+            "archive",
+            "seed",
+            "r",
+            "out",
+        ],
+    ) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}\n{EXPLORE_USAGE}");
+            return 2;
+        }
+    };
+    let Some(models) = flags.get("models") else {
+        eprintln!("explore needs --models <dir> (create one with `archdse train`)");
+        return 2;
+    };
+    let profile = match find_profile(bench) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let objective = match Objective::parse(
+        flags
+            .get("objective")
+            .map_or("cycles,energy", String::as_str),
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bad --objective: {e}");
+            return 2;
+        }
+    };
+    let constraints = match flags.get("constraints") {
+        Some(s) => match Constraints::parse(s) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("bad --constraints: {e}");
+                return 2;
+            }
+        },
+        None => Constraints::none(),
+    };
+    let mut budget = ExploreBudget::default();
+    let parse_num = |key: &str, default: usize| -> Result<usize, String> {
+        match flags.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} '{v}' is not a number")),
+            None => Ok(default),
+        }
+    };
+    let parsed = (
+        parse_num("rounds", budget.rounds),
+        parse_num("candidates", budget.candidates_per_round),
+        parse_num("sims", budget.sims_per_round),
+        parse_num("archive", budget.archive_cap),
+        parse_num("seed", budget.seed as usize),
+        parse_num("r", 32),
+    );
+    let r = match parsed {
+        (Ok(ro), Ok(c), Ok(s), Ok(a), Ok(seed), Ok(r)) => {
+            budget.rounds = ro;
+            budget.candidates_per_round = c;
+            budget.sims_per_round = s;
+            budget.archive_cap = a;
+            budget.seed = seed as u64;
+            r
+        }
+        (a, b, c, d, e, f) => {
+            for err in [a.err(), b.err(), c.err(), d.err(), e.err(), f.err()]
+                .into_iter()
+                .flatten()
+            {
+                eprintln!("{err}");
+            }
+            return 2;
+        }
+    };
+    if let Err(e) = budget.validate() {
+        eprintln!("bad budget: {e}");
+        return 2;
+    }
+    let registry = match ModelRegistry::open(models) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("failed to load models from '{models}': {e}");
+            return 1;
+        }
+    };
+    let metrics = objective.metrics();
+    let trace = protocol::trace(&profile);
+    let options = protocol::options();
+    // Fit any objective metric the registry has no combiner for yet.
+    for &metric in &metrics {
+        if registry.predictor(bench, metric).is_ok() {
+            continue;
+        }
+        let Some(artifact) = registry.artifact(metric) else {
+            eprintln!("registry has no {metric} model (retrain with --metrics all)");
+            return 1;
+        };
+        let take = r.min(artifact.configs.len());
+        eprintln!("fitting '{bench}' {metric}: simulating {take} responses ...");
+        let responses: Vec<(usize, f64)> = artifact.configs[..take]
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, simulate(c, &trace, options).get(metric)))
+            .collect();
+        if let Err(e) = registry.fit(bench, metric, &responses) {
+            eprintln!("fit failed: {e}");
+            return 1;
+        }
+    }
+    let predictor = match RegistryPredictor::resolve(&registry, bench, &metrics) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let oracle = SimOracle::new(trace, options);
+    let explorer = Explorer {
+        predictor: &predictor,
+        oracle: &oracle,
+        program: bench.clone(),
+        objective,
+        constraints,
+        budget,
+        pool: None,
+    };
+    eprintln!(
+        "exploring '{bench}': {} rounds x {} sims ...",
+        explorer.budget.rounds, explorer.budget.sims_per_round
+    );
+    let frontier = match explorer.run() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("explore failed: {e}");
+            return 1;
+        }
+    };
+    println!("{}", frontier.table());
+    let out_dir = std::path::Path::new(flags.get("out").map_or("results", String::as_str));
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create '{}': {e}", out_dir.display());
+        return 1;
+    }
+    let path = out_dir.join(format!(
+        "frontier-{bench}-{}.json",
+        frontier.objective.slug()
+    ));
+    let text = dse_util::json::to_string(&frontier.to_json());
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!("cannot write '{}': {e}", path.display());
+        return 1;
+    }
+    println!("wrote {}", path.display());
+    0
+}
+
 fn cmd_train(args: &[String]) -> i32 {
     let flags = match parse_flags(
         args,
@@ -419,9 +610,9 @@ fn cmd_train(args: &[String]) -> i32 {
     }
     let spec = DatasetSpec {
         n_configs,
-        trace_len: SERVE_TRACE_LEN,
-        warmup: SERVE_WARMUP,
-        seed: SERVE_SEED,
+        trace_len: protocol::TRACE_LEN,
+        warmup: protocol::WARMUP,
+        seed: protocol::SEED,
     };
     if obs_mode != "off" {
         archdse::obs::set_enabled(true);
@@ -761,8 +952,8 @@ fn client_fit(client: &mut Client, args: &[String]) -> i32 {
             return 1;
         }
     };
-    let trace = TraceGenerator::new(&profile).generate(SERVE_TRACE_LEN);
-    let options = SimOptions::with_warmup(SERVE_WARMUP);
+    let trace = protocol::trace(&profile);
+    let options = protocol::options();
     let mut responses = Vec::with_capacity(entries.len());
     eprintln!("simulating {} responses of '{bench}' ...", entries.len());
     for entry in &entries {
