@@ -36,6 +36,9 @@ pub struct BenchResult {
     pub iqr: Duration,
     /// 95th-percentile iteration time (tail latency).
     pub p95: Duration,
+    /// 99th-percentile iteration time (deep tail; the latency SLO most
+    /// load tests care about).
+    pub p99: Duration,
     /// Fastest iteration.
     pub min: Duration,
     /// Slowest iteration.
@@ -67,6 +70,7 @@ pub fn measure<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> BenchResult
         median: pct(0.5),
         iqr: pct(0.75).saturating_sub(pct(0.25)),
         p95: pct(0.95),
+        p99: pct(0.99),
         min: samples[0],
         max: samples[samples.len() - 1],
         iters,
@@ -164,6 +168,46 @@ impl Report {
         r
     }
 
+    /// Records a row from externally collected per-event latencies — the
+    /// load-harness case, where requests complete concurrently across
+    /// many connections and a single timed closure cannot observe them
+    /// individually. `rate_per_sec` is the measured end-to-end event
+    /// throughput (a latency distribution alone cannot derive it under
+    /// concurrency) and lands in `sims_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn push_samples(&mut self, name: &str, samples: &mut [Duration], rate_per_sec: f64) {
+        assert!(!samples.is_empty(), "need at least one latency sample");
+        samples.sort_unstable();
+        let pct = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+        let r = BenchResult {
+            median: pct(0.5),
+            iqr: pct(0.75).saturating_sub(pct(0.25)),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            min: samples[0],
+            max: samples[samples.len() - 1],
+            iters: samples.len(),
+        };
+        println!(
+            "{name:<40} p50 {:>9}  p95 {:>9}  p99 {:>9}  max {:>9}  ({} reqs, {:.0}/s)",
+            fmt_duration(r.median),
+            fmt_duration(r.p95),
+            fmt_duration(r.p99),
+            fmt_duration(r.max),
+            r.iters,
+            rate_per_sec
+        );
+        self.rows.push(BenchRecord {
+            name: name.to_string(),
+            result: r,
+            sims_per_sec: rate_per_sec,
+            cycles_per_sec: None,
+        });
+    }
+
     /// The recorded rows.
     pub fn rows(&self) -> &[BenchRecord] {
         &self.rows
@@ -182,6 +226,7 @@ impl Report {
                     ("median_ns", (r.median.as_nanos() as u64).to_json()),
                     ("iqr_ns", (r.iqr.as_nanos() as u64).to_json()),
                     ("p95_ns", (r.p95.as_nanos() as u64).to_json()),
+                    ("p99_ns", (r.p99.as_nanos() as u64).to_json()),
                     ("min_ns", (r.min.as_nanos() as u64).to_json()),
                     ("max_ns", (r.max.as_nanos() as u64).to_json()),
                     ("iters", r.iters.to_json()),
@@ -323,6 +368,7 @@ mod tests {
                 median: d,
                 iqr: Duration::ZERO,
                 p95: d,
+                p99: d,
                 min: d,
                 max: d,
                 iters: 3,
@@ -354,6 +400,24 @@ mod tests {
             .regressions(&text, 0.25)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn push_samples_builds_percentiles_and_rate() {
+        let mut rep = Report::new();
+        let mut samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        rep.push_samples("load/x", &mut samples, 1234.0);
+        let rec = &rep.rows()[0];
+        assert_eq!(rec.result.iters, 100);
+        assert_eq!(rec.result.median, Duration::from_micros(51));
+        assert_eq!(rec.result.p95, Duration::from_micros(95));
+        assert_eq!(rec.result.p99, Duration::from_micros(99));
+        assert_eq!(rec.result.min, Duration::from_micros(1));
+        assert_eq!(rec.result.max, Duration::from_micros(100));
+        assert_eq!(rec.sims_per_sec, 1234.0);
+        let j = rep.to_json();
+        let row = &j.field("rows").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(row.field("p99_ns").and_then(Json::as_u64).unwrap(), 99_000);
     }
 
     #[test]

@@ -254,6 +254,43 @@ impl OfflineModel {
         reg.predict(&per_program)
     }
 
+    /// Batched [`OfflineModel::predict_with`]: runs every per-program
+    /// ANN as one matrix–matrix forward over the flat row-major feature
+    /// batch (`features[r * dim + i]`), then applies the combiner per
+    /// row. Each row's arithmetic — per-program forward order, then the
+    /// combiner dot product over programs in ensemble order — matches
+    /// the scalar path exactly, so results are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths disagree with `n_rows` or `reg` was
+    /// fitted on a different number of programs.
+    pub fn predict_with_batch_into(
+        &self,
+        reg: &LinearRegression,
+        features: &[f64],
+        n_rows: usize,
+        out: &mut [f64],
+    ) {
+        assert!(out.len() >= n_rows, "output buffer too short");
+        if n_rows == 0 {
+            return;
+        }
+        let n_models = self.models.len();
+        // One column of per-program predictions per ANN.
+        let mut cols = vec![0.0; n_models * n_rows];
+        for (k, m) in self.models.iter().enumerate() {
+            m.predict_batch_into(features, n_rows, &mut cols[k * n_rows..(k + 1) * n_rows]);
+        }
+        let mut per_program = vec![0.0; n_models];
+        for (r, o) in out.iter_mut().take(n_rows).enumerate() {
+            for (k, p) in per_program.iter_mut().enumerate() {
+                *p = cols[k * n_rows + r];
+            }
+            *o = reg.predict(&per_program);
+        }
+    }
+
     /// Training error proxy: fits the responses and reports the rmae of
     /// the fitted model on the responses themselves (the paper uses this
     /// to flag programs unlike anything in the training set, §7.2).
@@ -322,9 +359,22 @@ impl ArchCentricPredictor {
         self.offline.predict_with(&self.reg, features)
     }
 
-    /// Predicts a batch.
+    /// Predicts a batch through the batched matrix–matrix forward
+    /// (bit-identical to per-row [`ArchCentricPredictor::predict`]).
     pub fn predict_batch(&self, features: &[Vec<f64>]) -> Vec<f64> {
-        features.iter().map(|f| self.predict(f)).collect()
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let dim = features[0].len();
+        let mut flat = Vec::with_capacity(features.len() * dim);
+        for f in features {
+            assert_eq!(f.len(), dim, "rows must have equal length");
+            flat.extend_from_slice(f);
+        }
+        let mut out = vec![0.0; features.len()];
+        self.offline
+            .predict_with_batch_into(&self.reg, &flat, features.len(), &mut out);
+        out
     }
 
     /// The fitted per-program combination weights (β₁…β_N).

@@ -39,6 +39,24 @@ use std::fmt;
 pub trait MetricPredictor: Sync {
     /// Predicted value of `metric` at `cfg`.
     fn predict(&self, cfg: &Config, metric: Metric) -> f64;
+
+    /// Predicted values of `metric` at every config in `cfgs`, written
+    /// to `out[..cfgs.len()]` in input order.
+    ///
+    /// Implementations backed by a batched forward pass override this;
+    /// results must stay bit-identical to per-config
+    /// [`MetricPredictor::predict`] — the explorer's determinism pin
+    /// (frontier JSON byte-identity across thread counts) depends on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `cfgs`.
+    fn predict_batch(&self, cfgs: &[Config], metric: Metric, out: &mut [f64]) {
+        assert!(out.len() >= cfgs.len(), "output buffer too short");
+        for (o, cfg) in out.iter_mut().zip(cfgs) {
+            *o = self.predict(cfg, metric);
+        }
+    }
 }
 
 /// The expensive oracle: ground-truth simulation of a batch.
@@ -257,6 +275,11 @@ pub enum Command {
     Cancel,
 }
 
+/// Candidates scored per batched-forward chunk. Fixed (never derived
+/// from the thread count) so chunking — and therefore every floating-
+/// point result — is identical across `ARCHDSE_THREADS` settings.
+const SCORE_CHUNK: usize = 64;
+
 /// A configured explorer run (see the module docs for the loop).
 pub struct Explorer<'a> {
     /// The cheap oracle guiding acquisition.
@@ -322,17 +345,36 @@ impl Explorer<'_> {
                 break; // pool exhausted (or constraints left nothing)
             }
 
-            // Score every candidate with the cheap oracle; order-preserving
-            // fan-out keeps the scored list aligned with `candidates`.
+            // Score the candidate pool through the batched forward in
+            // fixed-size chunks: chunk boundaries depend only on the
+            // candidate count (never the thread count) and `par_map` is
+            // order-preserving, so the scored list is aligned with
+            // `candidates` and byte-identical across ARCHDSE_THREADS.
             let needed = &metrics_needed;
             let predictor = self.predictor;
-            let scored: Vec<Vec<f64>> = par_map(&candidates, |cfg| {
-                let mut by_metric = [0.0f64; 4];
+            let chunks: Vec<(usize, usize)> = (0..candidates.len())
+                .step_by(SCORE_CHUNK)
+                .map(|s| (s, (s + SCORE_CHUNK).min(candidates.len())))
+                .collect();
+            let scored_chunks: Vec<Vec<Vec<f64>>> = par_map(&chunks, |&(s, e)| {
+                let cfgs = &candidates[s..e];
+                let mut cols: [Vec<f64>; 4] = Default::default();
                 for &m in needed {
-                    by_metric[m as usize] = predictor.predict(cfg, m);
+                    let col = &mut cols[m as usize];
+                    col.resize(cfgs.len(), 0.0);
+                    predictor.predict_batch(cfgs, m, col);
                 }
-                self.objective.eval_predicted(&by_metric)
+                (0..cfgs.len())
+                    .map(|r| {
+                        let mut by_metric = [0.0f64; 4];
+                        for &m in needed {
+                            by_metric[m as usize] = cols[m as usize][r];
+                        }
+                        self.objective.eval_predicted(&by_metric)
+                    })
+                    .collect()
             });
+            let scored: Vec<Vec<f64>> = scored_chunks.into_iter().flatten().collect();
             predictor_calls += (candidates.len() * metrics_needed.len()) as u64;
             dse_obs::counter("explore_candidates_scored").add(candidates.len() as u64);
 

@@ -219,9 +219,90 @@ impl Mlp {
     }
 
     /// Predicts a batch of rows.
+    ///
+    /// Convenience shim over [`Mlp::predict_batch_into`]: flattens the
+    /// rows into one contiguous buffer and runs the blocked forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row does not match the training dimensionality.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let d = self.input_dim;
+        let mut flat = Vec::with_capacity(xs.len() * d);
+        for x in xs {
+            assert_eq!(x.len(), d, "input dimension mismatch");
+            flat.extend_from_slice(x);
+        }
+        let mut out = vec![0.0; xs.len()];
+        self.predict_batch_into(&flat, xs.len(), &mut out);
+        out
     }
+
+    /// True matrix–matrix forward over a flat row-major batch:
+    /// `xs[r * input_dim + i]` is feature `i` of row `r`, and the `r`-th
+    /// prediction lands in `out[r]`.
+    ///
+    /// Rows are processed in blocks of [`Self::ROW_BLOCK`] with the
+    /// standardised inputs transposed per block (`xn_t[i * B + r]`), so
+    /// the hot inner loop is a fixed-width independent-accumulator sweep
+    /// across the block — autovectorization-friendly — while each row's
+    /// own accumulation order is exactly the scalar [`Mlp::predict`]
+    /// order (`b1[j]` then features in `i`-order; output from `b2` in
+    /// `j`-order). Batched results are therefore bit-identical to the
+    /// scalar path, which the serving layer's end-to-end identity tests
+    /// rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != n_rows * input_dim` or `out` is shorter
+    /// than `n_rows`.
+    pub fn predict_batch_into(&self, xs: &[f64], n_rows: usize, out: &mut [f64]) {
+        let d = self.input_dim;
+        assert_eq!(xs.len(), n_rows * d, "batch buffer length mismatch");
+        assert!(out.len() >= n_rows, "output buffer too short");
+        const B: usize = Mlp::ROW_BLOCK;
+        let mut row = vec![0.0; d];
+        let mut xn_t = vec![0.0; d * B];
+        let mut base = 0;
+        while base < n_rows {
+            let rows = (n_rows - base).min(B);
+            if rows < B {
+                // Tail block: zero the unused lanes so the full-width
+                // arithmetic below never touches stale values.
+                xn_t.iter_mut().for_each(|v| *v = 0.0);
+            }
+            for r in 0..rows {
+                let x = &xs[(base + r) * d..(base + r + 1) * d];
+                self.x_scale.transform_into(x, &mut row);
+                for i in 0..d {
+                    xn_t[i * B + r] = row[i];
+                }
+            }
+            let mut oacc = [self.b2; B];
+            for j in 0..self.hidden {
+                let w1row = &self.w1[j * d..(j + 1) * d];
+                let mut acc = [self.b1[j]; B];
+                for i in 0..d {
+                    let w = w1row[i];
+                    let col = &xn_t[i * B..i * B + B];
+                    for r in 0..B {
+                        acc[r] += w * col[r];
+                    }
+                }
+                let w2j = self.w2[j];
+                for r in 0..rows {
+                    oacc[r] += w2j * acc[r].tanh();
+                }
+            }
+            for r in 0..rows {
+                out[base + r] = oacc[r] * self.y_std + self.y_mean;
+            }
+            base += rows;
+        }
+    }
+
+    /// Rows per block in the batched forward (`predict_batch_into`).
+    pub const ROW_BLOCK: usize = 8;
 
     /// Hidden-layer width.
     pub fn hidden(&self) -> usize {

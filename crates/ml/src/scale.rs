@@ -58,11 +58,29 @@ impl Standardizer {
     ///
     /// Panics if `row` has the wrong length.
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; row.len()];
+        self.transform_into(row, &mut out);
+        out
+    }
+
+    /// Standardises one row into a caller-provided buffer — the
+    /// allocation-free path used by the batched MLP forward. The
+    /// arithmetic is the transform the scalar path uses, element for
+    /// element, so batched and scalar inference see bit-identical
+    /// standardised inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `out` has the wrong length.
+    pub fn transform_into(&self, row: &[f64], out: &mut [f64]) {
         assert_eq!(row.len(), self.dim(), "row length mismatch");
-        row.iter()
-            .zip(self.means.iter().zip(&self.stds))
-            .map(|(x, (m, s))| if *s > 0.0 { (x - m) / s } else { 0.0 })
-            .collect()
+        assert_eq!(out.len(), self.dim(), "output length mismatch");
+        for (o, (x, (m, s))) in out
+            .iter_mut()
+            .zip(row.iter().zip(self.means.iter().zip(&self.stds)))
+        {
+            *o = if *s > 0.0 { (x - m) / s } else { 0.0 };
+        }
     }
 
     /// Inverts the transform for one dimension.

@@ -92,47 +92,54 @@ fn classify_io(e: io::Error) -> ReadError {
     }
 }
 
-/// Reads and parses one request from `stream`.
+/// Outcome of one incremental parse attempt over a byte buffer.
+#[derive(Debug)]
+pub enum Parsed {
+    /// A complete request; the first `consumed` buffer bytes belong to it
+    /// (the rest is the next pipelined request's prefix).
+    Complete {
+        /// The parsed request.
+        req: Request,
+        /// Bytes of the buffer consumed by this request (head + body).
+        consumed: usize,
+    },
+    /// The buffer does not yet hold a complete request; read more bytes
+    /// and try again.
+    Partial,
+}
+
+/// Attempts to parse one request from the front of `buf` without
+/// consuming it.
 ///
-/// `carry` holds bytes read past the previous request on the same
-/// connection (keep-alive pipelining); leftover bytes after this request's
-/// body are pushed back into it.
+/// This is the single parser behind both front ends: the blocking
+/// [`read_request`] loops `read` + `try_parse`, and the nonblocking
+/// event loop calls it on each connection's input buffer as bytes
+/// arrive — so the two cannot diverge in what they accept or reject.
 ///
 /// # Errors
 ///
-/// See [`ReadError`]. On any error the connection should be closed (after
-/// writing the matching status for the `BadRequest` / `BodyTooLarge` /
-/// `HeadTooLarge` cases).
-pub fn read_request(
-    stream: &mut impl Read,
-    carry: &mut Vec<u8>,
-    max_body: usize,
-) -> Result<Request, ReadError> {
-    let mut buf = std::mem::take(carry);
-    let mut chunk = [0u8; 4096];
-
-    // Accumulate until the blank line ending the head.
-    let head_end = loop {
-        if let Some(pos) = find_subslice(&buf, b"\r\n\r\n") {
+/// The same classifications as [`read_request`]: a syntactically invalid
+/// head is [`ReadError::BadRequest`], a declared body beyond `max_body`
+/// is [`ReadError::BodyTooLarge`] (detected from the header alone,
+/// before the body arrives), and a head growing past [`MAX_HEAD_BYTES`]
+/// is [`ReadError::HeadTooLarge`].
+pub fn try_parse(buf: &[u8], max_body: usize) -> Result<Parsed, ReadError> {
+    // Locate the blank line ending the head.
+    let head_end = match find_subslice(buf, b"\r\n\r\n") {
+        Some(pos) => {
             if pos > MAX_HEAD_BYTES {
                 return Err(ReadError::HeadTooLarge);
             }
-            break pos;
+            pos
         }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(ReadError::HeadTooLarge);
-        }
-        let n = stream.read(&mut chunk).map_err(classify_io)?;
-        if n == 0 {
-            if buf.is_empty() {
-                return Err(ReadError::Closed);
+        None => {
+            if buf.len() > MAX_HEAD_BYTES {
+                return Err(ReadError::HeadTooLarge);
             }
-            return Err(ReadError::BadRequest("truncated request head".into()));
+            return Ok(Parsed::Partial);
         }
-        buf.extend_from_slice(&chunk[..n]);
     };
 
-    // Parse the head into owned values so `buf` can be consumed below.
     let (method, target, headers, version_11) = {
         let head = std::str::from_utf8(&buf[..head_end])
             .map_err(|_| ReadError::BadRequest("head is not valid UTF-8".into()))?;
@@ -189,39 +196,76 @@ pub fn read_request(
         return Err(ReadError::BodyTooLarge(content_length));
     }
 
-    // Consume the body: whatever is already buffered, then the remainder
-    // from the socket.
     let body_start = head_end + 4;
-    let mut body = Vec::with_capacity(content_length);
-    let buffered = (buf.len() - body_start).min(content_length);
-    body.extend_from_slice(&buf[body_start..body_start + buffered]);
-    // Push back bytes belonging to the next pipelined request.
-    *carry = buf.split_off(body_start + buffered);
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(classify_io)?;
-        if n == 0 {
-            return Err(ReadError::BadRequest("truncated request body".into()));
-        }
-        let want = content_length - body.len();
-        body.extend_from_slice(&chunk[..n.min(want)]);
-        if n > want {
-            carry.extend_from_slice(&chunk[want..n]);
-        }
+    if buf.len() < body_start + content_length {
+        return Ok(Parsed::Partial);
     }
+    let body = buf[body_start..body_start + content_length].to_vec();
 
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), Some(q.to_string())),
         None => (target.to_string(), None),
     };
 
-    Ok(Request {
-        method,
-        path,
-        query,
-        headers,
-        body,
-        keep_alive,
+    Ok(Parsed::Complete {
+        req: Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+            keep_alive,
+        },
+        consumed: body_start + content_length,
     })
+}
+
+/// Whether `buf` holds a complete request head (the `\r\n\r\n`
+/// terminator) — used to phrase truncation errors precisely.
+pub(crate) fn head_complete(buf: &[u8]) -> bool {
+    find_subslice(buf, b"\r\n\r\n").is_some()
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// `carry` holds bytes read past the previous request on the same
+/// connection (keep-alive pipelining); leftover bytes after this request's
+/// body are pushed back into it. Implemented as a blocking `read` loop
+/// over [`try_parse`], so the blocking and event-loop front ends share
+/// one set of parsing semantics.
+///
+/// # Errors
+///
+/// See [`ReadError`]. On any error the connection should be closed (after
+/// writing the matching status for the `BadRequest` / `BodyTooLarge` /
+/// `HeadTooLarge` cases).
+pub fn read_request(
+    stream: &mut impl Read,
+    carry: &mut Vec<u8>,
+    max_body: usize,
+) -> Result<Request, ReadError> {
+    let mut buf = std::mem::take(carry);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match try_parse(&buf, max_body)? {
+            Parsed::Complete { req, consumed } => {
+                // Push back bytes belonging to the next pipelined request.
+                *carry = buf.split_off(consumed);
+                return Ok(req);
+            }
+            Parsed::Partial => {
+                let n = stream.read(&mut chunk).map_err(classify_io)?;
+                if n == 0 {
+                    if buf.is_empty() {
+                        return Err(ReadError::Closed);
+                    }
+                    let what = if head_complete(&buf) { "body" } else { "head" };
+                    return Err(ReadError::BadRequest(format!("truncated request {what}")));
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
 }
 
 fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {

@@ -91,6 +91,25 @@ impl MetricPredictor for RegistryPredictor {
             None => f64::NAN,
         }
     }
+
+    fn predict_batch(&self, cfgs: &[Config], metric: Metric, out: &mut [f64]) {
+        assert!(out.len() >= cfgs.len(), "output buffer too short");
+        let Some((_, artifact, reg)) = self.models.iter().find(|(m, _, _)| *m == metric) else {
+            out[..cfgs.len()].fill(f64::NAN);
+            return;
+        };
+        if cfgs.is_empty() {
+            return;
+        }
+        let dim = cfgs[0].to_features().len();
+        let mut flat = Vec::with_capacity(cfgs.len() * dim);
+        for cfg in cfgs {
+            flat.extend_from_slice(&cfg.to_features());
+        }
+        artifact
+            .offline
+            .predict_with_batch_into(reg, &flat, cfgs.len(), out);
+    }
 }
 
 /// Lifecycle of an explore job.

@@ -12,8 +12,10 @@
 //!   per-metric artifacts (ANNs + shared sample + design table), hot
 //!   reload, online fitting ([`dse_core::fit_combiner`]);
 //! * [`http`] — a hand-rolled HTTP/1.1 subset on `std::net` (no TLS, no
-//!   chunking): Content-Length framing, keep-alive, strict size caps;
-//! * [`server`] — acceptor + fixed worker pool, routing, graceful
+//!   chunking): Content-Length framing, keep-alive, strict size caps,
+//!   with an incremental [`http::try_parse`] shared by both front ends;
+//! * [`server`] — nonblocking reactor front end (raw `epoll`/`poll`, see
+//!   `eventloop`) + fixed worker pool, routing, graceful
 //!   drain-on-shutdown;
 //! * [`cache`] — a sharded LRU over `(program, metric, config)` keys;
 //! * [`telemetry`] — request counters and latency percentiles for
@@ -47,6 +49,7 @@
 
 pub mod cache;
 pub mod client;
+mod eventloop;
 pub mod http;
 pub mod jobs;
 pub mod registry;

@@ -1,20 +1,24 @@
-//! The prediction server: accept loop, worker pool, routing, handlers.
+//! The prediction server: event-loop front end, worker pool, routing,
+//! handlers.
 //!
-//! One acceptor thread hands each connection to a fixed
-//! [`WorkerPool`](dse_util::WorkerPool); a worker owns the connection for
-//! its whole keep-alive lifetime, so `workers` bounds concurrent
-//! connections and the pool's queue depth bounds the accept backlog —
-//! when both are full the acceptor sheds load with `503` instead of
-//! queueing unboundedly.
+//! The front end is a small set of nonblocking reactor threads (see
+//! [`crate::eventloop`]): reactors own sockets and incremental parsing,
+//! and hand each connection's complete requests to a *session* job on a
+//! fixed [`WorkerPool`](dse_util::WorkerPool). A session occupies its
+//! worker for the connection's whole keep-alive lifetime, so `workers`
+//! bounds concurrently served connections and the pool's queue depth
+//! bounds the session backlog — when both are full the reactor sheds
+//! load with `503` instead of queueing unboundedly, exactly as the old
+//! thread-per-connection acceptor did.
 //!
-//! Shutdown is graceful: [`Server::shutdown`] raises a flag and wakes the
-//! acceptor with a loopback connection; workers notice the flag after
-//! finishing (at latest, after their read timeout), answer the in-flight
-//! request with `Connection: close`, and drain. [`Server::wait`] joins
-//! everything.
+//! Shutdown is graceful: [`Server::shutdown`] raises a flag and wakes
+//! every reactor through its self-pipe; reactors stop accepting, close
+//! idle connections, let in-flight requests finish with
+//! `Connection: close`, and drain. [`Server::wait`] joins everything.
 
 use crate::cache::{CacheKey, PredictionCache};
-use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::eventloop::{Reactor, ReactorShared};
+use crate::http::{Request, Response};
 use crate::jobs::{protocol, JobManager, RegistryPredictor, SubmitRejected};
 use crate::registry::{ModelRegistry, RegistryError};
 use crate::telemetry::Telemetry;
@@ -22,13 +26,12 @@ use dse_explore::{Command, Constraints, ExploreBudget, Explorer, Objective, SimO
 use dse_sim::Metric;
 use dse_space::Config;
 use dse_util::json::{FromJson, Json, ToJson};
-use dse_util::par::par_map;
 use dse_util::WorkerPool;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -54,6 +57,10 @@ pub struct ServerConfig {
     /// 429 beyond it). Keep this below `workers`: a running job occupies
     /// a worker, and polling needs at least one free.
     pub max_explore_jobs: usize,
+    /// Reactor (event-loop) threads. Reactor 0 also owns the listener;
+    /// connections round-robin across all of them. More than a few is
+    /// pointless — reactors only shuffle bytes, workers do the thinking.
+    pub reactors: usize,
 }
 
 impl Default for ServerConfig {
@@ -68,39 +75,54 @@ impl Default for ServerConfig {
             cache_shards: 8,
             cache_capacity: 4096,
             max_explore_jobs: 2,
+            reactors: 2,
         }
     }
 }
 
-/// Shared server state: everything a connection handler needs.
-struct State {
-    registry: Arc<ModelRegistry>,
-    cache: PredictionCache,
-    telemetry: Telemetry,
-    jobs: JobManager,
-    /// The server's own worker pool; explore jobs are scheduled onto it
-    /// so one knob bounds all concurrency.
-    pool: Arc<WorkerPool>,
-    shutdown: AtomicBool,
-    addr: SocketAddr,
-    max_body: usize,
+/// Shared server state: everything a request handler needs.
+pub(crate) struct State {
+    pub(crate) registry: Arc<ModelRegistry>,
+    pub(crate) cache: PredictionCache,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) jobs: JobManager,
+    /// The server's own worker pool; sessions and explore jobs are
+    /// scheduled onto it so one knob bounds all concurrency.
+    pub(crate) pool: Arc<WorkerPool>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) addr: SocketAddr,
+    pub(crate) max_body: usize,
+    /// Wake handles for the reactor threads, set once at startup; used
+    /// by shutdown (both the method and `POST /v1/shutdown`).
+    pub(crate) reactors: OnceLock<Vec<Arc<ReactorShared>>>,
+}
+
+impl State {
+    /// Wakes every reactor so it observes the shutdown flag.
+    pub(crate) fn wake_reactors(&self) {
+        if let Some(shareds) = self.reactors.get() {
+            for shared in shareds {
+                shared.wake();
+            }
+        }
+    }
 }
 
 /// A running prediction server.
 pub struct Server {
     state: Arc<State>,
     pool: Arc<WorkerPool>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    reactors: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, spawns the worker pool and acceptor, and returns
+    /// Binds, spawns the worker pool and reactor threads, and returns
     /// immediately; the server runs until [`Server::shutdown`] (or a
     /// `POST /v1/shutdown`).
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind failures and reactor setup failures.
     pub fn start(registry: Arc<ModelRegistry>, cfg: &ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
@@ -114,20 +136,38 @@ impl Server {
             shutdown: AtomicBool::new(false),
             addr,
             max_body: cfg.max_body,
+            reactors: OnceLock::new(),
         });
-        let acceptor = {
-            let state = state.clone();
-            let pool = pool.clone();
-            let read_timeout = cfg.read_timeout;
-            let write_timeout = cfg.write_timeout;
-            std::thread::Builder::new()
-                .name("dse-serve-accept".to_string())
-                .spawn(move || accept_loop(listener, state, pool, read_timeout, write_timeout))?
-        };
+        let n_reactors = cfg.reactors.max(1);
+        let mut shareds = Vec::with_capacity(n_reactors);
+        for _ in 0..n_reactors {
+            shareds.push(ReactorShared::new()?);
+        }
+        let _ = state.reactors.set(shareds.clone());
+        let next_rr = Arc::new(AtomicUsize::new(0));
+        let mut listener = Some(listener);
+        let mut handles = Vec::with_capacity(n_reactors);
+        for idx in 0..n_reactors {
+            let reactor = Reactor::new(
+                idx,
+                state.clone(),
+                shareds[idx].clone(),
+                shareds.clone(),
+                next_rr.clone(),
+                if idx == 0 { listener.take() } else { None },
+                cfg.read_timeout,
+                cfg.write_timeout,
+            );
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("dse-serve-reactor-{idx}"))
+                    .spawn(move || reactor.run())?,
+            );
+        }
         Ok(Self {
             state,
             pool,
-            acceptor: Some(acceptor),
+            reactors: handles,
         })
     }
 
@@ -146,18 +186,16 @@ impl Server {
         &self.state.cache
     }
 
-    /// Signals shutdown and wakes the acceptor; returns without waiting.
+    /// Signals shutdown and wakes every reactor; returns without waiting.
     pub fn shutdown(&self) {
         if !self.state.shutdown.swap(true, Ordering::SeqCst) {
-            // The acceptor may be parked in accept(); a loopback connection
-            // unblocks it so it can observe the flag.
-            let _ = TcpStream::connect(self.state.addr);
+            self.state.wake_reactors();
         }
     }
 
-    /// Blocks until the acceptor has exited and every worker has drained,
-    /// then joins them. Call [`Server::shutdown`] (or hit
-    /// `POST /v1/shutdown`) to make this return.
+    /// Blocks until every reactor has drained its connections and every
+    /// worker has exited, then joins them. Call [`Server::shutdown`] (or
+    /// hit `POST /v1/shutdown`) to make this return.
     pub fn wait(mut self) {
         self.join();
     }
@@ -169,10 +207,16 @@ impl Server {
     }
 
     fn join(&mut self) {
-        if let Some(handle) = self.acceptor.take() {
-            let _ = handle.join();
-            self.pool.shutdown();
+        if self.reactors.is_empty() {
+            return;
         }
+        // Reactors first: draining tears down every connection, which
+        // drops the session Senders and releases the workers blocked in
+        // `recv` — only then can the pool join cleanly.
+        for handle in self.reactors.drain(..) {
+            let _ = handle.join();
+        }
+        self.pool.shutdown();
     }
 }
 
@@ -183,114 +227,9 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    state: Arc<State>,
-    pool: Arc<WorkerPool>,
-    read_timeout: Duration,
-    write_timeout: Duration,
-) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if state.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                continue;
-            }
-        };
-        if state.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let _ = stream.set_read_timeout(Some(read_timeout));
-        let _ = stream.set_write_timeout(Some(write_timeout));
-        // Responses must not sit in the kernel waiting for a Nagle ACK.
-        let _ = stream.set_nodelay(true);
-        // The job consumes the stream; keep a clone so a rejected job can
-        // still be answered with 503 before both handles drop.
-        let shed_handle = stream.try_clone().ok();
-        let conn_state = state.clone();
-        let job = Box::new(move || handle_connection(conn_state, stream));
-        if pool.try_execute(job).is_err() {
-            state.telemetry.record("shed", 503, 0);
-            if let Some(mut stream) = shed_handle {
-                let _ = write_response(
-                    &mut stream,
-                    &Response {
-                        close: true,
-                        ..Response::error(503, "server overloaded, retry later")
-                    },
-                );
-            }
-        }
-    }
-}
-
-fn handle_connection(state: Arc<State>, mut stream: TcpStream) {
-    let mut carry = Vec::new();
-    loop {
-        let draining = state.shutdown.load(Ordering::SeqCst);
-        let req = match read_request(&mut stream, &mut carry, state.max_body) {
-            Ok(req) => req,
-            Err(ReadError::Closed) => return,
-            Err(ReadError::Timeout) => {
-                if !draining {
-                    let resp = Response {
-                        close: true,
-                        ..Response::error(408, "timed out waiting for a request")
-                    };
-                    let _ = write_response(&mut stream, &resp);
-                }
-                return;
-            }
-            Err(ReadError::BadRequest(m)) => {
-                let resp = Response {
-                    close: true,
-                    ..Response::error(400, &m)
-                };
-                state.telemetry.record("malformed", 400, 0);
-                let _ = write_response(&mut stream, &resp);
-                return;
-            }
-            Err(ReadError::BodyTooLarge(n)) => {
-                let resp = Response {
-                    close: true,
-                    ..Response::error(413, &format!("body of {n} bytes exceeds the cap"))
-                };
-                state.telemetry.record("malformed", 413, 0);
-                let _ = write_response(&mut stream, &resp);
-                return;
-            }
-            Err(ReadError::HeadTooLarge) => {
-                let resp = Response {
-                    close: true,
-                    ..Response::error(431, "request head too large")
-                };
-                state.telemetry.record("malformed", 431, 0);
-                let _ = write_response(&mut stream, &resp);
-                return;
-            }
-            Err(ReadError::Io(_)) => return,
-        };
-
-        let started = Instant::now();
-        let (label, mut resp) = route(&state, &req);
-        state
-            .telemetry
-            .record(label, resp.status, started.elapsed().as_micros() as u64);
-        let draining = state.shutdown.load(Ordering::SeqCst);
-        if !req.keep_alive || draining {
-            resp.close = true;
-        }
-        if write_response(&mut stream, &resp).is_err() || resp.close {
-            return;
-        }
-    }
-}
-
 /// Dispatches one request; returns the telemetry label and the response.
-fn route(state: &Arc<State>, req: &Request) -> (&'static str, Response) {
+/// Called from session workers (see [`crate::eventloop`]).
+pub(crate) fn route(state: &Arc<State>, req: &Request) -> (&'static str, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => ("/healthz", healthz(state)),
         ("GET", "/metrics") => ("/metrics", metrics(state)),
@@ -508,7 +447,8 @@ fn predict_batch(state: &State, req: &Request) -> Response {
         Ok(p) => p,
         Err(e) => return registry_error(&e),
     };
-    // Serve cache hits first, then fan the misses out across threads.
+    // Serve cache hits first, then push all misses through one batched
+    // matrix-matrix forward (bit-identical per row to the scalar path).
     let keys: Vec<CacheKey> = configs
         .iter()
         .map(|c| cache_key(&program, metric, c))
@@ -517,14 +457,19 @@ fn predict_batch(state: &State, req: &Request) -> Response {
     let missing: Vec<usize> = (0..configs.len())
         .filter(|&i| values[i].is_none())
         .collect();
-    let computed = par_map(&missing, |&i| {
+    if !missing.is_empty() {
+        let mut flat = Vec::new();
+        for &i in &missing {
+            flat.extend_from_slice(&configs[i].to_features());
+        }
+        let mut computed = vec![0.0; missing.len()];
         artifact
             .offline
-            .predict_with(&reg, &configs[i].to_features())
-    });
-    for (&i, &v) in missing.iter().zip(computed.iter()) {
-        state.cache.insert(keys[i].clone(), v);
-        values[i] = Some(v);
+            .predict_with_batch_into(&reg, &flat, missing.len(), &mut computed);
+        for (&i, &v) in missing.iter().zip(computed.iter()) {
+            state.cache.insert(keys[i].clone(), v);
+            values[i] = Some(v);
+        }
     }
     let out = Json::obj([
         ("program", program.to_json()),
@@ -727,8 +672,8 @@ fn explore_cancel(state: &State, id: &str) -> Response {
 
 fn shutdown_route(state: &State) -> Response {
     if !state.shutdown.swap(true, Ordering::SeqCst) {
-        // Wake the acceptor so it observes the flag (see Server::shutdown).
-        let _ = TcpStream::connect(state.addr);
+        // Wake the reactors so they observe the flag (see Server::shutdown).
+        state.wake_reactors();
     }
     Response {
         close: true,

@@ -1,0 +1,332 @@
+//! Event-loop front-end tests: the failure modes a nonblocking reactor
+//! must absorb that a thread-per-connection server never sees — slow
+//! clients dribbling bytes, half-sent requests, oversized heads arriving
+//! in pieces, pipelined bursts, and responses larger than the socket
+//! buffer flushed to a reader that is in no hurry.
+
+use dse_core::dataset::{DatasetSpec, SuiteDataset};
+use dse_ml::MlpConfig;
+use dse_serve::client::Client;
+use dse_serve::registry::{save_artifacts, ModelRegistry};
+use dse_serve::server::{Server, ServerConfig};
+use dse_sim::Metric;
+use dse_util::json::{FromJson, Json, ToJson};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+const N_CONFIGS: usize = 40;
+const T: usize = 30;
+const SEED: u64 = 17;
+
+struct Setup {
+    dir: PathBuf,
+    ds5: SuiteDataset,
+}
+
+fn setup() -> &'static Setup {
+    static SETUP: OnceLock<Setup> = OnceLock::new();
+    SETUP.get_or_init(|| {
+        let profiles: Vec<_> = dse_workload::suites::spec2000()
+            .into_iter()
+            .take(5)
+            .collect();
+        let spec = DatasetSpec {
+            n_configs: N_CONFIGS,
+            ..DatasetSpec::tiny()
+        };
+        let ds5 = SuiteDataset::generate(&profiles, &spec);
+        let ds4 = SuiteDataset {
+            spec: ds5.spec,
+            configs: ds5.configs.clone(),
+            benchmarks: ds5.benchmarks[..4].to_vec(),
+        };
+        let dir = std::env::temp_dir().join(format!("dse-serve-evl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        save_artifacts(
+            &dir,
+            &ds4,
+            &[Metric::Cycles, Metric::Energy],
+            T,
+            &MlpConfig::default(),
+            SEED,
+        )
+        .unwrap();
+        Setup { dir, ds5 }
+    })
+}
+
+fn start_server(cfg: &ServerConfig) -> (Server, String) {
+    let registry = Arc::new(ModelRegistry::open(&setup().dir).unwrap());
+    let server = Server::start(registry, cfg).unwrap();
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+}
+
+/// A slow-loris client parks in a reactor buffer, not on a worker: with a
+/// single worker the server keeps serving others, and the loris itself is
+/// eventually cut off with `408`.
+#[test]
+fn slow_loris_neither_starves_workers_nor_lives_forever() {
+    let cfg = ServerConfig {
+        workers: 1,
+        backlog: 4,
+        read_timeout: Duration::from_millis(600),
+        ..ServerConfig::default()
+    };
+    let (server, addr) = start_server(&cfg);
+
+    let mut loris = connect(&addr);
+    loris.write_all(b"GET /healthz HTT").unwrap();
+
+    // The loris has not produced a complete request, so it holds no
+    // worker; a well-behaved client gets served immediately.
+    let mut ok = connect(&addr);
+    ok.write_all(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    let mut resp = Vec::new();
+    ok.read_to_end(&mut resp).unwrap();
+    let resp = String::from_utf8_lossy(&resp);
+    assert!(resp.starts_with("HTTP/1.1 200 "), "got: {resp}");
+
+    // Dribbling a byte resets the idle clock once...
+    std::thread::sleep(Duration::from_millis(300));
+    loris.write_all(b"P").unwrap();
+    // ...but silence past the read timeout gets the loris 408 and closed.
+    let mut out = Vec::new();
+    loris.read_to_end(&mut out).unwrap();
+    let out = String::from_utf8_lossy(&out);
+    assert!(out.starts_with("HTTP/1.1 408 "), "got: {out}");
+    server.stop();
+}
+
+#[test]
+fn truncated_head_and_truncated_body_get_400() {
+    let (server, addr) = start_server(&ServerConfig::default());
+
+    let mut stream = connect(&addr);
+    stream.write_all(b"GET /healthz HT").unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).unwrap();
+    let out = String::from_utf8_lossy(&out);
+    assert!(out.starts_with("HTTP/1.1 400 "), "got: {out}");
+    assert!(out.contains("truncated request head"), "got: {out}");
+
+    let mut stream = connect(&addr);
+    stream
+        .write_all(b"POST /v1/predict HTTP/1.1\r\ncontent-length: 64\r\n\r\n{\"par")
+        .unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).unwrap();
+    let out = String::from_utf8_lossy(&out);
+    assert!(out.starts_with("HTTP/1.1 400 "), "got: {out}");
+    assert!(out.contains("truncated request body"), "got: {out}");
+
+    // A connection that closes without sending anything is not an error —
+    // no response, no telemetry.
+    let stream = connect(&addr);
+    drop(stream);
+    server.stop();
+}
+
+/// The head cap fires while the head is still arriving in pieces — the
+/// reactor must not wait for a terminator that will never come.
+#[test]
+fn oversized_head_arriving_in_chunks_gets_431() {
+    let (server, addr) = start_server(&ServerConfig::default());
+    let mut stream = connect(&addr);
+    stream.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    let filler = format!("x-filler: {}\r\n", "a".repeat(1000));
+    // 24 KB of headers with no terminating blank line (cap is 16 KB). The
+    // server answers 431 mid-stream and closes; later writes may fail
+    // with EPIPE once the RST arrives, which is part of the point.
+    for _ in 0..24 {
+        if stream.write_all(filler.as_bytes()).is_err() {
+            break;
+        }
+    }
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    let out = String::from_utf8_lossy(&out);
+    assert!(out.starts_with("HTTP/1.1 431 "), "got: {out}");
+    server.stop();
+}
+
+/// A burst of pipelined requests written in one packet is answered
+/// one-by-one, in order, on one connection.
+#[test]
+fn pipelined_burst_is_answered_in_order() {
+    let (server, addr) = start_server(&ServerConfig::default());
+    let mut stream = connect(&addr);
+    let burst = b"GET /healthz HTTP/1.1\r\n\r\n\
+                  GET /nope HTTP/1.1\r\n\r\n\
+                  GET /v1/models HTTP/1.1\r\n\r\n\
+                  GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n";
+    stream.write_all(burst).unwrap();
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).unwrap();
+    let out = String::from_utf8_lossy(&out);
+    // Responses are back-to-back (no separator after a JSON body), so
+    // collect the status code following each "HTTP/1.1 " occurrence.
+    let statuses: Vec<&str> = out
+        .match_indices("HTTP/1.1 ")
+        .map(|(pos, pat)| &out[pos + pat.len()..pos + pat.len() + 3])
+        .collect();
+    assert_eq!(
+        statuses,
+        ["200", "404", "200", "200"],
+        "wrong response sequence in: {out}"
+    );
+    server.stop();
+}
+
+/// Requests spread over several reactors all get answered (round-robin
+/// hand-off across reactor threads works).
+#[test]
+fn many_reactors_share_the_accept_load() {
+    let cfg = ServerConfig {
+        reactors: 3,
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    let (server, addr) = start_server(&cfg);
+    for _ in 0..9 {
+        let mut stream = connect(&addr);
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).unwrap();
+        assert!(
+            String::from_utf8_lossy(&out).starts_with("HTTP/1.1 200 "),
+            "reactor hand-off dropped a connection"
+        );
+    }
+    server.stop();
+}
+
+/// A response several times larger than the socket send buffer reaches a
+/// reader that sleeps before consuming it — the reactor's partial-write
+/// (`Flushing`) path — and every value is bit-identical to the scalar
+/// endpoint computed fresh after a cache-invalidating refit.
+#[test]
+fn big_batched_response_reaches_a_slow_reader_bit_identical() {
+    let s = setup();
+    let metric = Metric::Cycles;
+    let cfg = ServerConfig {
+        max_body: 16 * 1024 * 1024,
+        ..ServerConfig::default()
+    };
+    let (server, addr) = start_server(&cfg);
+    let mut client = Client::new(addr.clone());
+
+    let target = &s.ds5.benchmarks[4];
+    let responses: Vec<(usize, f64)> = (0..32)
+        .map(|i| (i, target.metrics[i].get(metric)))
+        .collect();
+    client.fit(&target.name, metric, &responses).unwrap();
+
+    // 20 000 rows cycling the 40 shared configs: a multi-hundred-KB
+    // response, computed by the batched matrix–matrix forward.
+    const ROWS: usize = 20_000;
+    let configs_json: Vec<Json> = (0..ROWS)
+        .map(|i| s.ds5.configs[i % N_CONFIGS].to_json())
+        .collect();
+    let body = dse_util::json::to_string(&Json::obj([
+        ("program", target.name.to_json()),
+        ("metric", metric.to_json()),
+        ("configs", Json::Arr(configs_json)),
+    ]));
+    let request = format!(
+        "POST /v1/predict_batch HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+
+    let mut stream = connect(&addr);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    // Sleep before reading: the server's first write fills the kernel
+    // buffer and the connection parks in Flushing until we drain it.
+    std::thread::sleep(Duration::from_millis(800));
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let raw = String::from_utf8_lossy(&raw);
+    assert!(
+        raw.starts_with("HTTP/1.1 200 "),
+        "got: {}",
+        &raw[..raw.len().min(200)]
+    );
+    let json_body = raw.split("\r\n\r\n").nth(1).unwrap();
+    let parsed = Json::parse(json_body).unwrap();
+    let values = parsed
+        .field("values")
+        .and_then(Vec::<f64>::from_json)
+        .unwrap();
+    assert_eq!(values.len(), ROWS);
+
+    // Refit with the same responses: same combiner, but the cache is
+    // invalidated — the scalar endpoint now recomputes from scratch.
+    client.fit(&target.name, metric, &responses).unwrap();
+    for (i, config) in s.ds5.configs.iter().enumerate() {
+        let (scalar, cached) = client.predict(&target.name, metric, config).unwrap();
+        assert!(!cached, "config {i} should be recomputed after refit");
+        for row in (i..ROWS).step_by(N_CONFIGS) {
+            assert_eq!(
+                values[row].to_bits(),
+                scalar.to_bits(),
+                "row {row} (config {i}): batched {:e} != scalar {scalar:e}",
+                values[row]
+            );
+        }
+    }
+    server.stop();
+}
+
+/// Every persisted artifact model predicts bit-identically through the
+/// batched forward — the registry path the server and explorer use.
+#[test]
+fn persisted_artifact_models_are_bit_identical_batched() {
+    let s = setup();
+    let registry = ModelRegistry::open(&s.dir).unwrap();
+    let features = s.ds5.features();
+    let flat: Vec<f64> = features.iter().flatten().copied().collect();
+    for metric in [Metric::Cycles, Metric::Energy] {
+        let artifact = registry.artifact(metric).unwrap();
+        let target = &s.ds5.benchmarks[4];
+        let idxs: Vec<usize> = (0..32).collect();
+        let values: Vec<f64> = idxs
+            .iter()
+            .map(|&i| target.metrics[i].get(metric))
+            .collect();
+        let design: Vec<Vec<f64>> = idxs.iter().map(|&i| artifact.design[i].clone()).collect();
+        let reg = dse_core::fit_combiner(&design, &values);
+        let mut batched = vec![0.0; features.len()];
+        artifact
+            .offline
+            .predict_with_batch_into(&reg, &flat, features.len(), &mut batched);
+        for (i, row) in features.iter().enumerate() {
+            let scalar = artifact.offline.predict_with(&reg, row);
+            assert_eq!(
+                scalar.to_bits(),
+                batched[i].to_bits(),
+                "{metric:?} config {i}: scalar {scalar:e} != batched {:e}",
+                batched[i]
+            );
+        }
+    }
+}

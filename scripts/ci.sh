@@ -36,6 +36,13 @@ echo "== ARCHDSE_SANITIZE=1 explore suites =="
 ARCHDSE_SANITIZE=1 cargo test -q --offline \
   --test explore_frontier --test explore_determinism
 
+# The serve front end has two pollers (epoll, with a poll(2) fallback);
+# the default test pass exercises epoll, so rerun the serve suites with
+# the fallback forced — sanitized, so the event loop stays checkable on
+# both paths.
+echo "== ARCHDSE_SANITIZE=1 DSE_SERVE_POLL=1 serve suites =="
+ARCHDSE_SANITIZE=1 DSE_SERVE_POLL=1 cargo test -q --offline -p dse-serve
+
 # Observability: the test pass must also hold with spans/metrics forced
 # on (golden_sim pins bit-identity either way), and `train --obs json`
 # must emit span JSONL that `obs report` can parse back. Skip with
@@ -69,6 +76,18 @@ else
   echo "== DSE_QUICK=1 bench_sim vs BENCH_sim.json (>25% median regression fails) =="
   DSE_QUICK=1 DSE_BENCH_BASELINE=BENCH_sim.json \
     cargo run --release --offline -q -p dse-bench --bin bench_sim
+fi
+
+# Load gate: quick bench_load run (in-process server on an ephemeral
+# port, short closed-loop/open-loop/batched rounds) compared against the
+# committed BENCH_serve.json; a >25% median regression on any row fails
+# the build. Skip on constrained or noisy runners with DSE_LOAD_SKIP=1.
+if [ "${DSE_LOAD_SKIP:-0}" = "1" ]; then
+  echo "== load gate skipped (DSE_LOAD_SKIP=1) =="
+else
+  echo "== DSE_QUICK=1 bench_load vs BENCH_serve.json (>25% median regression fails) =="
+  DSE_QUICK=1 DSE_BENCH_BASELINE=BENCH_serve.json \
+    cargo run --release --offline -q -p dse-bench --bin bench_load
 fi
 
 # Serve smoke: train tiny artifacts, start the HTTP server on an

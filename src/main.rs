@@ -44,7 +44,7 @@ commands:
                                           (--obs json: span JSONL on stdout;
                                            --obs pretty: self-time flame table)
   obs report <spans.jsonl>                flame table from a span log
-  serve --models <dir> [--addr host:port] [--workers N]
+  serve --models <dir> [--addr host:port] [--workers N] [--reactors N]
                                           serve predictions over HTTP
   client <addr> health                    check a running server
   client <addr> fit <bench> [metric] [r=N]
@@ -802,10 +802,12 @@ fn cmd_obs(args: &[String]) -> i32 {
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
-    let flags = match parse_flags(args, &["models", "addr", "workers"]) {
+    let flags = match parse_flags(args, &["models", "addr", "workers", "reactors"]) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("{e}\nusage: archdse serve --models <dir> [--addr host:port] [--workers N]");
+            eprintln!(
+                "{e}\nusage: archdse serve --models <dir> [--addr host:port] [--workers N] [--reactors N]"
+            );
             return 2;
         }
     };
@@ -829,6 +831,15 @@ fn cmd_serve(args: &[String]) -> i32 {
             }
         }
     }
+    if let Some(r) = flags.get("reactors") {
+        match r.parse::<usize>() {
+            Ok(n) if n > 0 => cfg.reactors = n,
+            _ => {
+                eprintln!("--reactors '{r}' is not a positive number");
+                return 2;
+            }
+        }
+    }
     let registry = match ModelRegistry::open(models) {
         Ok(r) => std::sync::Arc::new(r),
         Err(e) => {
@@ -845,9 +856,10 @@ fn cmd_serve(args: &[String]) -> i32 {
         }
     };
     println!(
-        "dse-serve listening on {} ({} workers, metrics: {})",
+        "dse-serve listening on {} ({} workers, {} reactors, metrics: {})",
         server.local_addr(),
         cfg.workers,
+        cfg.reactors,
         metrics.join(", ")
     );
     println!("stop with: archdse client {} shutdown", server.local_addr());
