@@ -20,7 +20,9 @@
 //! batch priced in predictions/sec — the ≥100k predict/s headline row).
 //!
 //! Set `DSE_BENCH_JSON=<path>` to write the machine-readable report and
-//! `DSE_BENCH_BASELINE=<path>` to fail on a >25 % median regression
+//! `DSE_BENCH_BASELINE=<path>` to fail on a >50 % regression of each
+//! row's best iteration — µs-scale latency rows need a wider band than
+//! the sim gate's 25 % —
 //! (the `scripts/ci.sh` gate against `BENCH_serve.json`). `DSE_QUICK=1`
 //! shrinks the number of rounds only — per-round work is constant, so
 //! quick runs gate against full-mode baselines.
@@ -284,9 +286,14 @@ fn main() {
     if let Ok(path) = std::env::var("DSE_BENCH_BASELINE") {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read bench baseline {path}: {e}"));
-        match report.regressions(&text, 0.25) {
+        // 50% tolerance (not the sim gate's 25%): these rows are
+        // microsecond-scale request latencies whose best iteration still
+        // moves >25% with scheduler phase on a shared 1-vCPU host. The
+        // failures this gate exists for (accidental quadratic scans,
+        // lost batching) are multiples, not tens of percent.
+        match report.regressions(&text, 0.5) {
             Ok(msgs) if msgs.is_empty() => {
-                eprintln!("[bench] no median regression vs {path}");
+                eprintln!("[bench] no regression vs {path}");
             }
             Ok(msgs) => {
                 for m in &msgs {

@@ -1,0 +1,181 @@
+//! Predictor error on the shared-L2 interference surface (DESIGN.md §15).
+//!
+//! The paper's response surfaces are all single-program. This study asks
+//! whether the architecture-centric method survives on a surface it was
+//! never designed for: the *contended* cycles of a program co-scheduled
+//! with an intruder through the shared L2 (`simulate --corun`). The
+//! offline ensemble is trained purely on solo SPEC surfaces (the target
+//! left out); the combiner is then fitted with R = 32 responses drawn
+//! once from the target's solo surface and once from its contended
+//! surface, each evaluated against its own ground truth on the held-out
+//! configurations. If linear recombination of solo program behaviours
+//! can absorb contention, the two error columns stay close; the gap is
+//! the price of interference.
+
+use dse_core::arch_centric::OfflineModel;
+use dse_core::dataset::SuiteDataset;
+use dse_core::xval::EvalConfig;
+use dse_ingest::synth_profiles;
+use dse_rng::Xoshiro256;
+use dse_sim::{simulate_corun, Metric, SimOptions};
+use dse_workload::{Suite, TraceGenerator};
+
+/// Co-run pairs: memory-bound and cache-resident targets against a
+/// memory-bound intruder (and `mcf` against `art` so the heaviest
+/// program is also measured as a victim).
+const PAIRS: [(&str, &str); 4] = [
+    ("gzip", "mcf"),
+    ("parser", "mcf"),
+    ("art", "mcf"),
+    ("mcf", "art"),
+];
+
+fn rmae(preds: &[f64], actual: &[f64]) -> f64 {
+    let sum: f64 = preds
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| ((p - a) / a).abs())
+        .sum();
+    100.0 * sum / preds.len() as f64
+}
+
+fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let (mx, my) = (xs.iter().sum::<f64>() / n, ys.iter().sum::<f64>() / n);
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let (vx, vy) = (
+        xs.iter().map(|x| (x - mx).powi(2)).sum::<f64>(),
+        ys.iter().map(|y| (y - my).powi(2)).sum::<f64>(),
+    );
+    cov / (vx * vy).sqrt()
+}
+
+/// Fits the offline ensemble's combiner on R responses of `truth` and
+/// returns (rmae, corr) on the held-out configurations.
+fn fit_and_eval(
+    offline: &OfflineModel,
+    ds: &SuiteDataset,
+    features: &[Vec<f64>],
+    truth: &[f64],
+    r: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let mut rng = Xoshiro256::seed_from(seed);
+    let idxs = rng.sample_indices(ds.n_configs(), r);
+    let values: Vec<f64> = idxs.iter().map(|&i| truth[i]).collect();
+    let predictor = offline.fit_responses(ds, &idxs, &values);
+    let mut mask = vec![false; ds.n_configs()];
+    for &i in &idxs {
+        mask[i] = true;
+    }
+    let (mut preds, mut actual) = (Vec::new(), Vec::new());
+    for i in 0..ds.n_configs() {
+        if !mask[i] {
+            preds.push(predictor.predict(&features[i]));
+            actual.push(truth[i]);
+        }
+    }
+    (rmae(&preds, &actual), correlation(&preds, &actual))
+}
+
+fn main() {
+    // Same profile list and spec as `xval_synth` so the two experiments
+    // share one cached dataset.
+    let mut profiles = dse_workload::suites::all_benchmarks();
+    profiles.extend(synth_profiles(0xF0CC, 12));
+    let spec = dse_bench::experiment_spec();
+    let ds = SuiteDataset::load_or_generate(&profiles, &spec, &dse_bench::data_dir())
+        .expect("dataset cache must be readable and writable");
+    let features = ds.features();
+    let cfg = EvalConfig {
+        t: 512.min(ds.n_configs() / 2),
+        repeats: dse_bench::repeats(),
+        ..EvalConfig::default()
+    };
+    let metric = Metric::Cycles;
+    let options = SimOptions::with_warmup(spec.warmup);
+
+    let row_of = |name: &str| {
+        (0..ds.benchmarks.len())
+            .find(|&i| ds.benchmarks[i].name == name)
+            .unwrap_or_else(|| panic!("benchmark `{name}` absent from dataset"))
+    };
+    let trace_of = |name: &str| {
+        let p = profiles.iter().find(|p| p.name == name).unwrap();
+        TraceGenerator::new(p).generate(spec.trace_len)
+    };
+    let spec_rows: Vec<usize> = (0..ds.benchmarks.len())
+        .filter(|&i| ds.benchmarks[i].suite == Suite::SpecCpu2000)
+        .collect();
+
+    let mut rows = Vec::new();
+    for (target, intruder) in PAIRS {
+        let target_row = row_of(target);
+        let (trace_t, trace_i) = (trace_of(target), trace_of(intruder));
+
+        // Ground truth: the target's contended cycles on every shared
+        // configuration (the solo surface is already in the dataset; the
+        // co-run capture pass reproduces it bit-exactly).
+        let mut contended = Vec::with_capacity(ds.n_configs());
+        let mut slowdowns = Vec::with_capacity(ds.n_configs());
+        for cfg_i in &ds.configs {
+            let r = simulate_corun(cfg_i, &trace_t, &trace_i, options)
+                .expect("co-run simulation must be sanitizer-clean");
+            contended.push(r.a.contended.cycles);
+            slowdowns.push(r.a.slowdown());
+        }
+        let solo: Vec<f64> = (0..ds.n_configs())
+            .map(|i| ds.benchmarks[target_row].metrics[i].get(metric))
+            .collect();
+        let mean_slowdown = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
+        let max_slowdown = slowdowns.iter().cloned().fold(f64::MIN, f64::max);
+
+        // Offline ensembles never see the target (or any co-run data).
+        let train_rows: Vec<usize> = spec_rows
+            .iter()
+            .copied()
+            .filter(|&i| i != target_row)
+            .collect();
+        let (mut se, mut ce, mut sc, mut cc) = (0.0, 0.0, 0.0, 0.0);
+        for k in 0..cfg.repeats {
+            let seed = Xoshiro256::seed_from(cfg.seed ^ 0xC0_5EED)
+                .child(k as u64)
+                .next_u64();
+            let offline = OfflineModel::train(&ds, &train_rows, metric, cfg.t, &cfg.mlp, seed);
+            let (e1, c1) = fit_and_eval(&offline, &ds, &features, &solo, cfg.r, seed ^ 1);
+            let (e2, c2) = fit_and_eval(&offline, &ds, &features, &contended, cfg.r, seed ^ 1);
+            se += e1;
+            ce += e2;
+            sc += c1;
+            cc += c2;
+        }
+        let n = cfg.repeats as f64;
+        rows.push(vec![
+            format!("{target} + {intruder}"),
+            format!("{:.3}", mean_slowdown),
+            format!("{:.3}", max_slowdown),
+            format!("{:.1}", se / n),
+            format!("{:.1}", ce / n),
+            format!("{:+.1}", (ce - se) / n),
+            format!("{:.3}", sc / n),
+            format!("{:.3}", cc / n),
+        ]);
+    }
+    dse_bench::print_table(
+        &format!(
+            "Predictor error on the shared-L2 co-run surface (cycles, R = {})",
+            cfg.r
+        ),
+        &[
+            "pair",
+            "slow_mean",
+            "slow_max",
+            "solo%",
+            "corun%",
+            "Δ%",
+            "solo_r",
+            "corun_r",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,446 @@
+//! The versioned workload interchange format (profile documents).
+//!
+//! A profile document is a single JSON object:
+//!
+//! ```json
+//! {"version":1,"kind":"profile","profile":{ ...28 Profile fields... }}
+//! ```
+//!
+//! * `version` — format version; only [`FORMAT_VERSION`] is accepted.
+//! * `kind` — `"profile"` (the raw-trace format is line-based and lives
+//!   in [`crate::import`]).
+//! * `profile` — every field of [`Profile`], exactly as
+//!   [`dse_workload::Profile`]'s JSON form.
+//!
+//! Validation is **strict**: unknown fields are rejected (with their key
+//! path), missing fields are rejected, and every field must satisfy
+//! [`Profile::validate`]. The one concession to external producers is
+//! ε-repair ([`normalize_profile`]): values that miss the legal envelope
+//! by at most [`EPSILON`] (a fraction of `1.0000003`, a weight of
+//! `-1e-9`, branch-class fractions summing to `1 + 1e-7`) are snapped
+//! deterministically onto the boundary before validation. Repair is
+//! idempotent, so `export → import → export` is byte-identical — the
+//! round-trip gate `tests/ingest_roundtrip.rs` pins it.
+
+use dse_util::json::{self, FromJson, Json, JsonError, ToJson};
+use dse_workload::{intern_name, Profile};
+
+use crate::IngestError;
+
+/// Interchange format version accepted and emitted by this build.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Upper bound on a profile document's size. Far above any legitimate
+/// document (~1 KB); rejects accidental or hostile blobs before parsing.
+pub const MAX_PROFILE_BYTES: usize = 1 << 20;
+
+/// Tolerance of the deterministic ε-repair pass: values missing the
+/// legal envelope by at most this much are snapped onto the boundary.
+pub const EPSILON: f64 = 1e-6;
+
+/// The complete field set of a `profile` object, in canonical (export)
+/// order. Any other key is rejected.
+pub const PROFILE_FIELDS: [&str; 28] = [
+    "name",
+    "suite",
+    "seed",
+    "w_int_alu",
+    "w_int_mul",
+    "w_int_div",
+    "w_fp_alu",
+    "w_fp_mul",
+    "w_fp_div",
+    "w_load",
+    "w_store",
+    "block_size",
+    "code_kb",
+    "br_biased",
+    "br_loop",
+    "br_pattern",
+    "br_random",
+    "bias_p",
+    "loop_mean",
+    "dep_p",
+    "dep_decay",
+    "data_kb",
+    "hot_frac",
+    "zipf_s",
+    "w_hot",
+    "w_stream",
+    "w_rand",
+    "chase_frac",
+];
+
+/// Snaps `x` onto `[lo, hi]` if it misses by at most [`EPSILON`].
+fn snap(x: f64, lo: f64, hi: f64) -> f64 {
+    if x < lo && x > lo - EPSILON {
+        lo
+    } else if x > hi && x < hi + EPSILON {
+        hi
+    } else {
+        x
+    }
+}
+
+/// Deterministic ε-repair: snaps near-boundary fractions and weights
+/// onto the legal envelope and rescales branch-class fractions whose sum
+/// exceeds 1 by at most [`EPSILON`]. Values farther out are left alone
+/// for [`Profile::validate`] to reject. Idempotent.
+pub fn normalize_profile(p: &mut Profile) {
+    for w in [
+        &mut p.w_int_alu,
+        &mut p.w_int_mul,
+        &mut p.w_int_div,
+        &mut p.w_fp_alu,
+        &mut p.w_fp_mul,
+        &mut p.w_fp_div,
+        &mut p.w_load,
+        &mut p.w_store,
+        &mut p.w_hot,
+        &mut p.w_stream,
+        &mut p.w_rand,
+    ] {
+        if *w < 0.0 && *w > -EPSILON {
+            *w = 0.0;
+        }
+    }
+    for f in [
+        &mut p.br_biased,
+        &mut p.br_loop,
+        &mut p.br_pattern,
+        &mut p.br_random,
+        &mut p.bias_p,
+        &mut p.dep_p,
+        &mut p.hot_frac,
+        &mut p.chase_frac,
+    ] {
+        *f = snap(*f, 0.0, 1.0);
+    }
+    // Branch-class fractions may sum slightly over 1 after independent
+    // rounding by an external producer; rescale once. The scaled sum
+    // lands within a few ulps of 1 — inside validate()'s 1e-9 slack —
+    // so a second pass never rescales again (idempotence).
+    let sum = p.br_biased + p.br_loop + p.br_pattern + p.br_random;
+    if sum > 1.0 + 1e-9 && sum < 1.0 + EPSILON {
+        let inv = 1.0 / sum;
+        p.br_biased *= inv;
+        p.br_loop *= inv;
+        p.br_pattern *= inv;
+        p.br_random *= inv;
+    }
+}
+
+/// Serialises `profile` as a canonical interchange document (compact
+/// JSON, fields in [`PROFILE_FIELDS`] order, trailing newline).
+/// The profile is ε-repaired first so exports are always importable.
+pub fn export_profile(profile: &Profile) -> String {
+    let mut p = profile.clone();
+    normalize_profile(&mut p);
+    let doc = Json::obj([
+        ("version", FORMAT_VERSION.to_json()),
+        ("kind", "profile".to_json()),
+        ("profile", p.to_json()),
+    ]);
+    let mut out = String::new();
+    doc.write(&mut out);
+    out.push('\n');
+    out
+}
+
+/// Wrapper whose `FromJson` performs the strict interchange checks, so
+/// [`json::from_str`] can re-anchor conversion errors to byte offsets.
+struct ProfileDoc(Profile);
+
+impl FromJson for ProfileDoc {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let Json::Obj(fields) = v else {
+            return Err(JsonError::msg("interchange document must be an object"));
+        };
+        for (k, _) in fields {
+            if !["version", "kind", "profile"].contains(&k.as_str()) {
+                return Err(JsonError::msg(format!(
+                    "unknown field `{k}` (interchange v{FORMAT_VERSION} allows version/kind/profile)"
+                ))
+                .in_path(k));
+            }
+        }
+        let version: u64 = v.get("version")?;
+        if version != FORMAT_VERSION {
+            return Err(JsonError::msg(format!(
+                "unsupported interchange version {version} (this build reads {FORMAT_VERSION})"
+            ))
+            .in_path("version"));
+        }
+        let kind: String = v.get("kind")?;
+        if kind != "profile" {
+            return Err(JsonError::msg(format!(
+                "unsupported document kind `{kind}` (expected `profile`)"
+            ))
+            .in_path("kind"));
+        }
+        let pv = v.field("profile")?;
+        let Json::Obj(pfields) = pv else {
+            return Err(JsonError::msg("field `profile` must be an object").in_path("profile"));
+        };
+        for (k, _) in pfields {
+            if !PROFILE_FIELDS.contains(&k.as_str()) {
+                return Err(JsonError::msg(format!("unknown profile field `{k}`"))
+                    .in_path(k.clone())
+                    .in_path("profile"));
+            }
+        }
+        // ε-repair before Profile's own validation, so near-boundary
+        // values from external producers survive; the repaired values
+        // are re-serialised under the same keys, keeping error paths
+        // (and hence byte offsets) intact.
+        let repaired = repair_json(pv)?;
+        let profile = Profile::from_json(&repaired).map_err(|e| e.in_path("profile"))?;
+        Ok(ProfileDoc(profile))
+    }
+}
+
+/// Applies [`normalize_profile`]'s repairs directly on the JSON object,
+/// leaving non-numeric or missing fields untouched (their errors are
+/// reported by `Profile::from_json` with correct paths).
+fn repair_json(pv: &Json) -> Result<Json, JsonError> {
+    // Parse what we can into a throwaway Profile only if all numeric
+    // fields are present and numeric; otherwise return the original so
+    // Profile::from_json reports the precise failure.
+    let mut fields = match pv {
+        Json::Obj(f) => f.clone(),
+        _ => return Ok(pv.clone()),
+    };
+    let num = |fields: &[(String, Json)], key: &str| -> Option<f64> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_f64().ok())
+    };
+    let weight_keys = [
+        "w_int_alu",
+        "w_int_mul",
+        "w_int_div",
+        "w_fp_alu",
+        "w_fp_mul",
+        "w_fp_div",
+        "w_load",
+        "w_store",
+        "w_hot",
+        "w_stream",
+        "w_rand",
+    ];
+    let frac_keys = [
+        "br_biased",
+        "br_loop",
+        "br_pattern",
+        "br_random",
+        "bias_p",
+        "dep_p",
+        "hot_frac",
+        "chase_frac",
+    ];
+    let set = |fields: &mut Vec<(String, Json)>, key: &str, x: f64| {
+        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = Json::Num(x);
+        }
+    };
+    for key in weight_keys {
+        if let Some(x) = num(&fields, key) {
+            if x < 0.0 && x > -EPSILON {
+                set(&mut fields, key, 0.0);
+            }
+        }
+    }
+    for key in frac_keys {
+        if let Some(x) = num(&fields, key) {
+            let snapped = snap(x, 0.0, 1.0);
+            if snapped != x {
+                set(&mut fields, key, snapped);
+            }
+        }
+    }
+    let br_keys = ["br_biased", "br_loop", "br_pattern", "br_random"];
+    if let (Some(a), Some(b), Some(c), Some(d)) = (
+        num(&fields, br_keys[0]),
+        num(&fields, br_keys[1]),
+        num(&fields, br_keys[2]),
+        num(&fields, br_keys[3]),
+    ) {
+        let sum = a + b + c + d;
+        if sum > 1.0 + 1e-9 && sum < 1.0 + EPSILON {
+            let inv = 1.0 / sum;
+            for (key, x) in br_keys.into_iter().zip([a, b, c, d]) {
+                set(&mut fields, key, x * inv);
+            }
+        }
+    }
+    Ok(Json::Obj(fields))
+}
+
+/// Parses a strict interchange document into a validated [`Profile`].
+///
+/// # Errors
+///
+/// * [`IngestError::TooLarge`] above [`MAX_PROFILE_BYTES`];
+/// * [`IngestError::Parse`] for syntax errors, unknown/missing fields
+///   (with key path and byte offset) and version/kind mismatches;
+/// * [`IngestError::Invalid`] when the profile fails
+///   [`Profile::validate`] after ε-repair.
+pub fn import_profile(text: &str) -> Result<Profile, IngestError> {
+    if text.len() > MAX_PROFILE_BYTES {
+        return Err(IngestError::TooLarge {
+            bytes: text.len() as u64,
+            limit: MAX_PROFILE_BYTES as u64,
+        });
+    }
+    match json::from_str::<ProfileDoc>(text) {
+        Ok(doc) => Ok(doc.0),
+        Err(e) if e.message.contains("fails validation") => {
+            Err(IngestError::Invalid(e.to_string()))
+        }
+        Err(e) => Err(IngestError::Parse(e.to_string())),
+    }
+}
+
+/// Re-interns a parsed profile name (convenience re-export point for
+/// callers constructing profiles by hand).
+pub fn interned(name: &str) -> &'static str {
+    intern_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_workload::Suite;
+
+    fn demo() -> Profile {
+        Profile::template("demo-x", Suite::External, 42)
+    }
+
+    #[test]
+    fn export_import_round_trips_value_exactly() {
+        let p = demo();
+        let text = export_profile(&p);
+        let back = import_profile(&text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn export_import_export_is_byte_identical() {
+        let text = export_profile(&demo());
+        let text2 = export_profile(&import_profile(&text).unwrap());
+        assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn canonical_suite_profiles_round_trip() {
+        for p in dse_workload::suites::all_benchmarks() {
+            let text = export_profile(&p);
+            assert_eq!(import_profile(&text).unwrap(), p, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn unknown_top_level_field_is_rejected_with_path() {
+        let mut text = export_profile(&demo());
+        text = text.replacen("{\"version\"", "{\"extra\":1,\"version\"", 1);
+        let err = import_profile(&text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown field `extra`"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_profile_field_is_rejected_with_path() {
+        let mut text = export_profile(&demo());
+        text = text.replacen("\"w_int_alu\"", "\"bogus\":3,\"w_int_alu\"", 1);
+        let err = import_profile(&text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown profile field `bogus`"), "{msg}");
+        assert!(msg.contains("$.profile.bogus"), "{msg}");
+    }
+
+    #[test]
+    fn wrong_version_and_kind_are_rejected() {
+        let text = export_profile(&demo());
+        let v2 = text.replacen("\"version\":1", "\"version\":2", 1);
+        assert!(import_profile(&v2)
+            .unwrap_err()
+            .to_string()
+            .contains("unsupported interchange version 2"));
+        let k = text.replacen("\"kind\":\"profile\"", "\"kind\":\"trace\"", 1);
+        assert!(import_profile(&k)
+            .unwrap_err()
+            .to_string()
+            .contains("unsupported document kind"));
+    }
+
+    #[test]
+    fn missing_field_error_names_the_field() {
+        let text = export_profile(&demo()).replacen("\"zipf_s\":1.5,", "", 1);
+        let err = import_profile(&text).unwrap_err();
+        assert!(err.to_string().contains("missing field `zipf_s`"));
+    }
+
+    #[test]
+    fn type_error_carries_path_and_offset() {
+        let text = export_profile(&demo()).replacen("\"zipf_s\":1.5", "\"zipf_s\":\"hi\"", 1);
+        let err = import_profile(&text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("$.profile.zipf_s"), "{msg}");
+        assert!(!msg.contains("byte 0)"), "offset should be located: {msg}");
+    }
+
+    #[test]
+    fn epsilon_repair_accepts_near_boundary_sums() {
+        // Branch fractions that sum to 1 + 3e-7 (within EPSILON) import
+        // fine; a sum beyond EPSILON is rejected.
+        let mut p = demo();
+        p.br_biased = 0.6;
+        p.br_loop = 0.25 + 3e-7;
+        p.br_pattern = 0.1;
+        p.br_random = 0.05;
+        let text = export_profile(&p); // export repairs, so build by hand:
+        let back = import_profile(&text).unwrap();
+        let sum = back.br_biased + back.br_loop + back.br_pattern + back.br_random;
+        assert!(sum <= 1.0 + 1e-9, "sum {sum}");
+
+        let raw = export_profile(&demo()).replacen("\"br_biased\":0.6", "\"br_biased\":0.9", 1);
+        let err = import_profile(&raw).unwrap_err();
+        assert!(matches!(err, IngestError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn epsilon_repair_snaps_tiny_negatives_and_overshoots() {
+        let text = export_profile(&demo())
+            .replacen("\"w_store\":10", "\"w_store\":-1e-9", 1)
+            .replacen("\"dep_p\":0.65", "\"dep_p\":1.0000001", 1);
+        let p = import_profile(&text).unwrap();
+        assert_eq!(p.w_store, 0.0);
+        assert_eq!(p.dep_p, 1.0);
+    }
+
+    #[test]
+    fn nan_rate_is_rejected() {
+        // NaN has no JSON representation, but a malicious producer can
+        // try huge exponents; the parser rejects overflow to infinity.
+        let text = export_profile(&demo()).replacen("\"dep_p\":0.65", "\"dep_p\":1e999", 1);
+        assert!(import_profile(&text).is_err());
+    }
+
+    #[test]
+    fn oversized_document_is_rejected_at_the_cap() {
+        let mut text = export_profile(&demo());
+        text.insert_str(0, &" ".repeat(MAX_PROFILE_BYTES));
+        let err = import_profile(&text).unwrap_err();
+        assert!(matches!(err, IngestError::TooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn normalize_is_identity_on_valid_profiles() {
+        for p in dse_workload::suites::all_benchmarks() {
+            let mut q = p.clone();
+            normalize_profile(&mut q);
+            assert_eq!(q, p, "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Workload ingestion: bringing *external* programs into the DSE loop.
+//!
+//! Every other crate in this workspace consumes the 45 built-in profiles
+//! from `dse-workload`. This crate opens the pipeline to workloads the
+//! repository has never seen, through four doors:
+//!
+//! * [`format`] — a versioned JSON **interchange format** for statistical
+//!   profiles, with strict validation (unknown fields rejected with key
+//!   paths and byte offsets) and a deterministic ε-repair normalization
+//!   pass, so `export → import → export` is byte-identical.
+//! * [`import`] — a compact line-based **raw instruction-trace format**
+//!   plus a deterministic fitter that distils a trace into a profile
+//!   (mix, branch classes, footprints, locality), so real measurements
+//!   can be replayed through the 10 M-instruction protocol.
+//! * [`synth`] — a seeded **profile-synthesis fuzzer** spanning the full
+//!   legal envelope of [`dse_workload::Profile::validate`], used as an
+//!   adversarial "suite" in cross-suite generalization studies.
+//! * [`store`] — a directory-backed **workload store** mirroring the
+//!   model registry's manifest/hot-reload/path-safety discipline, so
+//!   imported suites survive restarts and serve over HTTP.
+//!
+//! The crate depends only on `dse-util`, `dse-rng` and `dse-workload`;
+//! simulation and serving layers sit above it.
+
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod import;
+pub mod store;
+pub mod synth;
+
+pub use format::{export_profile, import_profile, normalize_profile, FORMAT_VERSION};
+pub use import::{profile_from_trace, profile_from_trace_str, MAX_TRACE_BYTES};
+pub use store::WorkloadStore;
+pub use synth::{synth_profile, synth_profiles};
+
+/// Error type shared by all ingestion surfaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// Filesystem failure (message includes the path).
+    Io(String),
+    /// Malformed input: JSON syntax, unknown/missing fields, bad trace
+    /// lines. The message carries key paths, byte offsets or line
+    /// numbers where available.
+    Parse(String),
+    /// Structurally well-formed input whose values fail
+    /// [`dse_workload::Profile::validate`] even after ε-repair.
+    Invalid(String),
+    /// A workload with this name already exists (in the store or among
+    /// the built-in benchmarks).
+    Duplicate(String),
+    /// Input exceeds the hard size cap; rejected without buffering the
+    /// remainder.
+    TooLarge {
+        /// Bytes seen before giving up (at least `limit + 1`).
+        bytes: u64,
+        /// The cap that was exceeded.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io(m) => write!(f, "io error: {m}"),
+            IngestError::Parse(m) => write!(f, "parse error: {m}"),
+            IngestError::Invalid(m) => write!(f, "invalid workload: {m}"),
+            IngestError::Duplicate(name) => {
+                write!(f, "duplicate workload name `{name}`")
+            }
+            IngestError::TooLarge { bytes, limit } => write!(
+                f,
+                "input too large: {bytes}+ bytes exceeds the {limit}-byte cap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl IngestError {
+    /// Wraps an I/O error with the path it occurred on.
+    pub(crate) fn io(path: &std::path::Path, e: std::io::Error) -> Self {
+        IngestError::Io(format!("{}: {e}", path.display()))
+    }
+}

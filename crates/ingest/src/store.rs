@@ -1,0 +1,356 @@
+//! Directory-backed workload store.
+//!
+//! Mirrors the model registry's discipline (`dse-serve::registry`):
+//! a manifest names the member files, file names must be *bare* (path
+//! separators and `..` rejected — the manifest cannot reach outside its
+//! directory), loading builds a complete fresh state before swapping,
+//! and a failed [`WorkloadStore::reload`] keeps the previous state
+//! intact. Member files are interchange documents
+//! ([`crate::format::export_profile`]), so a store directory is just a
+//! folder of importable profiles plus `manifest.json`:
+//!
+//! ```json
+//! {"version":1,"workloads":["workload-foo.json","workload-bar.json"]}
+//! ```
+//!
+//! Names are globally unique: an [`WorkloadStore::add`] that collides
+//! with a stored workload *or* one of the 45 built-in benchmarks is
+//! rejected — imported programs extend the benchmark namespace, they
+//! never shadow it.
+
+use std::path::{Path, PathBuf};
+use std::sync::RwLock;
+
+use dse_util::json::{self, Json, ToJson};
+use dse_workload::Profile;
+
+use crate::format::{export_profile, import_profile};
+use crate::import::valid_workload_name;
+use crate::IngestError;
+
+/// Store layout version accepted and written by this build.
+pub const STORE_VERSION: u64 = 1;
+
+/// Manifest file name inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// A hot-reloadable collection of imported workload profiles.
+#[derive(Debug)]
+pub struct WorkloadStore {
+    dir: PathBuf,
+    inner: RwLock<Vec<Profile>>,
+}
+
+impl WorkloadStore {
+    /// Opens a store directory, creating it (with an empty manifest) if
+    /// it does not exist yet.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a malformed manifest, or any member file that
+    /// fails strict import.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, IngestError> {
+        let dir = dir.into();
+        if !dir.join(MANIFEST_FILE).exists() {
+            std::fs::create_dir_all(&dir).map_err(|e| IngestError::io(&dir, e))?;
+            write_manifest(&dir, &[])?;
+        }
+        let profiles = load_dir(&dir)?;
+        Ok(WorkloadStore {
+            dir,
+            inner: RwLock::new(profiles),
+        })
+    }
+
+    /// The directory this store persists to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Re-reads the directory. On success the new state replaces the
+    /// old atomically (under the write lock) and the workload count is
+    /// returned; on failure the previous state is kept.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WorkloadStore::open`]; the store still
+    /// serves the pre-reload state afterwards.
+    pub fn reload(&self) -> Result<usize, IngestError> {
+        let fresh = load_dir(&self.dir)?;
+        let n = fresh.len();
+        *self.inner.write().unwrap() = fresh;
+        Ok(n)
+    }
+
+    /// Snapshot of all stored profiles, in manifest order.
+    pub fn profiles(&self) -> Vec<Profile> {
+        self.inner.read().unwrap().clone()
+    }
+
+    /// Looks up a stored profile by exact name.
+    pub fn find(&self, name: &str) -> Option<Profile> {
+        self.inner
+            .read()
+            .unwrap()
+            .iter()
+            .find(|p| p.name == name)
+            .cloned()
+    }
+
+    /// Number of stored workloads.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().len()
+    }
+
+    /// Whether the store holds no workloads.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Persists a new workload: writes `workload-<slug>.json`, rewrites
+    /// the manifest, and publishes the profile to readers.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::Duplicate`] when the name (or its file slug)
+    /// collides with a stored workload or a built-in benchmark;
+    /// [`IngestError::Invalid`] for invalid names or profiles;
+    /// [`IngestError::Io`] on write failure.
+    pub fn add(&self, profile: &Profile) -> Result<(), IngestError> {
+        if !valid_workload_name(profile.name) {
+            return Err(IngestError::Invalid(format!(
+                "workload name `{}` must be 1-64 chars of [A-Za-z0-9._-] starting alphanumeric",
+                profile.name
+            )));
+        }
+        profile
+            .validate()
+            .map_err(|e| IngestError::Invalid(e.to_string()))?;
+        if dse_workload::suites::all_benchmarks()
+            .iter()
+            .any(|b| b.name == profile.name)
+        {
+            return Err(IngestError::Duplicate(profile.name.to_string()));
+        }
+        let file = file_name(profile.name);
+        let mut inner = self.inner.write().unwrap();
+        if inner
+            .iter()
+            .any(|p| p.name == profile.name || file_name(p.name) == file)
+        {
+            return Err(IngestError::Duplicate(profile.name.to_string()));
+        }
+        let path = self.dir.join(&file);
+        std::fs::write(&path, export_profile(profile)).map_err(|e| IngestError::io(&path, e))?;
+        // Manifest last: a crash between the two writes leaves an
+        // orphan profile file, never a manifest naming a missing one.
+        let files: Vec<String> = inner
+            .iter()
+            .map(|p| file_name(p.name))
+            .chain(std::iter::once(file))
+            .collect();
+        write_manifest(&self.dir, &files)?;
+        inner.push(profile.clone());
+        Ok(())
+    }
+}
+
+/// Bare file name a workload persists under. The name charset
+/// ([`valid_workload_name`]) is already file-safe; lowercasing folds
+/// names that would collide on case-insensitive filesystems.
+fn file_name(name: &str) -> String {
+    format!("workload-{}.json", name.to_ascii_lowercase())
+}
+
+fn write_manifest(dir: &Path, files: &[String]) -> Result<(), IngestError> {
+    let manifest = Json::obj([
+        ("version", STORE_VERSION.to_json()),
+        (
+            "workloads",
+            Json::Arr(files.iter().map(|f| Json::Str(f.clone())).collect()),
+        ),
+    ]);
+    let path = dir.join(MANIFEST_FILE);
+    let mut text = String::new();
+    manifest.write(&mut text);
+    text.push('\n');
+    std::fs::write(&path, text).map_err(|e| IngestError::io(&path, e))
+}
+
+fn load_dir(dir: &Path) -> Result<Vec<Profile>, IngestError> {
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let text =
+        std::fs::read_to_string(&manifest_path).map_err(|e| IngestError::io(&manifest_path, e))?;
+    let v = Json::parse(&text)
+        .map_err(|e| IngestError::Parse(format!("{}: {e}", manifest_path.display())))?;
+    let version = v
+        .get::<u64>("version")
+        .map_err(|e| IngestError::Parse(format!("{}: {e}", manifest_path.display())))?;
+    if version != STORE_VERSION {
+        return Err(IngestError::Parse(format!(
+            "{}: unsupported store version {version} (this build reads {STORE_VERSION})",
+            manifest_path.display()
+        )));
+    }
+    let files: Vec<String> = json::from_str::<ManifestFiles>(&text)
+        .map_err(|e| IngestError::Parse(format!("{}: {e}", manifest_path.display())))?
+        .0;
+    let mut profiles = Vec::with_capacity(files.len());
+    for file in &files {
+        if file.contains(['/', '\\']) || file.contains("..") {
+            return Err(IngestError::Parse(format!(
+                "manifest file name {file:?} must be a bare file name"
+            )));
+        }
+        let path = dir.join(file);
+        let text = std::fs::read_to_string(&path).map_err(|e| IngestError::io(&path, e))?;
+        let profile = import_profile(&text)
+            .map_err(|e| IngestError::Parse(format!("{}: {e}", path.display())))?;
+        if profiles.iter().any(|p: &Profile| p.name == profile.name)
+            || dse_workload::suites::all_benchmarks()
+                .iter()
+                .any(|b| b.name == profile.name)
+        {
+            return Err(IngestError::Duplicate(profile.name.to_string()));
+        }
+        profiles.push(profile);
+    }
+    Ok(profiles)
+}
+
+/// Manifest `workloads` field, via `FromJson` so errors carry paths.
+struct ManifestFiles(Vec<String>);
+
+impl json::FromJson for ManifestFiles {
+    fn from_json(v: &Json) -> Result<Self, json::JsonError> {
+        Ok(ManifestFiles(v.get("workloads")?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_workload::Suite;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dse-ingest-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn demo(name: &'static str) -> Profile {
+        Profile::template(name, Suite::External, 7)
+    }
+
+    #[test]
+    fn open_creates_an_empty_store_and_add_persists() {
+        let dir = temp_dir("add");
+        let store = WorkloadStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        store.add(&demo("ext-a")).unwrap();
+        store.add(&demo("ext-b")).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.find("ext-a").unwrap().name, "ext-a");
+        // A second store over the same directory sees the same state.
+        let reopened = WorkloadStore::open(&dir).unwrap();
+        assert_eq!(
+            reopened
+                .profiles()
+                .iter()
+                .map(|p| p.name)
+                .collect::<Vec<_>>(),
+            ["ext-a", "ext-b"]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected_including_builtins() {
+        let dir = temp_dir("dup");
+        let store = WorkloadStore::open(&dir).unwrap();
+        store.add(&demo("ext-a")).unwrap();
+        assert!(matches!(
+            store.add(&demo("ext-a")),
+            Err(IngestError::Duplicate(_))
+        ));
+        // Case-folded file collision counts as a duplicate too.
+        assert!(matches!(
+            store.add(&demo("EXT-A")),
+            Err(IngestError::Duplicate(_))
+        ));
+        // Built-in benchmark names cannot be shadowed.
+        assert!(matches!(
+            store.add(&demo("gzip")),
+            Err(IngestError::Duplicate(_))
+        ));
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_path_traversal_is_rejected() {
+        let dir = temp_dir("traverse");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            r#"{"version":1,"workloads":["../evil.json"]}"#,
+        )
+        .unwrap();
+        let err = WorkloadStore::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("bare file name"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reload_keeps_previous_state_on_error() {
+        let dir = temp_dir("reload");
+        let store = WorkloadStore::open(&dir).unwrap();
+        store.add(&demo("ext-a")).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), "{not json").unwrap();
+        assert!(store.reload().is_err());
+        assert_eq!(store.len(), 1, "old state must survive a bad reload");
+        // Repairing the manifest lets reload pick up external edits.
+        write_manifest(&dir, &["workload-ext-a.json".to_string()]).unwrap();
+        assert_eq!(store.reload().unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_store_version_is_rejected() {
+        let dir = temp_dir("ver");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), r#"{"version":2,"workloads":[]}"#).unwrap();
+        let err = WorkloadStore::open(&dir).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported store version 2"),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_profiles_and_names_are_rejected_on_add() {
+        let dir = temp_dir("invalid");
+        let store = WorkloadStore::open(&dir).unwrap();
+        let mut bad = demo("bad-frac");
+        bad.hot_frac = 0.0;
+        assert!(matches!(store.add(&bad), Err(IngestError::Invalid(_))));
+        let weird = demo("has space"); // interned, but name invalid
+        assert!(matches!(store.add(&weird), Err(IngestError::Invalid(_))));
+        assert!(store.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn synth_and_fitted_profiles_persist_through_the_store() {
+        let dir = temp_dir("synth");
+        let store = WorkloadStore::open(&dir).unwrap();
+        for p in crate::synth::synth_profiles(3, 4) {
+            store.add(&p).unwrap();
+        }
+        let reopened = WorkloadStore::open(&dir).unwrap();
+        assert_eq!(reopened.profiles(), store.profiles());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -23,6 +23,7 @@ use crate::jobs::{protocol, JobManager, RegistryPredictor, SubmitRejected};
 use crate::registry::{ModelRegistry, RegistryError};
 use crate::telemetry::Telemetry;
 use dse_explore::{Command, Constraints, ExploreBudget, Explorer, Objective, SimOracle};
+use dse_ingest::{IngestError, WorkloadStore};
 use dse_sim::Metric;
 use dse_space::Config;
 use dse_util::json::{FromJson, Json, ToJson};
@@ -61,6 +62,11 @@ pub struct ServerConfig {
     /// connections round-robin across all of them. More than a few is
     /// pointless — reactors only shuffle bytes, workers do the thinking.
     pub reactors: usize,
+    /// Directory of an imported-workload store (`dse_ingest`). When set,
+    /// `GET/POST /v1/workloads` persist there and imported programs are
+    /// resolvable by explore jobs; when `None`, listing still works
+    /// (built-ins only) and imports answer 409.
+    pub workloads_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +82,7 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             max_explore_jobs: 2,
             reactors: 2,
+            workloads_dir: None,
         }
     }
 }
@@ -83,6 +90,8 @@ impl Default for ServerConfig {
 /// Shared server state: everything a request handler needs.
 pub(crate) struct State {
     pub(crate) registry: Arc<ModelRegistry>,
+    /// Imported-workload store; `None` when the server runs without one.
+    pub(crate) workloads: Option<Arc<WorkloadStore>>,
     pub(crate) cache: PredictionCache,
     pub(crate) telemetry: Telemetry,
     pub(crate) jobs: JobManager,
@@ -126,9 +135,16 @@ impl Server {
     pub fn start(registry: Arc<ModelRegistry>, cfg: &ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let workloads = match &cfg.workloads_dir {
+            Some(dir) => Some(Arc::new(
+                WorkloadStore::open(dir).map_err(io::Error::other)?,
+            )),
+            None => None,
+        };
         let pool = Arc::new(WorkerPool::new("dse-serve", cfg.workers, cfg.backlog));
         let state = Arc::new(State {
             registry,
+            workloads,
             cache: PredictionCache::new(cfg.cache_shards, cfg.cache_capacity),
             telemetry: Telemetry::new(),
             jobs: JobManager::new(cfg.max_explore_jobs),
@@ -186,6 +202,12 @@ impl Server {
         &self.state.cache
     }
 
+    /// Number of imported workloads, or `None` when the server runs
+    /// without a workload store.
+    pub fn workload_count(&self) -> Option<usize> {
+        self.state.workloads.as_ref().map(|w| w.len())
+    }
+
     /// Signals shutdown and wakes every reactor; returns without waiting.
     pub fn shutdown(&self) {
         if !self.state.shutdown.swap(true, Ordering::SeqCst) {
@@ -240,6 +262,8 @@ pub(crate) fn route(state: &Arc<State>, req: &Request) -> (&'static str, Respons
         ("POST", "/v1/fit") => ("/v1/fit", fit(state, req)),
         ("POST", "/v1/reload") => ("/v1/reload", reload(state)),
         ("POST", "/v1/shutdown") => ("/v1/shutdown", shutdown_route(state)),
+        ("GET", "/v1/workloads") => ("/v1/workloads", workloads_list(state)),
+        ("POST", "/v1/workloads") => ("/v1/workloads", workloads_add(state, req)),
         ("POST", "/v1/explore") => ("/v1/explore", explore_submit(state, req)),
         ("GET", "/v1/explore") => ("/v1/explore", explore_list(state)),
         (method, path) if path.starts_with("/v1/explore/") => {
@@ -256,12 +280,75 @@ pub(crate) fn route(state: &Arc<State>, req: &Request) -> (&'static str, Respons
         (
             _,
             "/healthz" | "/metrics" | "/v1/models" | "/v1/configs" | "/v1/predict"
-            | "/v1/predict_batch" | "/v1/fit" | "/v1/reload" | "/v1/shutdown" | "/v1/explore",
+            | "/v1/predict_batch" | "/v1/fit" | "/v1/reload" | "/v1/shutdown" | "/v1/explore"
+            | "/v1/workloads",
         ) => (
             "method_not_allowed",
             Response::error(405, &format!("{} not allowed here", req.method)),
         ),
         _ => ("not_found", Response::error(404, "no such route")),
+    }
+}
+
+fn ingest_error(err: &IngestError) -> Response {
+    let status = match err {
+        IngestError::Parse(_) => 400,
+        IngestError::Invalid(_) => 422,
+        IngestError::Duplicate(_) => 409,
+        IngestError::TooLarge { .. } => 413,
+        IngestError::Io(_) => 500,
+    };
+    Response::error(status, &err.to_string())
+}
+
+/// `GET /v1/workloads`: built-in benchmarks plus stored imports, through
+/// the same canonical enumeration the `workload list` CLI uses
+/// ([`dse_workload::catalog`]).
+fn workloads_list(state: &State) -> Response {
+    let extra = state
+        .workloads
+        .as_ref()
+        .map(|w| w.profiles())
+        .unwrap_or_default();
+    let entries = dse_workload::catalog(&extra);
+    let body = Json::obj([
+        ("total", entries.len().to_json()),
+        ("imported", extra.len().to_json()),
+        (
+            "workloads",
+            Json::Arr(entries.iter().map(ToJson::to_json).collect()),
+        ),
+    ]);
+    Response::json(200, dse_util::json::to_string(&body))
+}
+
+/// `POST /v1/workloads`: body is a raw interchange document
+/// ([`dse_ingest::import_profile`]); on success the profile is persisted
+/// to the store and immediately resolvable by explore jobs.
+fn workloads_add(state: &State, req: &Request) -> Response {
+    let Some(store) = state.workloads.as_ref() else {
+        return Response::error(
+            409,
+            "server started without --workloads; restart with a workload store to import",
+        );
+    };
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body is not valid UTF-8");
+    };
+    let profile = match dse_ingest::import_profile(text) {
+        Ok(p) => p,
+        Err(e) => return ingest_error(&e),
+    };
+    match store.add(&profile) {
+        Ok(()) => {
+            let out = Json::obj([
+                ("name", profile.name.to_json()),
+                ("suite", profile.suite.to_json()),
+                ("workloads", store.len().to_json()),
+            ]);
+            Response::json(201, dse_util::json::to_string(&out))
+        }
+        Err(e) => ingest_error(&e),
     }
 }
 
@@ -530,9 +617,21 @@ fn fit(state: &State, req: &Request) -> Response {
 fn reload(state: &State) -> Response {
     match state.registry.reload() {
         Ok(n) => {
+            // The workload store reloads under the same verb and the
+            // same keep-on-error discipline as the model artifacts.
+            let workloads = match state.workloads.as_ref().map(|w| w.reload()).transpose() {
+                Ok(w) => w,
+                Err(e) => return ingest_error(&e),
+            };
             state.cache.clear();
-            let out = Json::obj([("status", "reloaded".to_json()), ("models", n.to_json())]);
-            Response::json(200, dse_util::json::to_string(&out))
+            let mut fields = vec![
+                ("status".to_string(), "reloaded".to_json()),
+                ("models".to_string(), n.to_json()),
+            ];
+            if let Some(w) = workloads {
+                fields.push(("workloads".to_string(), w.to_json()));
+            }
+            Response::json(200, dse_util::json::to_string(&Json::Obj(fields)))
         }
         Err(e) => registry_error(&e),
     }
@@ -586,9 +685,12 @@ fn explore_submit(state: &Arc<State>, req: &Request) -> Response {
         },
         Err(_) => ExploreBudget::default(),
     };
+    // Built-ins first, then the imported-workload store — explore jobs
+    // accept any program the server can build a protocol trace for.
     let Some(profile) = dse_workload::suites::all_benchmarks()
         .into_iter()
         .find(|p| p.name == program)
+        .or_else(|| state.workloads.as_ref().and_then(|w| w.find(&program)))
     else {
         return Response::error(404, &format!("unknown benchmark '{program}'"));
     };

@@ -1,0 +1,269 @@
+//! Integration tests for the workload ingestion surface: `GET`/`POST
+//! /v1/workloads`, store-backed hot reload, and the headline guarantee
+//! that a program the suites have never seen — synthesized or imported
+//! over HTTP — can be fitted and predicted end to end.
+
+use dse_core::dataset::{DatasetSpec, SuiteDataset};
+use dse_ingest::{export_profile, synth_profile, WorkloadStore};
+use dse_ml::MlpConfig;
+use dse_serve::client::Client;
+use dse_serve::registry::{save_artifacts, ModelRegistry};
+use dse_serve::server::{Server, ServerConfig};
+use dse_sim::{simulate, Metric, SimOptions};
+use dse_util::json::FromJson;
+use dse_workload::TraceGenerator;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+const N_CONFIGS: usize = 40;
+const T: usize = 30;
+const SEED: u64 = 13;
+
+struct Setup {
+    dir: PathBuf,
+    ds: SuiteDataset,
+}
+
+/// One shared training run: 3 SPEC programs, artifacts for cycles.
+fn setup() -> &'static Setup {
+    static SETUP: OnceLock<Setup> = OnceLock::new();
+    SETUP.get_or_init(|| {
+        let profiles: Vec<_> = dse_workload::suites::spec2000()
+            .into_iter()
+            .take(3)
+            .collect();
+        let spec = DatasetSpec {
+            n_configs: N_CONFIGS,
+            ..DatasetSpec::tiny()
+        };
+        let ds = SuiteDataset::generate(&profiles, &spec);
+        let dir = std::env::temp_dir().join(format!("dse-serve-ingest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        save_artifacts(&dir, &ds, &[Metric::Cycles], T, &MlpConfig::default(), SEED).unwrap();
+        Setup { dir, ds }
+    })
+}
+
+/// Fresh empty workload store directory for one test.
+fn store_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("dse-serve-ingest-wl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_server(workloads_dir: Option<&PathBuf>) -> (Server, Client) {
+    let registry = Arc::new(ModelRegistry::open(&setup().dir).unwrap());
+    let cfg = ServerConfig {
+        workloads_dir: workloads_dir.map(|p| p.to_string_lossy().into_owned()),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(registry, &cfg).unwrap();
+    let addr = server.local_addr().to_string();
+    (server, Client::new(addr))
+}
+
+#[test]
+fn workloads_list_works_and_post_is_refused_without_a_store() {
+    let (server, mut client) = start_server(None);
+    let resp = client.get("/v1/workloads").unwrap();
+    assert_eq!(resp.status, 200);
+    let body = resp.json().unwrap();
+    let total = body.field("total").and_then(usize::from_json).unwrap();
+    let imported = body.field("imported").and_then(usize::from_json).unwrap();
+    assert_eq!(imported, 0);
+    assert_eq!(
+        total,
+        dse_workload::suites::all_benchmarks().len(),
+        "no store: the catalog is exactly the builtins"
+    );
+
+    let doc = export_profile(&synth_profile(3, 0));
+    let resp = client.post("/v1/workloads", &doc).unwrap();
+    assert_eq!(resp.status, 409, "got: {:?}", resp.text());
+    server.stop();
+}
+
+#[test]
+fn workload_import_lifecycle_over_http() {
+    let dir = store_dir("lifecycle");
+    let (server, mut client) = start_server(Some(&dir));
+
+    // Import a synthesized profile: 201, echoed name/suite, count 1.
+    let doc = export_profile(&synth_profile(41, 2));
+    let resp = client.post("/v1/workloads", &doc).unwrap();
+    assert_eq!(resp.status, 201, "got: {:?}", resp.text());
+    let body = resp.json().unwrap();
+    assert_eq!(
+        body.field("name").and_then(String::from_json).unwrap(),
+        "synth-41-2"
+    );
+    assert_eq!(
+        body.field("workloads").and_then(usize::from_json).unwrap(),
+        1
+    );
+
+    // The listing now carries it, flagged as imported.
+    let list = client.get("/v1/workloads").unwrap().json().unwrap();
+    assert_eq!(
+        list.field("imported").and_then(usize::from_json).unwrap(),
+        1
+    );
+    let names: Vec<String> = list
+        .field("workloads")
+        .and_then(|v| v.as_array().map(<[_]>::to_vec))
+        .unwrap()
+        .iter()
+        .map(|w| w.field("name").and_then(String::from_json).unwrap())
+        .collect();
+    assert!(names.contains(&"synth-41-2".to_string()));
+
+    // Re-importing the same name, or shadowing a builtin, is a conflict.
+    let resp = client.post("/v1/workloads", &doc).unwrap();
+    assert_eq!(resp.status, 409, "got: {:?}", resp.text());
+    let mut builtin = synth_profile(41, 3);
+    builtin.name = "gzip";
+    let resp = client
+        .post("/v1/workloads", &export_profile(&builtin))
+        .unwrap();
+    assert_eq!(resp.status, 409, "got: {:?}", resp.text());
+
+    // Parse errors are 400, validation errors 422.
+    let resp = client.post("/v1/workloads", "{not json").unwrap();
+    assert_eq!(resp.status, 400, "got: {:?}", resp.text());
+    let bad =
+        export_profile(&synth_profile(41, 4)).replace("\"kind\":\"profile\"", "\"kind\":\"trace\"");
+    let resp = client.post("/v1/workloads", &bad).unwrap();
+    assert_eq!(resp.status, 400, "got: {:?}", resp.text());
+    let invalid =
+        export_profile(&synth_profile(41, 5)).replace("\"hot_frac\":0.", "\"hot_frac\":-0.");
+    let resp = client.post("/v1/workloads", &invalid).unwrap();
+    assert_eq!(resp.status, 422, "got: {:?}", resp.text());
+
+    // Only the one good import survived, and it is on disk: a second
+    // store handle opened on the same directory sees it.
+    let reopened = WorkloadStore::open(&dir).unwrap();
+    assert_eq!(reopened.len(), 1);
+    assert!(reopened.find("synth-41-2").is_some());
+    server.stop();
+}
+
+#[test]
+fn reload_picks_up_out_of_band_store_changes() {
+    let dir = store_dir("reload");
+    let (server, mut client) = start_server(Some(&dir));
+    assert_eq!(server.workload_count(), Some(0));
+
+    // A second handle writes to the same directory behind the server's
+    // back — the operational "scp a workload onto the box" path.
+    let side = WorkloadStore::open(&dir).unwrap();
+    side.add(&synth_profile(42, 0)).unwrap();
+
+    let resp = client.post("/v1/reload", "").unwrap();
+    assert_eq!(resp.status, 200, "got: {:?}", resp.text());
+    let body = resp.json().unwrap();
+    assert_eq!(
+        body.field("workloads").and_then(usize::from_json).unwrap(),
+        1
+    );
+    assert_eq!(server.workload_count(), Some(1));
+    let list = client.get("/v1/workloads").unwrap().json().unwrap();
+    assert_eq!(
+        list.field("imported").and_then(usize::from_json).unwrap(),
+        1
+    );
+    server.stop();
+}
+
+/// The headline ingestion guarantee: a program that exists in no suite —
+/// synthesized by the fuzzer, imported over HTTP — is fitted from
+/// simulated responses on the server's design sample and predicted,
+/// bit-identically to the library path on the same artifacts.
+#[test]
+fn external_program_fit_predict_end_to_end() {
+    let s = setup();
+    let dir = store_dir("e2e");
+    let (server, mut client) = start_server(Some(&dir));
+    let external = synth_profile(7, 0);
+    let resp = client
+        .post("/v1/workloads", &export_profile(&external))
+        .unwrap();
+    assert_eq!(resp.status, 201, "got: {:?}", resp.text());
+
+    // Simulate the external program on the first 16 configurations of
+    // the server's persisted design sample — the R responses the paper's
+    // method needs to place a new program in the trained space.
+    let trace = TraceGenerator::new(&external).generate(12_000);
+    let opts = SimOptions::with_warmup(2_000);
+    let responses: Vec<(usize, f64)> = s.ds.configs[..16]
+        .iter()
+        .enumerate()
+        .map(|(i, cfg)| (i, simulate(cfg, &trace, opts).cycles))
+        .collect();
+
+    let summary = client
+        .fit(&external.name, Metric::Cycles, &responses)
+        .unwrap();
+    assert_eq!(
+        summary
+            .field("responses")
+            .and_then(usize::from_json)
+            .unwrap(),
+        16
+    );
+
+    // Server predictions must equal the library path on the same
+    // artifacts, bit for bit — imported programs get no special path.
+    let registry = ModelRegistry::open(&s.dir).unwrap();
+    registry
+        .fit(&external.name, Metric::Cycles, &responses)
+        .unwrap();
+    for cfg in &s.ds.configs[..8] {
+        let expected = registry
+            .predict(&external.name, Metric::Cycles, cfg)
+            .unwrap();
+        let (got, _) = client.predict(&external.name, Metric::Cycles, cfg).unwrap();
+        assert_eq!(got.to_bits(), expected.to_bits());
+        let (again, cached) = client.predict(&external.name, Metric::Cycles, cfg).unwrap();
+        assert!(cached);
+        assert_eq!(again.to_bits(), expected.to_bits());
+    }
+
+    // The fitted external program is explorable: the job resolves its
+    // profile from the workload store, not the builtin suites.
+    let body = format!(
+        "{{\"program\":\"{}\",\"objective\":\"cycles\",\
+         \"budget\":{{\"rounds\":1,\"candidates_per_round\":8,\
+         \"sims_per_round\":1,\"archive_cap\":4,\"seed\":3}}}}",
+        external.name
+    );
+    let resp = client.post("/v1/explore", &body).unwrap();
+    assert_eq!(resp.status, 202, "got: {:?}", resp.text());
+    let id = resp
+        .json()
+        .unwrap()
+        .field("id")
+        .and_then(String::from_json)
+        .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let done = loop {
+        let body = client
+            .get(&format!("/v1/explore/{id}"))
+            .unwrap()
+            .json()
+            .unwrap();
+        let status = body.field("status").and_then(String::from_json).unwrap();
+        if status != "queued" && status != "running" {
+            break body;
+        }
+        assert!(std::time::Instant::now() < deadline, "job never settled");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    assert_eq!(
+        done.field("status").and_then(String::from_json).unwrap(),
+        "done",
+        "body: {}",
+        dse_util::json::to_string(&done)
+    );
+    server.stop();
+}

@@ -39,6 +39,7 @@ pub mod batch;
 pub mod branch;
 pub mod cache;
 pub mod check;
+pub mod corun;
 pub mod energy;
 pub mod obs;
 pub mod oracle;
@@ -50,6 +51,7 @@ pub use batch::{
     BATCH_ENV,
 };
 pub use check::CheckError;
+pub use corun::{simulate_corun, CorunLane, CorunResult};
 pub use obs::{NoObs, SimObs, StallProfile, StallReport};
 pub use pipeline::{Pipeline, RunRecord, SimOptions, SimResult};
 

@@ -186,6 +186,20 @@ struct MissRateSnapshot {
     bp: (u64, u64),
 }
 
+/// A co-runner's L1-filtered L2 address stream, injected one access per
+/// own L2 access (round-robin arbitration with wrap-around) to model a
+/// second program sharing this lane's L2. Intruder accesses pollute the
+/// shared L2 contents and occupy L2/memory slots, but are tracked
+/// separately so the lane's own counters, miss rates, and energy stay
+/// own-only (see [`Pipeline::set_intruder`]).
+#[derive(Debug)]
+struct IntruderLane {
+    addrs: Vec<u64>,
+    pos: usize,
+    accesses: u64,
+    misses: u64,
+}
+
 /// Source of front-end outcomes: I-cache hit/miss, branch direction, and
 /// BTB target correctness.
 ///
@@ -383,6 +397,18 @@ pub struct Pipeline<'t> {
 
     l2_free_at: u64,
     mem_free_at: u64,
+
+    /// When `Some`, every L2-reaching address (the L1-filtered stream)
+    /// is recorded in issue order — the co-run driver's capture pass.
+    /// `None` (the default) leaves the hot path untouched.
+    l2_capture: Option<Vec<u64>>,
+    /// When `Some`, a co-runner's address stream is interleaved into the
+    /// L2 round-robin (one intruder access per own access). `None` (the
+    /// default) is bit-identical to a solo run.
+    intruder: Option<IntruderLane>,
+    /// True when either `l2_capture` or `intruder` is armed; the one
+    /// flag the solo L2 hot path checks before taking the hooked route.
+    corun_hooks: bool,
 
     /// Set when an issue attempt failed on a structural hazard (ports,
     /// units, width); forces a rescan next cycle.
@@ -586,6 +612,9 @@ impl<'t> Pipeline<'t> {
             wb_used: vec![0; WB_RING].into_boxed_slice(),
             l2_free_at: 0,
             mem_free_at: 0,
+            l2_capture: None,
+            intruder: None,
+            corun_hooks: false,
             structural_block: false,
             scan_dirty: true,
             wheel: vec![0; WAKE_WHEEL].into_boxed_slice(),
@@ -726,6 +755,44 @@ impl<'t> Pipeline<'t> {
     pub fn try_run_full_obs<O: SimObs>(mut self, obs: &mut O) -> Result<RunRecord, CheckError> {
         self.step_until(obs, usize::MAX)?;
         self.into_record()
+    }
+
+    /// Arms L2 stream capture: the run records every L2-reaching address
+    /// (the L1-filtered stream, in issue order). Capture changes no
+    /// timing or accounting — the run stays bit-identical to an unarmed
+    /// one. Retrieve the stream with [`Pipeline::try_run_full_captured`].
+    pub fn capture_l2_stream(&mut self) {
+        self.l2_capture = Some(Vec::new());
+        self.corun_hooks = true;
+    }
+
+    /// Injects `addrs` as a co-running intruder sharing this lane's L2:
+    /// after each own L2 access, the next intruder address (round-robin
+    /// over `addrs`, wrapping) takes an L2 slot — and, when it misses, a
+    /// memory slot — so the own lane queues behind it, and the shared L2
+    /// contents reflect both programs. Intruder events are accounted
+    /// separately: the lane's counters, miss rates and energy remain
+    /// own-only. An empty stream is ignored (no co-runner).
+    pub fn set_intruder(&mut self, addrs: Vec<u64>) {
+        if !addrs.is_empty() {
+            self.intruder = Some(IntruderLane {
+                addrs,
+                pos: 0,
+                accesses: 0,
+                misses: 0,
+            });
+            self.corun_hooks = true;
+        }
+    }
+
+    /// Like [`Pipeline::try_run_full`], additionally returning the L2
+    /// address stream recorded by [`Pipeline::capture_l2_stream`]
+    /// (empty if capture was never armed).
+    pub fn try_run_full_captured(mut self) -> Result<(RunRecord, Vec<u64>), CheckError> {
+        self.step_until(&mut NoObs, usize::MAX)?;
+        let stream = self.l2_capture.take().unwrap_or_default();
+        let record = self.into_record()?;
+        Ok((record, stream))
     }
 
     /// Whether the whole trace has committed.
@@ -881,7 +948,10 @@ impl<'t> Pipeline<'t> {
                 w.l1d.0,
                 w.l1d.1,
             ),
-            l2_miss_rate: rate(self.l2.accesses(), self.l2.misses(), w.l2.0, w.l2.1),
+            l2_miss_rate: {
+                let (own_acc, own_miss) = self.own_l2_stats();
+                rate(own_acc, own_miss, w.l2.0, w.l2.1)
+            },
             bpred_miss_rate: rate(bp_pred, bp_miss, w.bp.0, w.bp.1),
         };
         Ok(RunRecord {
@@ -911,13 +981,16 @@ impl<'t> Pipeline<'t> {
         let (bp_pred, _) = self.frontend.bpred_stats();
         check::reconcile("icache-accesses", c.icache_accesses, ic_acc)?;
         check::reconcile("dcache-accesses", c.dcache_accesses, self.dcache.accesses())?;
-        check::reconcile("l2-accesses", c.l2_accesses, self.l2.accesses())?;
+        // The L2 totals include any co-running intruder's accesses; the
+        // lane's own counters must match the own share exactly.
+        let (own_l2_acc, own_l2_miss) = self.own_l2_stats();
+        check::reconcile("l2-accesses", c.l2_accesses, own_l2_acc)?;
         check::reconcile(
             "l1-misses-feed-l2",
-            self.l2.accesses(),
+            own_l2_acc,
             ic_miss + self.dcache.misses(),
         )?;
-        check::reconcile("l2-misses-feed-memory", c.memory_accesses, self.l2.misses())?;
+        check::reconcile("l2-misses-feed-memory", c.memory_accesses, own_l2_miss)?;
         check::reconcile("bpred-accesses", c.bpred_accesses, bp_pred)?;
 
         // Every trace instruction flows through each stage exactly once.
@@ -941,7 +1014,7 @@ impl<'t> Pipeline<'t> {
         MissRateSnapshot {
             l1i: self.frontend.icache_stats(),
             l1d: (self.dcache.accesses(), self.dcache.misses()),
-            l2: (self.l2.accesses(), self.l2.misses()),
+            l2: self.own_l2_stats(),
             bp: self.frontend.bpred_stats(),
         }
     }
@@ -1319,6 +1392,11 @@ impl<'t> Pipeline<'t> {
 
     /// L2 access (shared by I- and D-side), returning data-ready cycle.
     fn l2_access(&mut self, addr: u64, at: u64) -> u64 {
+        // Capture/co-run hooks live in the outlined variant so the solo
+        // hot path pays exactly one always-false predictable branch.
+        if self.corun_hooks {
+            return self.l2_access_hooked(addr, at);
+        }
         self.counters.l2_accesses += 1;
         let start = at.max(self.l2_free_at);
         self.l2_free_at = start + 2; // L2 accepts a new access every 2 cycles
@@ -1330,6 +1408,54 @@ impl<'t> Pipeline<'t> {
         let mstart = l2_done.max(self.mem_free_at);
         self.mem_free_at = mstart + self.mem.occupancy as u64;
         mstart + self.mem.latency as u64
+    }
+
+    /// [`Pipeline::l2_access`] with the stream-capture and intruder
+    /// hooks live — only reached when one of them is armed.
+    #[cold]
+    #[inline(never)]
+    fn l2_access_hooked(&mut self, addr: u64, at: u64) -> u64 {
+        self.counters.l2_accesses += 1;
+        if let Some(cap) = self.l2_capture.as_mut() {
+            cap.push(addr);
+        }
+        let start = at.max(self.l2_free_at);
+        self.l2_free_at = start + 2; // L2 accepts a new access every 2 cycles
+        let l2_done = start + self.l2_lat;
+        let hit = self.l2.access(addr) == CacheOutcome::Hit;
+        // Round-robin co-runner: one intruder access follows each own
+        // access, taking the next L2 slot and — on a miss — a memory
+        // slot ahead of any own miss below, so the own lane feels both
+        // port and bus contention as well as capacity pollution.
+        if let Some(intr) = self.intruder.as_mut() {
+            let ia = intr.addrs[intr.pos];
+            intr.pos += 1;
+            if intr.pos == intr.addrs.len() {
+                intr.pos = 0;
+            }
+            intr.accesses += 1;
+            self.l2_free_at += 2;
+            if self.l2.access(ia) != CacheOutcome::Hit {
+                intr.misses += 1;
+                self.mem_free_at = self.mem_free_at.max(l2_done) + self.mem.occupancy as u64;
+            }
+        }
+        if hit {
+            return l2_done;
+        }
+        self.counters.memory_accesses += 1;
+        let mstart = l2_done.max(self.mem_free_at);
+        self.mem_free_at = mstart + self.mem.occupancy as u64;
+        mstart + self.mem.latency as u64
+    }
+
+    /// The lane's own L2 statistics — total minus intruder, so co-run
+    /// miss rates and reconciliations describe only this program.
+    fn own_l2_stats(&self) -> (u64, u64) {
+        match &self.intruder {
+            Some(i) => (self.l2.accesses() - i.accesses, self.l2.misses() - i.misses),
+            None => (self.l2.accesses(), self.l2.misses()),
+        }
     }
 
     /// Reserves a register-file write port at or after `at`.

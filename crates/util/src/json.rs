@@ -45,8 +45,13 @@ pub struct JsonError {
     /// Human-readable description of what went wrong.
     pub message: String,
     /// Byte offset in the input where the parser failed (0 for
-    /// conversion errors, which have no position).
+    /// conversion errors that could not be located in the input).
     pub offset: usize,
+    /// Key path from the document root to the failing value, outermost
+    /// segment first. Object keys are stored bare (`"profile"`), array
+    /// indices bracketed (`"[3]"`). Empty for parser errors and for
+    /// conversions that never descended into a container.
+    pub path: Vec<String>,
 }
 
 impl JsonError {
@@ -55,13 +60,47 @@ impl JsonError {
         Self {
             message: message.into(),
             offset: 0,
+            path: Vec::new(),
         }
+    }
+
+    /// Prefixes `segment` onto the key path — called by container
+    /// conversions as an error propagates outward, so the outermost
+    /// frame ends up first.
+    #[must_use]
+    pub fn in_path(mut self, segment: impl Into<String>) -> Self {
+        self.path.insert(0, segment.into());
+        self
+    }
+
+    /// The key path rendered `$`-rooted, e.g. `$.profile.mix[2]`.
+    pub fn path_string(&self) -> String {
+        let mut s = String::from("$");
+        for seg in &self.path {
+            if seg.starts_with('[') {
+                s.push_str(seg);
+            } else {
+                s.push('.');
+                s.push_str(seg);
+            }
+        }
+        s
     }
 }
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (at byte {})", self.message, self.offset)
+        if self.path.is_empty() {
+            write!(f, "{} (at byte {})", self.message, self.offset)
+        } else {
+            write!(
+                f,
+                "{} (at {}, byte {})",
+                self.message,
+                self.path_string(),
+                self.offset
+            )
+        }
     }
 }
 
@@ -233,6 +272,19 @@ impl Json {
         }
     }
 
+    /// Reads and converts an object field, tagging any error with the
+    /// field's key path — the idiomatic accessor for `FromJson`
+    /// implementations that want actionable nested errors.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `self` is not an object, lacks the field, or the field
+    /// fails `T`'s conversion; conversion errors carry `key` prefixed
+    /// onto their path.
+    pub fn get<T: FromJson>(&self, key: &str) -> Result<T, JsonError> {
+        T::from_json(self.field(key)?).map_err(|e| e.in_path(key))
+    }
+
     fn kind(&self) -> &'static str {
         match self {
             Json::Null => "null",
@@ -319,6 +371,7 @@ impl<'a> Parser<'a> {
         JsonError {
             message: message.to_string(),
             offset: self.pos,
+            path: Vec::new(),
         }
     }
 
@@ -667,7 +720,11 @@ impl<T: ToJson> ToJson for Vec<T> {
 
 impl<T: FromJson> FromJson for Vec<T> {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
-        v.as_array()?.iter().map(T::from_json).collect()
+        v.as_array()?
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json(item).map_err(|e| e.in_path(format!("[{i}]"))))
+            .collect()
     }
 }
 
@@ -690,11 +747,85 @@ pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
 
 /// Parses a JSON document and converts it to `T`.
 ///
+/// Conversion errors that carry a key path are re-anchored to the byte
+/// offset of that path in `text`, so callers see *where* in the document
+/// the offending value sits, not just which field it was.
+///
 /// # Errors
 ///
 /// Returns the first syntax or conversion error.
 pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
-    T::from_json(&Json::parse(text)?)
+    T::from_json(&Json::parse(text)?).map_err(|mut e| {
+        if e.offset == 0 && !e.path.is_empty() {
+            if let Some(off) = locate(text, &e.path) {
+                e.offset = off;
+            }
+        }
+        e
+    })
+}
+
+/// Walks `text` to the value addressed by `path` (object keys bare,
+/// array indices as `[i]`) and returns its byte offset, or `None` if the
+/// path does not resolve — e.g. because it names a missing field.
+fn locate(text: &str, path: &[String]) -> Option<usize> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    for seg in path {
+        if let Some(idx) = seg.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let want: usize = idx.parse().ok()?;
+            if p.peek() != Some(b'[') {
+                return None;
+            }
+            p.pos += 1;
+            let mut i = 0;
+            loop {
+                p.skip_ws();
+                if p.peek() == Some(b']') {
+                    return None;
+                }
+                if i == want {
+                    break;
+                }
+                p.value().ok()?;
+                p.skip_ws();
+                if p.peek() != Some(b',') {
+                    return None;
+                }
+                p.pos += 1;
+                i += 1;
+            }
+        } else {
+            if p.peek() != Some(b'{') {
+                return None;
+            }
+            p.pos += 1;
+            loop {
+                p.skip_ws();
+                let key = p.string().ok()?;
+                p.skip_ws();
+                if p.peek() != Some(b':') {
+                    return None;
+                }
+                p.pos += 1;
+                p.skip_ws();
+                if key == *seg {
+                    break;
+                }
+                p.value().ok()?;
+                p.skip_ws();
+                if p.peek() != Some(b',') {
+                    return None;
+                }
+                p.pos += 1;
+            }
+        }
+    }
+    Some(p.pos)
 }
 
 #[cfg(test)]
@@ -839,6 +970,59 @@ mod tests {
         assert_eq!(n, 4096);
         assert!(from_str::<u32>("4294967296").is_err());
         assert!(from_str::<u32>("3.5").is_err());
+    }
+
+    #[test]
+    fn get_tags_errors_with_key_path() {
+        let v = Json::parse(r#"{"outer": {"inner": "oops"}}"#).unwrap();
+        let outer = v.field("outer").unwrap();
+        let err = outer.get::<f64>("inner").unwrap_err().in_path("outer");
+        assert_eq!(err.path, vec!["outer".to_string(), "inner".to_string()]);
+        assert_eq!(err.path_string(), "$.outer.inner");
+        let shown = err.to_string();
+        assert!(shown.contains("$.outer.inner"), "display: {shown}");
+    }
+
+    #[test]
+    fn vec_conversion_errors_carry_index_segments() {
+        let err = from_str::<Vec<f64>>("[1.0, 2.0, \"x\"]").unwrap_err();
+        assert_eq!(err.path, vec!["[2]".to_string()]);
+        assert_eq!(err.path_string(), "$[2]");
+    }
+
+    #[test]
+    fn from_str_locates_conversion_errors_by_byte_offset() {
+        let text = r#"{"a": [1, 2], "b": [3, "bad"]}"#;
+        #[derive(Debug)]
+        struct Two;
+        impl FromJson for Two {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let _: Vec<f64> = v.get("a")?;
+                let _: Vec<f64> = v.get("b")?;
+                Ok(Two)
+            }
+        }
+        let err = from_str::<Two>(text).unwrap_err();
+        assert_eq!(err.path_string(), "$.b[1]");
+        assert_eq!(err.offset, text.find("\"bad\"").unwrap());
+        assert!(err.to_string().contains("byte 23"), "display: {err}");
+    }
+
+    #[test]
+    fn locate_handles_missing_paths_gracefully() {
+        assert_eq!(locate("[1, 2]", &["[5]".to_string()]), None);
+        assert_eq!(locate("{\"a\": 1}", &["b".to_string()]), None);
+        assert_eq!(locate("17", &["a".to_string()]), None);
+        let text = r#"{"a": {"b": [10, 20, 30]}}"#;
+        let path = vec!["a".to_string(), "b".to_string(), "[2]".to_string()];
+        assert_eq!(locate(text, &path), Some(text.find("30").unwrap()));
+    }
+
+    #[test]
+    fn parser_errors_keep_the_legacy_display_format() {
+        let err = Json::parse("[1, 2, oops]").unwrap_err();
+        assert!(err.path.is_empty());
+        assert_eq!(err.to_string(), "unexpected character (at byte 7)");
     }
 
     #[test]

@@ -44,5 +44,6 @@ pub mod profile;
 pub mod suites;
 pub mod trace;
 
-pub use profile::{BranchClass, Profile, Suite};
+pub use profile::{intern_name, BranchClass, Profile, Suite};
+pub use suites::{catalog, CatalogEntry};
 pub use trace::{meta, Instr, InstrKind, Trace, TraceGenerator};

@@ -575,6 +575,55 @@ pub fn all_benchmarks() -> Vec<Profile> {
     v
 }
 
+/// One row of the canonical program enumeration shared by the CLI's
+/// `workload list` and the server's `GET /v1/workloads`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// Owning suite.
+    pub suite: Suite,
+    /// Program name.
+    pub name: String,
+    /// Base trace seed.
+    pub seed: u64,
+    /// Data footprint in KB — the most useful at-a-glance signal.
+    pub data_kb: u32,
+}
+
+impl CatalogEntry {
+    fn of(p: &Profile) -> Self {
+        Self {
+            suite: p.suite,
+            name: p.name.to_string(),
+            seed: p.seed,
+            data_kb: p.data_kb,
+        }
+    }
+}
+
+impl dse_util::json::ToJson for CatalogEntry {
+    fn to_json(&self) -> dse_util::json::Json {
+        use dse_util::json::Json;
+        Json::obj([
+            ("suite", self.suite.to_json()),
+            ("name", self.name.to_json()),
+            ("seed", self.seed.to_json()),
+            ("data_kb", self.data_kb.to_json()),
+        ])
+    }
+}
+
+/// Canonical enumeration of all known programs: the 45 built-ins in
+/// suite order, followed by `extra` (imported or synthesised profiles)
+/// in the order given. Every listing surface renders exactly this, so
+/// the CLI and server can never drift apart.
+pub fn catalog(extra: &[Profile]) -> Vec<CatalogEntry> {
+    all_benchmarks()
+        .iter()
+        .chain(extra)
+        .map(CatalogEntry::of)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -642,6 +691,21 @@ mod tests {
     #[test]
     fn all_benchmarks_concatenates() {
         assert_eq!(all_benchmarks().len(), 45);
+    }
+
+    #[test]
+    fn catalog_lists_builtins_then_extras() {
+        let base = catalog(&[]);
+        assert_eq!(base.len(), 45);
+        assert_eq!(base[0].name, "gzip");
+        assert_eq!(base[0].suite, Suite::SpecCpu2000);
+        let extra = [Profile::template("wild-prog", Suite::External, 99)];
+        let full = catalog(&extra);
+        assert_eq!(full.len(), 46);
+        assert_eq!(full[45].name, "wild-prog");
+        assert_eq!(full[45].suite, Suite::External);
+        assert_eq!(full[45].seed, 99);
+        assert_eq!(&full[..45], &base[..]);
     }
 
     #[test]

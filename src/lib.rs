@@ -20,6 +20,7 @@
 //! | [`space`] | `dse-space` | the 13-parameter design space (Table 1/2) |
 //! | [`workload`] | `dse-workload` | synthetic SPEC CPU 2000 / MiBench stand-ins |
 //! | [`sim`] | `dse-sim` | cycle-level out-of-order simulator + Wattch-style energy |
+//! | [`ingest`] | `dse-ingest` | workload interchange format, trace importer, profile fuzzer, store |
 //! | [`ml`] | `dse-ml` | MLP, linear regression, stats, clustering |
 //! | [`core`] | `dse-core` | the architecture-centric predictor + evaluation harness |
 //! | [`explore`] | `dse-explore` | Pareto-frontier explorer: predictor-guided acquisition |
@@ -47,6 +48,7 @@
 
 pub use dse_core as core;
 pub use dse_explore as explore;
+pub use dse_ingest as ingest;
 pub use dse_ml as ml;
 pub use dse_obs as obs;
 pub use dse_rng as rng;

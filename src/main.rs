@@ -31,23 +31,38 @@ const USAGE: &str = "usage: archdse <command> [args]
 commands:
   space                                   design-space summary
   benchmarks                              list workload profiles
-  simulate <bench> [--sanitize] [--profile] [k=v...]
+  simulate <bench> [--sanitize] [--profile] [--corun <bench2>] [--workloads <dir>] [k=v...]
                                           run one benchmark on one config
-                                          (--profile: stall attribution)
-  predict <bench> [r=32]                  leave-one-out prediction demo
+                                          (--profile: stall attribution;
+                                           --corun: share the L2 with <bench2>)
+  workload list [--workloads <dir>]       catalog: built-ins + imported workloads
+  workload export <name> [--workloads <dir>]
+                                          print a profile as an interchange document
+  workload import <file> [--workloads <dir>]
+                                          import a profile document or raw
+                                          #archdse-trace into the store
+  workload synth --seed N --count K [--workloads <dir>]
+                                          generate fuzzer profiles (stored, or
+                                          printed without --workloads)
+  predict <bench> [r=32] [--workloads <dir>]
+                                          leave-one-out prediction demo
   explore <bench> --models <dir> [--objective cycles,energy] [--constraints \"rob<=96,..\"]
           [--rounds N] [--candidates N] [--sims N] [--archive N] [--seed N]
           [--r N] [--out <dir>]           predictor-guided Pareto frontier search;
                                           writes <out>/frontier-<slug>.json (default results/)
   train --out <dir> [--benchmarks N] [--configs N] [--t N] [--metrics m,..|all]
-        [--obs json|pretty|off]           train + persist serving artifacts
-                                          (--obs json: span JSONL on stdout;
+        [--workloads <dir>] [--obs json|pretty|off]
+                                          train + persist serving artifacts
+                                          (--workloads: include imported suite;
+                                           --obs json: span JSONL on stdout;
                                            --obs pretty: self-time flame table)
   obs report <spans.jsonl>                flame table from a span log
   serve --models <dir> [--addr host:port] [--workers N] [--reactors N]
-                                          serve predictions over HTTP
+        [--workloads <dir>]               serve predictions over HTTP
   client <addr> health                    check a running server
-  client <addr> fit <bench> [metric] [r=N]
+  client <addr> workloads                 list the server-side workload catalog
+  client <addr> import <file>             POST a profile document to the server
+  client <addr> fit <bench> [metric] [r=N] [workloads=<dir>]
                                           simulate R responses and fit
   client <addr> predict <program> [metric] [k=v...]
                                           predict one configuration
@@ -58,6 +73,7 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("space") => cmd_space(),
         Some("benchmarks") => cmd_benchmarks(),
+        Some("workload") => cmd_workload(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
         Some("explore") => cmd_explore(&args[1..]),
@@ -181,31 +197,67 @@ fn parse_config(args: &[String]) -> Result<Config, String> {
 }
 
 fn find_profile(name: &str) -> Result<Profile, String> {
-    archdse::workload::suites::all_benchmarks()
+    find_profile_in(name, None)
+}
+
+/// Resolves a program name against the built-in benchmarks and, when a
+/// store directory is given, the imported workloads.
+fn find_profile_in(name: &str, workloads: Option<&str>) -> Result<Profile, String> {
+    if let Some(p) = archdse::workload::suites::all_benchmarks()
         .into_iter()
         .find(|p| p.name == name)
-        .ok_or_else(|| format!("unknown benchmark '{name}' (try `archdse benchmarks`)"))
+    {
+        return Ok(p);
+    }
+    if let Some(dir) = workloads {
+        let store = archdse::ingest::WorkloadStore::open(dir).map_err(|e| e.to_string())?;
+        if let Some(p) = store.find(name) {
+            return Ok(p);
+        }
+    }
+    Err(format!(
+        "unknown benchmark '{name}' (try `archdse benchmarks` or `archdse workload list`)"
+    ))
 }
 
 fn cmd_simulate(args: &[String]) -> i32 {
+    const SIM_USAGE: &str = "usage: archdse simulate <benchmark> [--sanitize] [--profile] \
+[--corun <bench2>] [--workloads <dir>] [key=value ...]";
     let Some(bench) = args.first() else {
-        eprintln!("usage: archdse simulate <benchmark> [--sanitize] [key=value ...]");
+        eprintln!("{SIM_USAGE}");
         return 2;
     };
-    let profile = match find_profile(bench) {
+    let mut sanitize = false;
+    let mut profile_run = false;
+    let mut corun: Option<String> = None;
+    let mut workloads: Option<String> = None;
+    let mut overrides = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sanitize" => sanitize = true,
+            "--profile" => profile_run = true,
+            "--corun" | "--workloads" => {
+                let Some(value) = it.next() else {
+                    eprintln!("flag '{arg}' needs a value\n{SIM_USAGE}");
+                    return 2;
+                };
+                if arg == "--corun" {
+                    corun = Some(value.clone());
+                } else {
+                    workloads = Some(value.clone());
+                }
+            }
+            _ => overrides.push(arg.clone()),
+        }
+    }
+    let profile = match find_profile_in(bench, workloads.as_deref()) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
             return 2;
         }
     };
-    let sanitize = args[1..].iter().any(|a| a == "--sanitize");
-    let profile_run = args[1..].iter().any(|a| a == "--profile");
-    let overrides: Vec<String> = args[1..]
-        .iter()
-        .filter(|a| *a != "--sanitize" && *a != "--profile")
-        .cloned()
-        .collect();
     let cfg = match parse_config(&overrides) {
         Ok(c) => c,
         Err(e) => {
@@ -213,6 +265,13 @@ fn cmd_simulate(args: &[String]) -> i32 {
             return 2;
         }
     };
+    if let Some(other) = corun {
+        if profile_run {
+            eprintln!("--profile is not supported together with --corun");
+            return 2;
+        }
+        return simulate_corun_cli(&cfg, &profile, &other, workloads.as_deref(), sanitize);
+    }
     let trace = TraceGenerator::new(&profile).generate(60_000);
     let options = SimOptions {
         sanitize,
@@ -263,13 +322,271 @@ fn cmd_simulate(args: &[String]) -> i32 {
     0
 }
 
+/// `simulate A --corun B`: runs the two-pass shared-L2 interference
+/// scenario and reports each lane's solo vs contended story.
+fn simulate_corun_cli(
+    cfg: &Config,
+    a: &Profile,
+    b_name: &str,
+    workloads: Option<&str>,
+    sanitize: bool,
+) -> i32 {
+    let b = match find_profile_in(b_name, workloads) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let trace_a = TraceGenerator::new(a).generate(60_000);
+    let trace_b = TraceGenerator::new(&b).generate(60_000);
+    let options = SimOptions {
+        sanitize,
+        ..SimOptions::with_warmup(15_000)
+    };
+    let result = match archdse::sim::simulate_corun(cfg, &trace_a, &trace_b, options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    println!("co-run    : {} + {} (shared L2)", a.name, b.name);
+    println!("config    : {cfg}");
+    let lane = |name: &str, l: &archdse::sim::CorunLane| {
+        println!(
+            "{name:14} cycles {:.4e} -> {:.4e}  slowdown {:.3}x  L2 miss {:.2}% -> {:.2}%",
+            l.solo.cycles,
+            l.contended.cycles,
+            l.slowdown(),
+            100.0 * l.solo_l2_miss,
+            100.0 * l.contended_l2_miss
+        );
+    };
+    lane(a.name, &result.a);
+    lane(b.name, &result.b);
+    0
+}
+
+/// `archdse workload <list|export|import|synth>`: the ingestion surface.
+fn cmd_workload(args: &[String]) -> i32 {
+    const W_USAGE: &str = "usage: archdse workload <verb> [args]
+  workload list [--workloads <dir>]              catalog (built-ins + imports)
+  workload export <name> [--workloads <dir>]     print an interchange document
+  workload import <file> [--workloads <dir>]     import a document or raw trace
+                                                 (default store: workloads/)
+  workload synth --seed N --count K [--workloads <dir>]
+                                                 fuzz profiles (stored, or printed
+                                                 as NDJSON without --workloads)";
+    let Some(verb) = args.first() else {
+        eprintln!("{W_USAGE}");
+        return 2;
+    };
+    match verb.as_str() {
+        "list" => workload_list(&args[1..], W_USAGE),
+        "export" => workload_export(&args[1..], W_USAGE),
+        "import" => workload_import(&args[1..], W_USAGE),
+        "synth" => workload_synth(&args[1..], W_USAGE),
+        other => {
+            eprintln!("unknown workload verb '{other}'\n{W_USAGE}");
+            2
+        }
+    }
+}
+
+fn workload_list(args: &[String], usage: &str) -> i32 {
+    let flags = match parse_flags(args, &["workloads"]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}\n{usage}");
+            return 2;
+        }
+    };
+    let extra = match flags.get("workloads") {
+        Some(dir) => match archdse::ingest::WorkloadStore::open(dir) {
+            Ok(store) => store.profiles(),
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        },
+        None => Vec::new(),
+    };
+    // The same canonical enumeration `GET /v1/workloads` serves.
+    for entry in archdse::workload::catalog(&extra) {
+        println!(
+            "{:16} {:14} seed {:18} data {:7} KB",
+            entry.name,
+            entry.suite.to_string(),
+            entry.seed,
+            entry.data_kb
+        );
+    }
+    0
+}
+
+fn workload_export(args: &[String], usage: &str) -> i32 {
+    let Some(name) = args.first() else {
+        eprintln!("workload export needs a program name\n{usage}");
+        return 2;
+    };
+    let flags = match parse_flags(&args[1..], &["workloads"]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}\n{usage}");
+            return 2;
+        }
+    };
+    let profile = match find_profile_in(name, flags.get("workloads").map(String::as_str)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    print!("{}", archdse::ingest::export_profile(&profile));
+    0
+}
+
+/// Reads a workload file — an interchange document or a raw
+/// `#archdse-trace` — into a validated profile. Sniffs the format from
+/// the first non-whitespace byte; both paths enforce their size caps.
+fn read_workload_file(path: &str) -> Result<Profile, String> {
+    use std::io::{BufRead, Read};
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
+    let mut reader = std::io::BufReader::new(file);
+    let first = reader
+        .fill_buf()
+        .map_err(|e| format!("cannot read '{path}': {e}"))?
+        .iter()
+        .copied()
+        .find(|b| !b.is_ascii_whitespace());
+    let result = if first == Some(b'#') {
+        archdse::ingest::profile_from_trace(reader)
+    } else {
+        let mut text = String::new();
+        reader
+            .take(archdse::ingest::format::MAX_PROFILE_BYTES as u64 + 1)
+            .read_to_string(&mut text)
+            .map_err(|e| format!("cannot read '{path}': {e}"))?;
+        archdse::ingest::import_profile(&text)
+    };
+    result.map_err(|e| format!("{path}: {e}"))
+}
+
+fn workload_import(args: &[String], usage: &str) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("workload import needs a file\n{usage}");
+        return 2;
+    };
+    let flags = match parse_flags(&args[1..], &["workloads"]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}\n{usage}");
+            return 2;
+        }
+    };
+    let dir = flags
+        .get("workloads")
+        .cloned()
+        .unwrap_or_else(|| "workloads".to_string());
+    let profile = match read_workload_file(path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let store = match archdse::ingest::WorkloadStore::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    match store.add(&profile) {
+        Ok(()) => {
+            println!(
+                "imported '{}' ({}) into {dir}/ ({} workloads)",
+                profile.name,
+                profile.suite,
+                store.len()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+fn workload_synth(args: &[String], usage: &str) -> i32 {
+    let flags = match parse_flags(args, &["seed", "count", "workloads"]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}\n{usage}");
+            return 2;
+        }
+    };
+    let parse_num = |key: &str, default: u64| -> Result<u64, String> {
+        match flags.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} '{v}' is not a number")),
+            None => Ok(default),
+        }
+    };
+    let (seed, count) = match (parse_num("seed", 1), parse_num("count", 8)) {
+        (Ok(s), Ok(c)) if c > 0 => (s, c as usize),
+        (Ok(_), Ok(_)) => {
+            eprintln!("--count must be positive");
+            return 2;
+        }
+        (s, c) => {
+            for e in [s.err(), c.err()].into_iter().flatten() {
+                eprintln!("{e}");
+            }
+            return 2;
+        }
+    };
+    let profiles = archdse::ingest::synth_profiles(seed, count);
+    match flags.get("workloads") {
+        Some(dir) => {
+            let store = match archdse::ingest::WorkloadStore::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 1;
+                }
+            };
+            for p in &profiles {
+                if let Err(e) = store.add(p) {
+                    eprintln!("{e}");
+                    return 1;
+                }
+                println!("stored '{}'", p.name);
+            }
+            println!("{} synthetic workloads in {dir}/", profiles.len());
+        }
+        None => {
+            for p in &profiles {
+                print!("{}", archdse::ingest::export_profile(p));
+            }
+        }
+    }
+    0
+}
+
 fn cmd_predict(args: &[String]) -> i32 {
     let Some(bench) = args.first() else {
-        eprintln!("usage: archdse predict <benchmark> [r=32]");
+        eprintln!("usage: archdse predict <benchmark> [r=32] [--workloads <dir>]");
         return 2;
     };
     let mut r = 32usize;
-    for arg in &args[1..] {
+    let mut workloads: Option<String> = None;
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
         if let Some(v) = arg.strip_prefix("r=") {
             match v.parse() {
                 Ok(n) => r = n,
@@ -278,9 +595,17 @@ fn cmd_predict(args: &[String]) -> i32 {
                     return 2;
                 }
             }
+        } else if arg == "--workloads" {
+            match rest.next() {
+                Some(dir) => workloads = Some(dir.clone()),
+                None => {
+                    eprintln!("--workloads needs a directory");
+                    return 2;
+                }
+            }
         }
     }
-    let target_profile = match find_profile(bench) {
+    let target_profile = match find_profile_in(bench, workloads.as_deref()) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
@@ -541,11 +866,12 @@ fn cmd_train(args: &[String]) -> i32 {
             "metrics",
             "seed",
             "obs",
+            "workloads",
         ],
     ) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("{e}\nusage: archdse train --out <dir> [--benchmarks N] [--configs N] [--t N] [--metrics m,..|all] [--seed N] [--obs json|pretty|off]");
+            eprintln!("{e}\nusage: archdse train --out <dir> [--benchmarks N] [--configs N] [--t N] [--metrics m,..|all] [--seed N] [--workloads <dir>] [--obs json|pretty|off]");
             return 2;
         }
     };
@@ -600,10 +926,31 @@ fn cmd_train(args: &[String]) -> i32 {
             out
         }
     };
-    let profiles: Vec<Profile> = archdse::workload::suites::spec2000()
+    let mut profiles: Vec<Profile> = archdse::workload::suites::spec2000()
         .into_iter()
         .take(n_benchmarks)
         .collect();
+    if let Some(dir) = flags.get("workloads") {
+        // Imported workloads join the training population, so the
+        // resulting artifacts can predict (and be fitted for) them.
+        match archdse::ingest::WorkloadStore::open(dir) {
+            Ok(store) => {
+                let imported = store.profiles();
+                if imported.is_empty() {
+                    eprintln!("warning: workload store '{dir}' is empty");
+                }
+                eprintln!(
+                    "including {} imported workload(s) from {dir}/",
+                    imported.len()
+                );
+                profiles.extend(imported);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+    }
     if profiles.len() < 2 {
         eprintln!("need at least 2 benchmarks to train");
         return 2;
@@ -802,11 +1149,14 @@ fn cmd_obs(args: &[String]) -> i32 {
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
-    let flags = match parse_flags(args, &["models", "addr", "workers", "reactors"]) {
+    let flags = match parse_flags(
+        args,
+        &["models", "addr", "workers", "reactors", "workloads"],
+    ) {
         Ok(f) => f,
         Err(e) => {
             eprintln!(
-                "{e}\nusage: archdse serve --models <dir> [--addr host:port] [--workers N] [--reactors N]"
+                "{e}\nusage: archdse serve --models <dir> [--addr host:port] [--workers N] [--reactors N] [--workloads <dir>]"
             );
             return 2;
         }
@@ -820,6 +1170,7 @@ fn cmd_serve(args: &[String]) -> i32 {
             .get("addr")
             .cloned()
             .unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+        workloads_dir: flags.get("workloads").cloned(),
         ..ServerConfig::default()
     };
     if let Some(w) = flags.get("workers") {
@@ -862,6 +1213,9 @@ fn cmd_serve(args: &[String]) -> i32 {
         cfg.reactors,
         metrics.join(", ")
     );
+    if let Some(n) = server.workload_count() {
+        println!("workload store: {n} imported workload(s)");
+    }
     println!("stop with: archdse client {} shutdown", server.local_addr());
     server.wait();
     println!("drained, bye");
@@ -880,6 +1234,8 @@ fn cmd_client(args: &[String]) -> i32 {
         "shutdown" => client.shutdown().map(|v| dse_util::json::to_string(&v)),
         "fit" => return client_fit(&mut client, rest),
         "predict" => return client_predict(&mut client, rest),
+        "workloads" => return client_workloads(&mut client),
+        "import" => return client_import(&mut client, rest),
         other => {
             eprintln!("unknown client verb '{other}'");
             return 2;
@@ -897,23 +1253,73 @@ fn cmd_client(args: &[String]) -> i32 {
     }
 }
 
+/// `client <addr> workloads`: the server-side workload catalog.
+fn client_workloads(client: &mut Client) -> i32 {
+    match client.get("/v1/workloads") {
+        Ok(resp) if resp.status == 200 => {
+            println!("{}", resp.text().unwrap_or("<binary>"));
+            0
+        }
+        Ok(resp) => {
+            eprintln!(
+                "server answered {}: {}",
+                resp.status,
+                resp.text().unwrap_or("<binary>")
+            );
+            1
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+/// `client <addr> import <file>`: POSTs a profile document to the
+/// server's workload store.
+fn client_import(client: &mut Client, args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: archdse client <addr> import <file>");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read '{path}': {e}");
+            return 1;
+        }
+    };
+    match client.post("/v1/workloads", &text) {
+        Ok(resp) if resp.status == 201 => {
+            println!("{}", resp.text().unwrap_or("<binary>"));
+            0
+        }
+        Ok(resp) => {
+            eprintln!(
+                "server answered {}: {}",
+                resp.status,
+                resp.text().unwrap_or("<binary>")
+            );
+            1
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
 /// Simulates `r` responses of a benchmark at the server's shared sample
 /// configurations and fits it online — the paper's §5.3 protocol spoken
 /// over HTTP.
 fn client_fit(client: &mut Client, args: &[String]) -> i32 {
     let Some(bench) = args.first() else {
-        eprintln!("usage: archdse client <addr> fit <benchmark> [metric] [r=N]");
+        eprintln!("usage: archdse client <addr> fit <benchmark> [metric] [r=N] [workloads=<dir>]");
         return 2;
-    };
-    let profile = match find_profile(bench) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            return 2;
-        }
     };
     let mut metric = Metric::Cycles;
     let mut r = 32usize;
+    let mut workloads: Option<String> = None;
     for arg in &args[1..] {
         if let Some(v) = arg.strip_prefix("r=") {
             match v.parse() {
@@ -923,6 +1329,8 @@ fn client_fit(client: &mut Client, args: &[String]) -> i32 {
                     return 2;
                 }
             }
+        } else if let Some(v) = arg.strip_prefix("workloads=") {
+            workloads = Some(v.to_string());
         } else {
             match parse_metric(arg) {
                 Ok(m) => metric = m,
@@ -933,6 +1341,13 @@ fn client_fit(client: &mut Client, args: &[String]) -> i32 {
             }
         }
     }
+    let profile = match find_profile_in(bench, workloads.as_deref()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     // Ask the server which configurations its sample holds, then simulate
     // the new program on the first R of them.
     let resp = match client.get(&format!("/v1/configs?limit={r}&metric={metric:?}")) {
