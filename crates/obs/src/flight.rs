@@ -1,0 +1,352 @@
+//! Flight recorder: an always-on, fixed-size ring of recent structured
+//! events for post-hoc debugging.
+//!
+//! The serving host is a shared 1-vCPU box where slow or failed requests
+//! are hard to reproduce; the flight recorder keeps the last ~2 Ki
+//! events (request lifecycle edges, registry/cache lookups, explore
+//! round summaries, ingest imports, errors) in memory at all times, so a
+//! dump taken *after* an incident still shows what led up to it.
+//!
+//! Recording is lock-sharded by thread (like
+//! [`registry`](crate::registry)'s quantile rings): one event is a
+//! sequence-number fetch, a timestamp read and a short critical section
+//! on the recording thread's shard — never a global lock. Each shard is
+//! a fixed ring, so memory is bounded and old events are overwritten in
+//! place. A dump merges the shards and sorts by sequence number,
+//! yielding a consistent global order even while writers keep recording.
+//!
+//! Events carry the **request id** active on the recording thread
+//! ([`scope`]/[`set_current`]), which is how a `GET /v1/obs/flight` dump
+//! reconstructs one request's reactor → worker → cache/registry chain
+//! from interleaved traffic. Id `0` means "not inside any request"
+//! (background work, startup, explore worker rounds adopt the
+//! submitting request's id instead).
+//!
+//! Dump triggers, wired up in `dse-serve`: `GET /v1/obs/flight`
+//! (on-demand), `SIGUSR1` (via [`request_dump`]; the signal handler only
+//! flips an atomic, the reactor loop does the writing), and
+//! automatically on worker panic or 5xx (targeted: only the failing
+//! request's events, via [`dump_for`]).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of independently locked shards. Eight covers the reactor
+/// threads plus worker pool of the default server without cross-thread
+/// contention, while keeping a full dump's merge trivial.
+const SHARDS: usize = 8;
+/// Events retained per shard (~2 Ki total). One event is ~100 bytes, so
+/// the whole recorder stays under a few hundred KiB.
+const SHARD_CAP: usize = 256;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global sequence number (1-based, total order across shards).
+    pub seq: u64,
+    /// Microseconds since the recorder's first use.
+    pub ts_us: u64,
+    /// Request id active on the recording thread; 0 = none.
+    pub request: u64,
+    /// Event kind, a short static label like `"accept"` or `"cache"`.
+    pub kind: &'static str,
+    /// Free-form detail (route, key, outcome, error text).
+    pub detail: String,
+}
+
+impl FlightEvent {
+    /// Renders the event as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64 + self.detail.len());
+        out.push_str(&format!(
+            "{{\"seq\":{},\"ts_us\":{},\"request\":{},\"kind\":\"",
+            self.seq, self.ts_us, self.request
+        ));
+        crate::json_escape_into(&mut out, self.kind);
+        out.push_str("\",\"detail\":\"");
+        crate::json_escape_into(&mut out, &self.detail);
+        out.push_str("\"}");
+        out
+    }
+}
+
+/// Fixed-capacity overwrite-oldest ring, one per shard.
+#[derive(Debug, Default)]
+struct Ring {
+    buf: Vec<FlightEvent>,
+    cursor: usize,
+}
+
+impl Ring {
+    fn push(&mut self, e: FlightEvent) {
+        if self.buf.len() < SHARD_CAP {
+            self.buf.push(e);
+        } else {
+            self.buf[self.cursor] = e;
+        }
+        self.cursor = (self.cursor + 1) % SHARD_CAP;
+    }
+}
+
+static SHARD_RINGS: OnceLock<Vec<Mutex<Ring>>> = OnceLock::new();
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static DUMP_REQUESTED: AtomicBool = AtomicBool::new(false);
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    static CURRENT_REQUEST: Cell<u64> = const { Cell::new(0) };
+}
+
+fn rings() -> &'static [Mutex<Ring>] {
+    SHARD_RINGS.get_or_init(|| (0..SHARDS).map(|_| Mutex::new(Ring::default())).collect())
+}
+
+fn thread_shard() -> usize {
+    THREAD_SHARD.with(|s| {
+        let mut v = s.get();
+        if v == usize::MAX {
+            v = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(v);
+        }
+        v
+    })
+}
+
+fn now_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// The request id active on this thread (0 = none).
+pub fn current_request() -> u64 {
+    CURRENT_REQUEST.with(|c| c.get())
+}
+
+/// Sets this thread's active request id, returning the previous one.
+/// Prefer [`scope`] where the extent is lexical.
+pub fn set_current(id: u64) -> u64 {
+    CURRENT_REQUEST.with(|c| c.replace(id))
+}
+
+/// RAII guard restoring the previous request id on drop (see [`scope`]).
+#[derive(Debug)]
+pub struct RequestScope {
+    prev: u64,
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        set_current(self.prev);
+    }
+}
+
+/// Marks this thread as working on request `id` until the guard drops.
+pub fn scope(id: u64) -> RequestScope {
+    RequestScope {
+        prev: set_current(id),
+    }
+}
+
+/// Records an event under this thread's active request id.
+pub fn event(kind: &'static str, detail: impl Into<String>) {
+    event_for(current_request(), kind, detail);
+}
+
+/// Records an event under an explicit request id (0 = none).
+pub fn event_for(request: u64, kind: &'static str, detail: impl Into<String>) {
+    let e = FlightEvent {
+        seq: SEQ.fetch_add(1, Ordering::Relaxed) + 1,
+        ts_us: now_us(),
+        request,
+        kind,
+        detail: detail.into(),
+    };
+    let shard = &rings()[thread_shard()];
+    shard.lock().unwrap_or_else(|p| p.into_inner()).push(e);
+}
+
+/// Snapshots all retained events, merged and sorted by sequence number.
+///
+/// Writers on other threads may record while the dump runs; each shard
+/// is snapshotted under its own lock, so every returned event is whole
+/// and the result is a consistent (if instantaneously stale) view.
+pub fn dump() -> Vec<FlightEvent> {
+    let mut all: Vec<FlightEvent> = Vec::new();
+    for shard in rings() {
+        let ring = shard.lock().unwrap_or_else(|p| p.into_inner());
+        all.extend(ring.buf.iter().cloned());
+    }
+    all.sort_unstable_by_key(|e| e.seq);
+    all
+}
+
+/// [`dump`] filtered to one request id's events.
+pub fn dump_for(request: u64) -> Vec<FlightEvent> {
+    let mut all = dump();
+    all.retain(|e| e.request == request);
+    all
+}
+
+/// Renders events as JSONL (one [`FlightEvent::to_json_line`] per line,
+/// trailing newline when non-empty).
+pub fn to_jsonl(events: &[FlightEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Requests an asynchronous dump (async-signal-safe: one atomic store).
+/// The serve reactor polls [`take_dump_request`] and writes the dump to
+/// stderr from its own loop.
+pub fn request_dump() {
+    DUMP_REQUESTED.store(true, Ordering::Release);
+}
+
+/// Consumes a pending [`request_dump`], returning whether one was set.
+pub fn take_dump_request() -> bool {
+    DUMP_REQUESTED.swap(false, Ordering::AcqRel)
+}
+
+/// Drops all retained events (test isolation; recording stays enabled).
+pub fn clear() {
+    for shard in rings() {
+        let mut ring = shard.lock().unwrap_or_else(|p| p.into_inner());
+        ring.buf.clear();
+        ring.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is process-global; tests share it, so each filters by
+    // a distinct request id (or unique kind) instead of assuming an
+    // empty ring — and tests that assert on retention run serialized,
+    // because a parallel test mapped to the same shard can evict events.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn events_carry_thread_request_scope() {
+        let _g = serial();
+        let _s = scope(771);
+        event("test.scope", "inner");
+        let mine = dump_for(771);
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].kind, "test.scope");
+        assert_eq!(mine[0].detail, "inner");
+        drop(_s);
+        assert_eq!(current_request(), 0);
+    }
+
+    #[test]
+    fn scope_nests_and_restores() {
+        let outer = scope(101);
+        {
+            let _inner = scope(202);
+            assert_eq!(current_request(), 202);
+        }
+        assert_eq!(current_request(), 101);
+        drop(outer);
+    }
+
+    #[test]
+    fn dump_is_sorted_by_seq() {
+        let _g = serial();
+        for i in 0..20 {
+            event_for(772, "test.order", format!("e{i}"));
+        }
+        let all = dump();
+        assert!(all.windows(2).all(|w| w[0].seq < w[1].seq));
+        let mine: Vec<_> = all.iter().filter(|e| e.request == 772).collect();
+        assert_eq!(mine.len(), 20);
+        assert_eq!(mine[0].detail, "e0");
+        assert_eq!(mine[19].detail, "e19");
+    }
+
+    #[test]
+    fn wraparound_keeps_only_recent() {
+        let _g = serial();
+        // Everything below runs on one thread, hence one shard: pushing
+        // far past SHARD_CAP must retain exactly the newest SHARD_CAP.
+        let total = SHARD_CAP * 3;
+        for i in 0..total {
+            event_for(773, "test.wrap", format!("w{i}"));
+        }
+        let mine = dump_for(773);
+        assert!(mine.len() <= SHARD_CAP);
+        // The newest event always survives.
+        assert_eq!(mine.last().unwrap().detail, format!("w{}", total - 1));
+        // Retained events are the contiguous newest run.
+        let first_kept: usize = mine[0].detail[1..].parse().unwrap();
+        assert_eq!(mine.len(), total - first_kept);
+    }
+
+    #[test]
+    fn json_line_escapes_detail() {
+        let e = FlightEvent {
+            seq: 1,
+            ts_us: 2,
+            request: 3,
+            kind: "err",
+            detail: "a\"b\nc".to_string(),
+        };
+        assert_eq!(
+            e.to_json_line(),
+            r#"{"seq":1,"ts_us":2,"request":3,"kind":"err","detail":"a\"b\nc"}"#
+        );
+    }
+
+    #[test]
+    fn take_dump_request_consumes() {
+        assert!(!take_dump_request());
+        request_dump();
+        assert!(take_dump_request());
+        assert!(!take_dump_request());
+    }
+
+    #[test]
+    fn concurrent_writers_and_dumps_stay_consistent() {
+        let _g = serial();
+        // Fixed write counts, not a stop flag: on a 1-vCPU host the
+        // dumping thread can otherwise finish before any writer runs.
+        const PER_WRITER: usize = 300; // > SHARD_CAP: exercises overwrite
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for n in 0..PER_WRITER {
+                        event_for(800 + t, "test.conc", format!("t{t}n{n}"));
+                    }
+                })
+            })
+            .collect();
+        // Dump repeatedly while writers hammer the rings: every snapshot
+        // must hold whole events in strictly increasing seq order.
+        for _ in 0..50 {
+            let snap = dump();
+            assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+            for e in &snap {
+                assert!(!e.kind.is_empty());
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        // After the writers retire, the newest of their events survives
+        // in the final dump (it was the last push to its shard's ring
+        // before any later test activity).
+        let final_dump = dump();
+        assert!(final_dump.iter().any(|e| e.kind == "test.conc"));
+        assert!(final_dump.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}

@@ -17,6 +17,10 @@
 //! * [`log`] — **leveled diagnostics** (`error`/`warn`/`info`/`debug`)
 //!   via [`log!`], filtered by the `ARCHDSE_LOG` environment variable
 //!   (default `warn`), so test output stays quiet and greppable.
+//! * [`flight`] — an always-on **flight recorder**: a lock-sharded
+//!   fixed-size ring of recent structured events (request lifecycle,
+//!   cache/registry lookups, explore rounds, errors), dumped on demand
+//!   to debug incidents that cannot be reproduced.
 //!
 //! # Enablement
 //!
@@ -47,10 +51,12 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod log;
 pub mod registry;
 pub mod span;
 
+pub use flight::FlightEvent;
 pub use registry::{counter, gauge, histogram, quantiles, Registry};
 pub use span::{FlameRow, Span, SpanRecord};
 

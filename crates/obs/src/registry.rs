@@ -549,6 +549,87 @@ mod tests {
     }
 
     #[test]
+    fn quantile_ring_wraparound_retains_exactly_the_last_window() {
+        // One thread writes one shard; shard capacity is 4, so after ten
+        // writes the ring must hold exactly the last four values, with
+        // the overwrite evicting oldest-first.
+        let q = QuantileRing::new(4 * SHARDS);
+        for v in 1..=10u64 {
+            q.record(v);
+        }
+        let mut kept = q.samples();
+        kept.sort_unstable();
+        assert_eq!(kept, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn quantile_ring_concurrent_writers_lose_nothing_under_capacity() {
+        // Four writer threads, each recording a disjoint value range.
+        // The per-shard capacity covers every writer landing on the same
+        // shard (thread→shard assignment is process-global round-robin,
+        // so parallel tests can perturb it), hence nothing may displace:
+        // the merged window must hold every write exactly once.
+        const WRITERS: u64 = 4;
+        const PER_WRITER: u64 = 64;
+        let q = QuantileRing::new(SHARDS * (WRITERS * PER_WRITER) as usize);
+        std::thread::scope(|s| {
+            for t in 0..WRITERS {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        q.record(t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        let mut all = q.samples();
+        all.sort_unstable();
+        let mut expect: Vec<u64> = (0..WRITERS)
+            .flat_map(|t| (0..PER_WRITER).map(move |i| t * 1_000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect, "no sample may be lost or duplicated");
+    }
+
+    #[test]
+    fn quantile_ring_snapshot_while_writing_stays_consistent() {
+        // Writers push values from a two-element set while the main
+        // thread snapshots mid-flight: every snapshot must stay within
+        // the capacity bound, keep its percentiles ordered, and report
+        // only values that were actually written (a torn read would
+        // surface as a stray value or an inverted percentile).
+        const PER_WRITER: usize = 400;
+        let q = QuantileRing::new(64);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        q.record(if i % 2 == 0 { 10 } else { 20 });
+                    }
+                });
+            }
+            for _ in 0..50 {
+                let snap = q.snapshot();
+                assert!(snap.samples <= 64, "window exceeded capacity: {snap:?}");
+                assert!(snap.p50 <= snap.p95 && snap.p95 <= snap.p99, "{snap:?}");
+                for v in [snap.p50, snap.p95, snap.p99] {
+                    assert!(
+                        v == 0 || v == 10 || v == 20,
+                        "snapshot saw a value nobody wrote: {snap:?}"
+                    );
+                }
+            }
+        });
+        // After the writers join the rings are full: each shard a writer
+        // touched holds its full window, and only written values remain.
+        let snap = q.snapshot();
+        assert!(snap.samples > 0 && snap.samples <= 64, "{snap:?}");
+        assert!(q.samples().iter().all(|&v| v == 10 || v == 20));
+        assert_eq!(snap.p99, 20, "{snap:?}");
+    }
+
+    #[test]
     fn registry_get_or_create_shares_handles() {
         let r = Registry::new();
         r.counter("a_total").add(1);

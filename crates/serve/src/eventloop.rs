@@ -35,6 +35,7 @@
 
 use crate::http::{head_complete, try_parse, write_response, Parsed, ReadError, Request, Response};
 use crate::server::{route, State};
+use dse_obs::flight;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -66,6 +67,9 @@ mod sys {
     pub const F_GETFL: c_int = 3;
     pub const F_SETFL: c_int = 4;
     pub const O_NONBLOCK: c_int = 0o4000;
+
+    /// `SIGUSR1` on Linux (every arch this workspace targets).
+    pub const SIGUSR1: c_int = 10;
 
     /// `struct epoll_event`; packed on x86-64 only, matching the kernel ABI.
     #[repr(C)]
@@ -99,8 +103,30 @@ mod sys {
         pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
         pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
         pub fn close(fd: c_int) -> c_int;
+        pub fn signal(signum: c_int, handler: usize) -> usize;
     }
 }
+
+/// `SIGUSR1` handler: flips the flight recorder's dump flag (one atomic
+/// store — async-signal-safe) and lets the reactor loops do the actual
+/// dumping from safe code.
+extern "C" fn sigusr1_flight_dump(_signum: std::os::raw::c_int) {
+    dse_obs::flight::request_dump();
+}
+
+/// Installs the `SIGUSR1` → flight-dump handler (idempotent; called at
+/// server startup). `kill -USR1 <pid>` then makes the next reactor wake
+/// write the full flight-recorder contents to stderr.
+pub(crate) fn install_flight_dump_signal() {
+    unsafe {
+        let handler: extern "C" fn(std::os::raw::c_int) = sigusr1_flight_dump;
+        sys::signal(sys::SIGUSR1, handler as *const () as usize);
+    }
+}
+
+/// Process-wide request-id source; ids start at 1 so 0 can mean "no
+/// request" everywhere (flight events, the response header).
+static NEXT_REQUEST_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 /// Readiness reported for one registered file descriptor.
 #[derive(Debug, Clone, Copy)]
@@ -338,8 +364,9 @@ struct Conn {
     state: ConnState,
     /// Request channel into this connection's session worker, created
     /// lazily on the first complete request. Dropping it (teardown) makes
-    /// the session's `recv` fail and the worker move on.
-    session: Option<mpsc::Sender<Request>>,
+    /// the session's `recv` fail and the worker move on. Each request
+    /// travels with the id the reactor assigned it at dispatch.
+    session: Option<mpsc::Sender<(u64, Request)>>,
     close_after_flush: bool,
     last_activity: Instant,
     peer_eof: bool,
@@ -417,6 +444,13 @@ impl Reactor {
             }
             let timeout_ms = self.next_timeout_ms();
             self.poller.wait(&mut events, timeout_ms);
+            // A pending SIGUSR1 dump request (the handler only flips an
+            // atomic): whichever reactor wakes first writes the dump.
+            if flight::take_dump_request() {
+                eprintln!("--- flight recorder dump (SIGUSR1) ---");
+                eprint!("{}", flight::to_jsonl(&flight::dump()));
+                eprintln!("--- end flight recorder dump ---");
+            }
             let round: Vec<Event> = events.drain(..).collect();
             self.drain_inbox();
             for ev in round {
@@ -635,6 +669,7 @@ impl Reactor {
             Act::Reject(mut resp) => {
                 resp.close = true;
                 self.state.telemetry.record("malformed", resp.status, 0);
+                flight::event("reactor.malformed", format!("status={}", resp.status));
                 self.queue_response(token, resp);
             }
             Act::Teardown => self.teardown(token),
@@ -644,21 +679,38 @@ impl Reactor {
     /// Routes one complete request to the connection's session worker,
     /// creating the session on first use. A full pool sheds with `503` —
     /// the same contract the old acceptor enforced.
+    ///
+    /// Every request gets a process-unique id here — the root of its
+    /// trace. The id rides the session channel to the worker, comes back
+    /// in the `x-archdse-request-id` header, and tags every flight event
+    /// the request's handling records along the way.
     fn dispatch(&mut self, token: u64, req: Request) {
         let Some(needs_session) = self.conns.get(&token).map(|c| c.session.is_none()) else {
             return;
         };
+        let req_id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+        flight::event_for(
+            req_id,
+            "reactor.dispatch",
+            format!("reactor={} {} {}", self.idx, req.method, req.path),
+        );
         if needs_session {
-            let (tx, rx) = mpsc::channel::<Request>();
+            let (tx, rx) = mpsc::channel::<(u64, Request)>();
             let state = self.state.clone();
             let shared = self.shared.clone();
             let job: dse_util::pool::Job = Box::new(move || session_loop(state, rx, shared, token));
             if self.state.pool.try_execute(job).is_err() {
                 self.state.telemetry.record("shed", 503, 0);
+                flight::event_for(
+                    req_id,
+                    "reactor.shed",
+                    format!("{} {}", req.method, req.path),
+                );
                 self.queue_response(
                     token,
                     Response {
                         close: true,
+                        request_id: req_id,
                         ..Response::error(503, "server overloaded, retry later")
                     },
                 );
@@ -673,7 +725,7 @@ impl Reactor {
                 return;
             };
             if let Some(tx) = &c.session {
-                let _ = tx.send(req);
+                let _ = tx.send((req_id, req));
             }
             c.state = ConnState::Busy;
             c.stream.as_raw_fd()
@@ -842,16 +894,26 @@ impl Reactor {
 /// serialised response back to the reactor. Pins its worker for the
 /// connection's lifetime, preserving the old design's `workers`-bounded
 /// concurrency (and the 503-shedding the tests pin down).
+/// Above this, a completed request is worth an `ARCHDSE_LOG=info` line:
+/// generous against the ~µs cache-hit path, small against a stuck one.
+const SLOW_REQUEST_US: u64 = 100_000;
+
 fn session_loop(
     state: Arc<State>,
-    rx: mpsc::Receiver<Request>,
+    rx: mpsc::Receiver<(u64, Request)>,
     reactor: Arc<ReactorShared>,
     token: u64,
 ) {
-    while let Ok(req) = rx.recv() {
+    while let Ok((req_id, req)) = rx.recv() {
         let started = Instant::now();
+        // Adopt the request id for this worker thread: every flight
+        // event the handler records (cache, registry, explore, ingest)
+        // is tagged with it until the scope drops.
+        let scope = flight::scope(req_id);
+        flight::event("worker.start", format!("{} {}", req.method, req.path));
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&state, &req)));
+        let panicked = outcome.is_err();
         let (label, mut resp) = outcome.unwrap_or_else(|_| {
             (
                 "panic",
@@ -861,9 +923,29 @@ fn session_loop(
                 },
             )
         });
-        state
-            .telemetry
-            .record(label, resp.status, started.elapsed().as_micros() as u64);
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        flight::event(
+            "worker.done",
+            format!("route={label} status={} us={elapsed_us}", resp.status),
+        );
+        drop(scope);
+        if panicked || resp.status >= 500 {
+            // Automatic targeted dump: the failing request's event chain
+            // to stderr, while the ring still holds it.
+            let why = if panicked { "panic" } else { "5xx" };
+            eprintln!("--- flight recorder dump (request {req_id}, {why}) ---");
+            eprint!("{}", flight::to_jsonl(&flight::dump_for(req_id)));
+            eprintln!("--- end flight recorder dump ---");
+        }
+        if elapsed_us >= SLOW_REQUEST_US {
+            dse_obs::log!(
+                info,
+                "slow request {req_id}: route={label} status={} us={elapsed_us}",
+                resp.status
+            );
+        }
+        state.telemetry.record(label, resp.status, elapsed_us);
+        resp.request_id = req_id;
         if !req.keep_alive || state.shutdown.load(Ordering::SeqCst) {
             resp.close = true;
         }

@@ -283,6 +283,10 @@ pub struct Response {
     pub content_type: &'static str,
     /// Whether to advertise `Connection: close`.
     pub close: bool,
+    /// Request id echoed as `x-archdse-request-id` (0 = omit the
+    /// header). Assigned by the session worker from the id the reactor
+    /// attached at dispatch; handlers never set it themselves.
+    pub request_id: u64,
 }
 
 impl Response {
@@ -293,6 +297,7 @@ impl Response {
             body: body.into_bytes(),
             content_type: "application/json",
             close: false,
+            request_id: 0,
         }
     }
 
@@ -303,6 +308,7 @@ impl Response {
             body: body.into_bytes(),
             content_type: "text/plain; charset=utf-8",
             close: false,
+            request_id: 0,
         }
     }
 
@@ -349,6 +355,9 @@ pub fn write_response(stream: &mut impl Write, resp: &Response) -> io::Result<()
     );
     if resp.close {
         head.push_str("connection: close\r\n");
+    }
+    if resp.request_id != 0 {
+        head.push_str(&format!("x-archdse-request-id: {}\r\n", resp.request_id));
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
@@ -448,5 +457,21 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(text.contains("content-length: 25"));
         assert!(text.ends_with("{\"error\":\"no such route\"}"));
+        assert!(
+            !text.contains("x-archdse-request-id"),
+            "id 0 must omit the header"
+        );
+    }
+
+    #[test]
+    fn response_echoes_request_id_header() {
+        let mut out = Vec::new();
+        let resp = Response {
+            request_id: 42,
+            ..Response::json(200, "{}".to_string())
+        };
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("x-archdse-request-id: 42\r\n"), "{text}");
     }
 }

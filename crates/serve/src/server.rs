@@ -32,7 +32,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -133,6 +133,8 @@ impl Server {
     ///
     /// Propagates bind failures and reactor setup failures.
     pub fn start(registry: Arc<ModelRegistry>, cfg: &ServerConfig) -> io::Result<Self> {
+        // `kill -USR1` dumps the flight recorder from a live server.
+        crate::eventloop::install_flight_dump_signal();
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workloads = match &cfg.workloads_dir {
@@ -264,6 +266,7 @@ pub(crate) fn route(state: &Arc<State>, req: &Request) -> (&'static str, Respons
         ("POST", "/v1/shutdown") => ("/v1/shutdown", shutdown_route(state)),
         ("GET", "/v1/workloads") => ("/v1/workloads", workloads_list(state)),
         ("POST", "/v1/workloads") => ("/v1/workloads", workloads_add(state, req)),
+        ("GET", "/v1/obs/flight") => ("/v1/obs/flight", obs_flight(req)),
         ("POST", "/v1/explore") => ("/v1/explore", explore_submit(state, req)),
         ("GET", "/v1/explore") => ("/v1/explore", explore_list(state)),
         (method, path) if path.starts_with("/v1/explore/") => {
@@ -281,7 +284,7 @@ pub(crate) fn route(state: &Arc<State>, req: &Request) -> (&'static str, Respons
             _,
             "/healthz" | "/metrics" | "/v1/models" | "/v1/configs" | "/v1/predict"
             | "/v1/predict_batch" | "/v1/fit" | "/v1/reload" | "/v1/shutdown" | "/v1/explore"
-            | "/v1/workloads",
+            | "/v1/workloads" | "/v1/obs/flight",
         ) => (
             "method_not_allowed",
             Response::error(405, &format!("{} not allowed here", req.method)),
@@ -341,6 +344,10 @@ fn workloads_add(state: &State, req: &Request) -> Response {
     };
     match store.add(&profile) {
         Ok(()) => {
+            dse_obs::flight::event(
+                "ingest.import",
+                format!("{} ({})", profile.name, profile.suite),
+            );
             let out = Json::obj([
                 ("name", profile.name.to_json()),
                 ("suite", profile.suite.to_json()),
@@ -368,6 +375,21 @@ fn healthz(state: &State) -> Response {
         ("fitted", state.registry.fitted().len().to_json()),
     ]);
     Response::json(200, dse_util::json::to_string(&body))
+}
+
+/// `GET /v1/obs/flight`: the flight recorder's retained events as JSONL,
+/// newest last. `?request=<id>` filters to one request's chain — the
+/// usual follow-up to an `x-archdse-request-id` header from a slow or
+/// failed response.
+fn obs_flight(req: &Request) -> Response {
+    let events = match req.query_param("request") {
+        Some(text) => match text.parse::<u64>() {
+            Ok(id) => dse_obs::flight::dump_for(id),
+            Err(_) => return Response::error(400, &format!("request id {text:?} is not a number")),
+        },
+        None => dse_obs::flight::dump(),
+    };
+    Response::text(200, dse_obs::flight::to_jsonl(&events))
 }
 
 fn metrics(state: &State) -> Response {
@@ -496,14 +518,24 @@ fn predict(state: &State, req: &Request) -> Response {
     };
     let key = cache_key(&program, metric, &config);
     let (value, cached) = match state.cache.get(&key) {
-        Some(v) => (v, true),
-        None => match state.registry.predict(&program, metric, &config) {
-            Ok(v) => {
-                state.cache.insert(key, v);
-                (v, false)
+        Some(v) => {
+            dse_obs::flight::event("cache.hit", format!("{program} {metric}"));
+            (v, true)
+        }
+        None => {
+            dse_obs::flight::event("cache.miss", format!("{program} {metric}"));
+            match state.registry.predict(&program, metric, &config) {
+                Ok(v) => {
+                    dse_obs::flight::event("registry.predict", format!("{program} {metric}"));
+                    state.cache.insert(key, v);
+                    (v, false)
+                }
+                Err(e) => {
+                    dse_obs::flight::event("registry.error", e.to_string());
+                    return registry_error(&e);
+                }
             }
-            Err(e) => return registry_error(&e),
-        },
+        }
     };
     let out = Json::obj([
         ("program", program.to_json()),
@@ -710,7 +742,13 @@ fn explore_submit(state: &Arc<State>, req: &Request) -> Response {
     let id = job.id.clone();
     let run_state = state.clone();
     let run_job = job.clone();
+    // The job outlives this request, but its rounds stay attributable:
+    // the worker running it adopts the submitting request's id, so the
+    // flight recorder links `POST /v1/explore` to every round it caused.
+    let submit_req = dse_obs::flight::current_request();
+    dse_obs::flight::event("explore.submit", format!("job={id} program={program}"));
     let run = Box::new(move || {
+        let _trace_scope = dse_obs::flight::scope(submit_req);
         run_job.mark_running();
         let trace = protocol::trace(&profile);
         let oracle = SimOracle::new(trace, protocol::options());
@@ -723,8 +761,28 @@ fn explore_submit(state: &Arc<State>, req: &Request) -> Response {
             budget,
             pool: None,
         };
+        let mut round_started = Instant::now();
+        let mut sims_before = 0u64;
         let result = explorer.run_with(|status| {
             run_job.update(status);
+            // Per-round instrumentation: one flight event plus gauges
+            // (last-round sims / duration / archive size) cheap enough
+            // for every round of every job.
+            let round_us = round_started.elapsed().as_micros() as u64;
+            let sims = status.frontier.sim_calls - sims_before;
+            let archive = status.frontier.points.len();
+            dse_obs::flight::event(
+                "explore.round",
+                format!(
+                    "job={} round={}/{} sims={sims} us={round_us} archive={archive}",
+                    run_job.id, status.rounds_done, status.rounds_total
+                ),
+            );
+            dse_obs::registry::gauge("dse_explore_round_sims").set(sims as f64);
+            dse_obs::registry::gauge("dse_explore_round_duration_us").set(round_us as f64);
+            dse_obs::registry::gauge("dse_explore_archive_size").set(archive as f64);
+            round_started = Instant::now();
+            sims_before = status.frontier.sim_calls;
             // Graceful drain: a shutting-down server cancels in-flight
             // jobs at the next round boundary instead of holding the
             // pool for the full budget.

@@ -22,6 +22,35 @@ use dse_obs::registry::QuantileRing;
 /// all shards).
 const RING_CAPACITY: usize = 4096;
 
+/// Every route label [`crate::server::route`] can emit, pre-seeded into
+/// the per-route table at construction so `/metrics` exposes each route
+/// at 0 from the first scrape. (The table used to populate lazily on
+/// first hit, which silently dropped never-yet-hit routes — the newer
+/// `/v1/workloads` and `/v1/explore` surfaces most visibly — from the
+/// exposition.) Dynamically observed labels still join the table, so a
+/// new route missing from this list degrades to the old behaviour, not
+/// to lost counts.
+const KNOWN_ROUTES: &[&str] = &[
+    "/healthz",
+    "/metrics",
+    "/v1/models",
+    "/v1/configs",
+    "/v1/predict",
+    "/v1/predict_batch",
+    "/v1/fit",
+    "/v1/reload",
+    "/v1/shutdown",
+    "/v1/workloads",
+    "/v1/explore",
+    "/v1/explore/:id",
+    "/v1/obs/flight",
+    "method_not_allowed",
+    "not_found",
+    "malformed",
+    "shed",
+    "panic",
+];
+
 /// Server-wide request telemetry.
 pub struct Telemetry {
     started: Instant,
@@ -82,7 +111,12 @@ impl Telemetry {
             ok: AtomicU64::new(0),
             client_error: AtomicU64::new(0),
             server_error: AtomicU64::new(0),
-            routes: Mutex::new(BTreeMap::new()),
+            routes: Mutex::new(
+                KNOWN_ROUTES
+                    .iter()
+                    .map(|&route| (route.to_string(), 0))
+                    .collect(),
+            ),
             latencies: QuantileRing::new(RING_CAPACITY),
         }
     }
@@ -209,6 +243,20 @@ mod tests {
         assert!(text.contains("dse_serve_route_requests_total{route=\"/v1/predict\"} 3"));
         assert!(text.contains("dse_serve_cache_hit_rate 0.7500"));
         assert!(text.contains("dse_serve_cache_entries 2"));
+    }
+
+    #[test]
+    fn all_routes_present_before_any_traffic() {
+        let t = Telemetry::new();
+        let text = t.exposition(0, 0, 0);
+        for route in KNOWN_ROUTES {
+            assert!(
+                text.contains(&format!(
+                    "dse_serve_route_requests_total{{route=\"{route}\"}} 0"
+                )),
+                "route {route} missing from fresh exposition:\n{text}"
+            );
+        }
     }
 
     #[test]

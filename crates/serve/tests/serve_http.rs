@@ -9,7 +9,7 @@ use dse_serve::client::Client;
 use dse_serve::registry::{save_artifacts, ModelRegistry};
 use dse_serve::server::{Server, ServerConfig};
 use dse_sim::Metric;
-use dse_util::json::FromJson;
+use dse_util::json::{FromJson, ToJson};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -647,4 +647,57 @@ fn shutdown_endpoint_drains_the_server() {
         matches!(s.read(&mut buf), Ok(0) | Err(_))
     };
     assert!(refused, "server should be gone after shutdown");
+}
+
+#[test]
+fn request_ids_thread_from_header_to_flight_recorder() {
+    let s = setup();
+    let (server, addr) = start_server(&ServerConfig::default());
+    let mut client = Client::new(addr);
+    let target = fit_target(&mut client);
+
+    // A served predict answers with its request id in the header …
+    let body = dse_util::json::to_string(&dse_util::json::Json::obj([
+        ("program", target.to_json()),
+        ("metric", Metric::Cycles.to_json()),
+        ("config", s.ds5.configs[0].to_json()),
+    ]));
+    let resp = client.post("/v1/predict", &body).unwrap();
+    assert_eq!(resp.status, 200, "got: {:?}", resp.text());
+    let req_id: u64 = resp
+        .header("x-archdse-request-id")
+        .expect("predict response carries x-archdse-request-id")
+        .parse()
+        .expect("request id is numeric");
+    assert!(req_id > 0);
+
+    // … and the flight recorder, filtered to that id, shows the whole
+    // reactor → worker → cache/registry chain for it.
+    let flight = client
+        .get(&format!("/v1/obs/flight?request={req_id}"))
+        .unwrap();
+    assert_eq!(flight.status, 200);
+    let events = flight.text().unwrap().to_string();
+    for kind in [
+        "reactor.dispatch",
+        "worker.start",
+        "cache.miss",
+        "registry.predict",
+        "worker.done",
+    ] {
+        assert!(
+            events.contains(&format!("\"kind\":\"{kind}\"")),
+            "flight dump for request {req_id} missing {kind}:\n{events}"
+        );
+    }
+    assert!(events.contains("/v1/predict"), "{events}");
+
+    // The unfiltered dump works too and includes the same id.
+    let all = client.get("/v1/obs/flight").unwrap();
+    assert_eq!(all.status, 200);
+    assert!(all
+        .text()
+        .unwrap()
+        .contains(&format!("\"request\":{req_id}")));
+    server.stop();
 }

@@ -34,7 +34,7 @@
 use crate::branch::{Btb, Gshare};
 use crate::cache::{Cache, CacheOutcome};
 use crate::check::{self, CheckError};
-use crate::obs::NoObs;
+use crate::obs::{NoObs, SimObs};
 use crate::pipeline::{Pipeline, RunRecord, SimOptions};
 use crate::Metrics;
 use dse_space::{Config, ConstantParams};
@@ -481,13 +481,41 @@ impl<'a> SweepEngine<'a> {
     /// not longer than the warm-up, simulator deadlock) and on a range
     /// out of bounds of the sweep's configurations.
     pub fn run_range(&self, range: std::ops::Range<usize>) -> Vec<Result<RunRecord, CheckError>> {
+        let mut obs: Vec<NoObs> = (0..range.len()).map(|_| NoObs).collect();
+        self.run_range_obs(range, &mut obs)
+    }
+
+    /// [`SweepEngine::run_range`] with one observer per lane, fed in range
+    /// order. The observers see exactly the cycles the lockstep scheduler
+    /// steps for their lane (chunk-interleaved, but per-lane complete), so
+    /// a [`crate::StageProf`] per lane attributes batched stepping cost
+    /// stage by stage. With [`NoObs`] this *is* `run_range` — the observer
+    /// calls monomorphise away.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`SweepEngine::run_range`] would, and when `obs` has a
+    /// different length than `range`.
+    pub fn run_range_obs<O: SimObs>(
+        &self,
+        range: std::ops::Range<usize>,
+        obs: &mut [O],
+    ) -> Vec<Result<RunRecord, CheckError>> {
         let cfgs = &self.cfgs[range.clone()];
+        assert_eq!(
+            cfgs.len(),
+            obs.len(),
+            "one observer per lane in range ({} lanes, {} observers)",
+            cfgs.len(),
+            obs.len()
+        );
         if cfgs.is_empty() {
             return Vec::new();
         }
         if cfgs.len() == 1 {
             return vec![
-                Pipeline::new(&cfgs[0], &self.cons, self.trace, self.options).try_run_full(),
+                Pipeline::new(&cfgs[0], &self.cons, self.trace, self.options)
+                    .try_run_full_obs(&mut obs[0]),
             ];
         }
 
@@ -518,7 +546,7 @@ impl<'a> SweepEngine<'a> {
                     continue;
                 };
                 let target = lane.progress() + LOCKSTEP_CHUNK;
-                match lane.step_until(&mut NoObs, target) {
+                match lane.step_until(&mut obs[i], target) {
                     Err(e) => {
                         results[i] = Some(Err(e));
                         lanes[i] = None;

@@ -52,7 +52,7 @@ pub use batch::{
 };
 pub use check::CheckError;
 pub use corun::{simulate_corun, CorunLane, CorunResult};
-pub use obs::{NoObs, SimObs, StallProfile, StallReport};
+pub use obs::{NoObs, SimObs, StageProf, StageTimes, StallProfile, StallReport};
 pub use pipeline::{Pipeline, RunRecord, SimOptions, SimResult};
 
 use dse_space::{Config, ConstantParams};
@@ -305,6 +305,30 @@ pub fn simulate_profiled(
     (metrics, StallReport { profile, record })
 }
 
+/// Simulates with host-cycle stage timing enabled and returns the metrics
+/// plus a [`StageProf`] attributing stepped-cycle wall time to the five
+/// pipeline stages (see [`obs`]).
+///
+/// Metrics are bit-identical to [`simulate`]; the stage brackets read the
+/// host clock around unmodified stage code. Shares are meaningful, raw
+/// ticks vary with the host.
+///
+/// # Panics
+///
+/// Panics on an invariant violation, like [`simulate`].
+pub fn simulate_stage_profiled(
+    cfg: &Config,
+    trace: &Trace,
+    options: SimOptions,
+) -> (Metrics, StageProf) {
+    let mut prof = StageProf::default();
+    let record = Pipeline::new(cfg, &ConstantParams::standard(), trace, options)
+        .try_run_full_obs(&mut prof)
+        .unwrap_or_else(|e| panic!("{e}"));
+    record_run(&record.result);
+    (Metrics::from_result(&record.result), prof)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +355,36 @@ mod tests {
         assert!((m.cycles - expect).abs() < 1e-6);
         // A plausible CPI leaves phase cycles within [2e6, 1e10].
         assert!(m.cycles > 2e6 && m.cycles < 1e10, "cycles {}", m.cycles);
+    }
+
+    #[test]
+    fn stage_profiled_metrics_are_bit_identical() {
+        let t = demo_trace(10_000);
+        let opts = SimOptions::with_warmup(2_000);
+        let plain = simulate(&Config::baseline(), &t, opts);
+        let (m, prof) = simulate_stage_profiled(&Config::baseline(), &t, opts);
+        assert_eq!(plain, m, "stage brackets must not perturb results");
+        assert!(prof.cycles_stepped > 0);
+        assert!(prof.total_ticks() > 0, "clock reads accumulated nothing");
+        // Stepped + skipped covers every simulated cycle after warm-up
+        // completes; sanity-bound rather than pin exact idle split.
+        assert!(prof.cycles_idle > 0, "demo trace should idle-skip");
+    }
+
+    #[test]
+    fn batched_stage_profile_matches_scalar_records() {
+        let t = demo_trace(10_000);
+        let opts = SimOptions::with_warmup(2_000);
+        let cfgs = vec![Config::baseline(); 3];
+        let engine = SweepEngine::new(&cfgs, &ConstantParams::standard(), &t, opts, 3);
+        let mut profs = vec![StageProf::default(); 3];
+        let recs = engine.run_range_obs(0..3, &mut profs);
+        let scalar = simulate(&Config::baseline(), &t, opts);
+        for (rec, prof) in recs.iter().zip(&profs) {
+            let rec = rec.as_ref().expect("lane ran clean");
+            assert_eq!(Metrics::from_result(&rec.result), scalar);
+            assert!(prof.cycles_stepped > 0 && prof.total_ticks() > 0);
+        }
     }
 
     #[test]

@@ -49,6 +49,45 @@ pub struct CycleObs {
     pub bounds: Bounds,
 }
 
+/// Host-time cost of each pipeline stage over one stepped cycle, in
+/// [`stage_clock`] ticks (TSC reference cycles on x86-64, nanoseconds on
+/// the portable fallback). `issue` excludes the writeback-port
+/// reservation, which is reported separately as `writeback`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Ticks spent in the commit stage.
+    pub commit: u64,
+    /// Ticks spent in the issue stage (wakeup scan, operand checks,
+    /// structural hazards, execute-latency bookkeeping), minus the
+    /// writeback portion.
+    pub issue: u64,
+    /// Ticks spent reserving register-file write ports (the writeback
+    /// sub-stage that runs inside issue).
+    pub writeback: u64,
+    /// Ticks spent in the dispatch (rename) stage.
+    pub dispatch: u64,
+    /// Ticks spent in the fetch stage.
+    pub fetch: u64,
+}
+
+/// Reads the stage-timing clock: the TSC on x86-64 (one `rdtsc`, ~20
+/// host cycles), monotonic nanoseconds elsewhere. Only meaningful as
+/// differences between two reads on the same thread.
+#[inline(always)]
+pub fn stage_clock() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
 /// Observer of pipeline execution. The run loop calls the hooks only
 /// when `ENABLED` is true, and the check is a monomorphised constant —
 /// an observer with `ENABLED = false` costs nothing at all.
@@ -56,11 +95,24 @@ pub trait SimObs {
     /// Compile-time switch; hooks are never called when false.
     const ENABLED: bool = true;
 
+    /// Compile-time switch for per-stage host-time attribution: when
+    /// true the run loop brackets every stage call with
+    /// [`stage_clock`] reads and reports the deltas through
+    /// [`SimObs::on_stage_times`]. Off by default — like `ENABLED`,
+    /// the brackets are monomorphised away entirely when false, so the
+    /// default and stall-profiled paths compile unchanged.
+    const STAGE_TIMING: bool = false;
+
     /// One stepped cycle finished with this outcome.
     fn on_cycle(&mut self, c: &CycleObs);
 
     /// The idle fast-forward skipped `skipped` provably-inert cycles.
     fn on_idle(&mut self, skipped: u64);
+
+    /// Host-time attribution for one stepped cycle (only called when
+    /// [`SimObs::STAGE_TIMING`] is true).
+    #[inline]
+    fn on_stage_times(&mut self, _t: &StageTimes) {}
 }
 
 /// The do-nothing observer ([`crate::Pipeline::try_run_full`] uses it).
@@ -192,6 +244,117 @@ impl SimObs for StallProfile {
 
     fn on_idle(&mut self, skipped: u64) {
         self.cycles_idle += skipped;
+    }
+}
+
+/// Per-stage host-cycle-time attribution over a run: where the
+/// *simulator's* wall time goes, stage by stage — the measurement behind
+/// the cross-lane SoA back-end decision (ROADMAP Open item 1).
+///
+/// `ENABLED` is false so the per-cycle [`CycleObs`] snapshot is never
+/// built: the stage brackets time exactly the un-instrumented stage
+/// code, perturbed only by one [`stage_clock`] read per stage boundary
+/// (plus one pair around each writeback-port reservation).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StageProf {
+    /// Cycles the pipeline actually stepped (timed cycles).
+    pub cycles_stepped: u64,
+    /// Cycles proven inert and skipped by the fast-forward (not timed).
+    pub cycles_idle: u64,
+    /// Accumulated per-stage ticks.
+    pub ticks: StageTimes,
+}
+
+impl StageProf {
+    /// Total ticks attributed across all five stages.
+    pub fn total_ticks(&self) -> u64 {
+        let t = &self.ticks;
+        t.commit + t.issue + t.writeback + t.dispatch + t.fetch
+    }
+
+    /// One stage's share of the total attributed stage time, in [0, 1].
+    pub fn share(&self, ticks: u64) -> f64 {
+        ticks as f64 / self.total_ticks().max(1) as f64
+    }
+
+    /// Folds another lane's (or another run's) profile into this one —
+    /// how batched sweeps and repeated-sim drivers aggregate.
+    pub fn merge(&mut self, other: &StageProf) {
+        self.cycles_stepped += other.cycles_stepped;
+        self.cycles_idle += other.cycles_idle;
+        self.ticks.commit += other.ticks.commit;
+        self.ticks.issue += other.ticks.issue;
+        self.ticks.writeback += other.ticks.writeback;
+        self.ticks.dispatch += other.ticks.dispatch;
+        self.ticks.fetch += other.ticks.fetch;
+    }
+
+    /// Renders the profile as aligned human-readable text.
+    pub fn pretty(&self) -> String {
+        let t = &self.ticks;
+        let rows = [
+            ("issue", t.issue),
+            ("fetch", t.fetch),
+            ("dispatch", t.dispatch),
+            ("commit", t.commit),
+            ("writeback", t.writeback),
+        ];
+        let mut out = format!(
+            "stage time over {} stepped cycles ({} idle-skipped):\n",
+            self.cycles_stepped, self.cycles_idle
+        );
+        for (name, ticks) in rows {
+            out.push_str(&format!(
+                "  {name:<9} {:>6.1}%  ({ticks} ticks)\n",
+                100.0 * self.share(ticks)
+            ));
+        }
+        out
+    }
+}
+
+impl SimObs for StageProf {
+    const ENABLED: bool = false;
+    const STAGE_TIMING: bool = true;
+
+    #[inline]
+    fn on_cycle(&mut self, _c: &CycleObs) {}
+
+    #[inline]
+    fn on_idle(&mut self, skipped: u64) {
+        self.cycles_idle += skipped;
+    }
+
+    #[inline]
+    fn on_stage_times(&mut self, t: &StageTimes) {
+        self.cycles_stepped += 1;
+        self.ticks.commit += t.commit;
+        self.ticks.issue += t.issue;
+        self.ticks.writeback += t.writeback;
+        self.ticks.dispatch += t.dispatch;
+        self.ticks.fetch += t.fetch;
+    }
+}
+
+impl ToJson for StageProf {
+    fn to_json(&self) -> Json {
+        let t = &self.ticks;
+        let stage = |ticks: u64| {
+            Json::obj([
+                ("ticks", ticks.to_json()),
+                ("share", self.share(ticks).to_json()),
+            ])
+        };
+        Json::obj([
+            ("cycles_stepped", self.cycles_stepped.to_json()),
+            ("cycles_idle", self.cycles_idle.to_json()),
+            ("total_ticks", self.total_ticks().to_json()),
+            ("commit", stage(t.commit)),
+            ("issue", stage(t.issue)),
+            ("writeback", stage(t.writeback)),
+            ("dispatch", stage(t.dispatch)),
+            ("fetch", stage(t.fetch)),
+        ])
     }
 }
 
@@ -437,5 +600,50 @@ mod tests {
     fn noobs_is_disabled() {
         assert!(!NoObs::ENABLED);
         assert!(StallProfile::ENABLED);
+        assert!(!NoObs::STAGE_TIMING);
+        assert!(!StallProfile::STAGE_TIMING);
+        assert!(StageProf::STAGE_TIMING);
+        assert!(!StageProf::ENABLED, "StageProf must skip CycleObs builds");
+    }
+
+    #[test]
+    fn stage_prof_accumulates_and_shares() {
+        let mut p = StageProf::default();
+        p.on_stage_times(&StageTimes {
+            commit: 10,
+            issue: 60,
+            writeback: 5,
+            dispatch: 15,
+            fetch: 10,
+        });
+        p.on_stage_times(&StageTimes {
+            commit: 0,
+            issue: 40,
+            writeback: 5,
+            dispatch: 5,
+            fetch: 50,
+        });
+        p.on_idle(7);
+        assert_eq!(p.cycles_stepped, 2);
+        assert_eq!(p.cycles_idle, 7);
+        assert_eq!(p.total_ticks(), 200);
+        assert!((p.share(p.ticks.issue) - 0.5).abs() < 1e-12);
+        let mut q = StageProf::default();
+        q.merge(&p);
+        q.merge(&p);
+        assert_eq!(q.total_ticks(), 400);
+        assert_eq!(q.cycles_stepped, 4);
+    }
+
+    #[test]
+    fn stage_clock_is_monotonic_enough() {
+        let a = stage_clock();
+        let mut x = 0u64;
+        for i in 0..1000u64 {
+            x = x.wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let b = stage_clock();
+        assert!(b >= a, "stage clock went backwards: {a} -> {b}");
     }
 }

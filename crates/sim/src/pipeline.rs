@@ -410,6 +410,11 @@ pub struct Pipeline<'t> {
     /// flag the solo L2 hot path checks before taking the hooked route.
     corun_hooks: bool,
 
+    /// Stage-timing scratch: ticks spent in writeback-port reservation
+    /// this cycle. Written only under `SimObs::STAGE_TIMING` (the issue
+    /// stage accumulates, `step_until` drains); dead otherwise.
+    wb_ticks: u64,
+
     /// Set when an issue attempt failed on a structural hazard (ports,
     /// units, width); forces a rescan next cycle.
     structural_block: bool,
@@ -615,6 +620,7 @@ impl<'t> Pipeline<'t> {
             l2_capture: None,
             intruder: None,
             corun_hooks: false,
+            wb_ticks: 0,
             structural_block: false,
             scan_dirty: true,
             wheel: vec![0; WAKE_WHEEL].into_boxed_slice(),
@@ -838,7 +844,20 @@ impl<'t> Pipeline<'t> {
                 None
             };
 
+            // Stage brackets: one clock read per stage boundary, gated
+            // on the monomorphised `STAGE_TIMING` constant so the
+            // default (and stall-profiled) loops compile unchanged.
+            let t0 = if O::STAGE_TIMING {
+                crate::obs::stage_clock()
+            } else {
+                0
+            };
             let committed_now = self.commit();
+            let t1 = if O::STAGE_TIMING {
+                crate::obs::stage_clock()
+            } else {
+                0
+            };
             if committed_now > 0 {
                 self.last_commit_cycle = self.cycle;
             }
@@ -851,9 +870,31 @@ impl<'t> Pipeline<'t> {
                 self.cfg
             );
 
-            self.issue();
+            self.issue::<O>();
+            let t2 = if O::STAGE_TIMING {
+                crate::obs::stage_clock()
+            } else {
+                0
+            };
             self.dispatch();
+            let t3 = if O::STAGE_TIMING {
+                crate::obs::stage_clock()
+            } else {
+                0
+            };
             self.fetch();
+
+            if O::STAGE_TIMING {
+                let t4 = crate::obs::stage_clock();
+                let wb = std::mem::take(&mut self.wb_ticks);
+                obs.on_stage_times(&crate::obs::StageTimes {
+                    commit: t1.wrapping_sub(t0),
+                    issue: t2.wrapping_sub(t1).saturating_sub(wb),
+                    writeback: wb,
+                    dispatch: t3.wrapping_sub(t2),
+                    fetch: t4.wrapping_sub(t3),
+                });
+            }
 
             if O::ENABLED {
                 let (rob_was_empty, fetch_q_was_empty, prev) =
@@ -893,7 +934,7 @@ impl<'t> Pipeline<'t> {
             // results are bit-identical to stepping through them.
             if self.committed < n {
                 let skip = self.idle_skip();
-                if O::ENABLED && skip > 0 {
+                if (O::ENABLED || O::STAGE_TIMING) && skip > 0 {
                     obs.on_idle(skip);
                 }
                 self.cycle += skip;
@@ -1183,7 +1224,7 @@ impl<'t> Pipeline<'t> {
     // ------------------------------------------------------------------
     // Issue
     // ------------------------------------------------------------------
-    fn issue(&mut self) {
+    fn issue<O: SimObs>(&mut self) {
         // Probe the wakeup wheel; a scan is only worthwhile when something
         // changed (a completion landed, a dispatch happened, or the last
         // scan failed on a structural hazard that time alone resolves).
@@ -1309,7 +1350,14 @@ impl<'t> Pipeline<'t> {
 
             // Writeback port reservation for result-producing instructions.
             let done = if m & meta::HAS_DEST != 0 {
-                let slot = self.reserve_wb(exec_done);
+                let slot = if O::STAGE_TIMING {
+                    let w0 = crate::obs::stage_clock();
+                    let slot = self.reserve_wb(exec_done);
+                    self.wb_ticks += crate::obs::stage_clock().wrapping_sub(w0);
+                    slot
+                } else {
+                    self.reserve_wb(exec_done)
+                };
                 self.counters.rf_writes += 1;
                 self.counters.rob_writes += 1;
                 slot

@@ -60,6 +60,57 @@ else
     --obs json 2>"$OBS_DIR/train.log" >"$OBS_DIR/spans.jsonl"
   [ -s "$OBS_DIR/spans.jsonl" ] || { echo "train --obs json emitted no spans"; exit 1; }
   cargo run --release --offline -q -- obs report "$OBS_DIR/spans.jsonl"
+
+  # Stage profiler smoke: the per-stage host-time attribution must work
+  # on both the scalar and lockstep stepping paths and emit its
+  # machine-readable line. (Output goes to a file first — the CLI
+  # binaries die on SIGPIPE, so never pipe their stdout into grep -q.)
+  echo "== obs smoke: simulate --profile-stages (scalar + lockstep) =="
+  ARCHDSE_BATCH=1 cargo run --release --offline -q -- simulate gzip --profile-stages \
+    >"$OBS_DIR/stages-scalar.txt"
+  grep -q "mode *: *scalar" "$OBS_DIR/stages-scalar.txt" \
+    || { echo "scalar stage profile missing"; cat "$OBS_DIR/stages-scalar.txt"; exit 1; }
+  grep -q "stageprof-json:" "$OBS_DIR/stages-scalar.txt" \
+    || { echo "stage profile missing machine-readable line"; exit 1; }
+  grep -q '"issue"' "$OBS_DIR/stages-scalar.txt" \
+    || { echo "stage profile missing issue bucket"; exit 1; }
+  ARCHDSE_BATCH=4 cargo run --release --offline -q -- simulate gzip --profile-stages \
+    >"$OBS_DIR/stages-batch.txt"
+  grep -q "mode *: *lockstep" "$OBS_DIR/stages-batch.txt" \
+    || { echo "batched stage profile did not run lockstep"; cat "$OBS_DIR/stages-batch.txt"; exit 1; }
+
+  # Flight-recorder smoke: serve the obs-gate's tiny models, make one
+  # predict, and follow its request id from the response header into the
+  # recorder's event chain via GET /v1/obs/flight.
+  echo "== obs smoke: serve -> predict request id -> flight recorder =="
+  cargo run --release --offline -q -- serve \
+    --models "$OBS_DIR/models" --addr 127.0.0.1:0 >"$OBS_DIR/serve.log" 2>&1 &
+  OBS_SERVE_PID=$!
+  trap 'rm -rf "$OBS_DIR"; kill "$OBS_SERVE_PID" 2>/dev/null || true' EXIT
+  ADDR=""
+  for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$OBS_DIR/serve.log" | head -1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$OBS_SERVE_PID" 2>/dev/null || { cat "$OBS_DIR/serve.log"; exit 1; }
+    sleep 0.2
+  done
+  [ -n "$ADDR" ] || { echo "server never reported its address"; cat "$OBS_DIR/serve.log"; exit 1; }
+  cargo run --release --offline -q -- client "$ADDR" fit gzip cycles r=8
+  cargo run --release --offline -q -- client "$ADDR" predict gzip cycles \
+    >"$OBS_DIR/predict.json"
+  REQ_ID="$(sed -n 's/.*"request_id":\([0-9]*\).*/\1/p' "$OBS_DIR/predict.json" | head -1)"
+  [ -n "$REQ_ID" ] && [ "$REQ_ID" -gt 0 ] \
+    || { echo "predict response carried no request id"; cat "$OBS_DIR/predict.json"; exit 1; }
+  cargo run --release --offline -q -- client "$ADDR" flight "$REQ_ID" \
+    >"$OBS_DIR/flight.jsonl"
+  for kind in reactor.dispatch worker.start registry.predict worker.done; do
+    grep -q "\"kind\":\"$kind\"" "$OBS_DIR/flight.jsonl" \
+      || { echo "flight dump for request $REQ_ID missing $kind"; cat "$OBS_DIR/flight.jsonl"; exit 1; }
+  done
+  cargo run --release --offline -q -- client "$ADDR" shutdown
+  wait "$OBS_SERVE_PID"
+  OBS_SERVE_PID=""
+
   rm -rf "$OBS_DIR"
   trap - EXIT
   echo "== obs smoke passed =="

@@ -31,9 +31,10 @@ const USAGE: &str = "usage: archdse <command> [args]
 commands:
   space                                   design-space summary
   benchmarks                              list workload profiles
-  simulate <bench> [--sanitize] [--profile] [--corun <bench2>] [--workloads <dir>] [k=v...]
+  simulate <bench> [--sanitize] [--profile] [--profile-stages] [--corun <bench2>] [--workloads <dir>] [k=v...]
                                           run one benchmark on one config
                                           (--profile: stall attribution;
+                                           --profile-stages: host-time per stage;
                                            --corun: share the L2 with <bench2>)
   workload list [--workloads <dir>]       catalog: built-ins + imported workloads
   workload export <name> [--workloads <dir>]
@@ -222,13 +223,14 @@ fn find_profile_in(name: &str, workloads: Option<&str>) -> Result<Profile, Strin
 
 fn cmd_simulate(args: &[String]) -> i32 {
     const SIM_USAGE: &str = "usage: archdse simulate <benchmark> [--sanitize] [--profile] \
-[--corun <bench2>] [--workloads <dir>] [key=value ...]";
+[--profile-stages] [--corun <bench2>] [--workloads <dir>] [key=value ...]";
     let Some(bench) = args.first() else {
         eprintln!("{SIM_USAGE}");
         return 2;
     };
     let mut sanitize = false;
     let mut profile_run = false;
+    let mut profile_stages = false;
     let mut corun: Option<String> = None;
     let mut workloads: Option<String> = None;
     let mut overrides = Vec::new();
@@ -237,6 +239,7 @@ fn cmd_simulate(args: &[String]) -> i32 {
         match arg.as_str() {
             "--sanitize" => sanitize = true,
             "--profile" => profile_run = true,
+            "--profile-stages" => profile_stages = true,
             "--corun" | "--workloads" => {
                 let Some(value) = it.next() else {
                     eprintln!("flag '{arg}' needs a value\n{SIM_USAGE}");
@@ -266,11 +269,18 @@ fn cmd_simulate(args: &[String]) -> i32 {
         }
     };
     if let Some(other) = corun {
-        if profile_run {
-            eprintln!("--profile is not supported together with --corun");
+        if profile_run || profile_stages {
+            eprintln!("--profile/--profile-stages are not supported together with --corun");
             return 2;
         }
         return simulate_corun_cli(&cfg, &profile, &other, workloads.as_deref(), sanitize);
+    }
+    if profile_stages {
+        if profile_run {
+            eprintln!("--profile and --profile-stages are separate runs; pick one");
+            return 2;
+        }
+        return simulate_stages_cli(&cfg, bench, &profile, sanitize);
     }
     let trace = TraceGenerator::new(&profile).generate(60_000);
     let options = SimOptions {
@@ -319,6 +329,81 @@ fn cmd_simulate(args: &[String]) -> i32 {
         println!();
         println!("{}", report.pretty());
     }
+    0
+}
+
+/// `simulate <bench> --profile-stages`: attributes stepped-cycle host
+/// time to the five pipeline stages. Honors `ARCHDSE_BATCH`: width 1
+/// times the scalar live path, width > 1 runs that many identical
+/// lockstep lanes through [`archdse::sim::SweepEngine`] and merges the
+/// per-lane profiles, so the batched stepping cost is what is measured.
+fn simulate_stages_cli(
+    cfg: &dse_space::Config,
+    bench: &str,
+    profile: &dse_workload::Profile,
+    sanitize: bool,
+) -> i32 {
+    use archdse::sim::{Metrics, StageProf, SweepEngine};
+    let trace = TraceGenerator::new(profile).generate(60_000);
+    let options = archdse::sim::SimOptions {
+        sanitize,
+        ..archdse::sim::SimOptions::with_warmup(15_000)
+    };
+    let width = archdse::sim::batch_width();
+    let mut merged = StageProf::default();
+    let record = if width <= 1 {
+        let pipeline = archdse::sim::Pipeline::new(
+            cfg,
+            &dse_space::ConstantParams::standard(),
+            &trace,
+            options,
+        );
+        match pipeline.try_run_full_obs(&mut merged) {
+            Ok(rec) => rec,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+    } else {
+        let cfgs = vec![*cfg; width];
+        let engine = SweepEngine::new(
+            &cfgs,
+            &dse_space::ConstantParams::standard(),
+            &trace,
+            options,
+            width,
+        );
+        let mut profs = vec![StageProf::default(); width];
+        let mut recs = engine.run_range_obs(0..width, &mut profs);
+        for p in &profs {
+            merged.merge(p);
+        }
+        match recs.swap_remove(0) {
+            Ok(rec) => rec,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+    };
+    let m = Metrics::from_result(&record.result);
+    println!("benchmark : {bench}");
+    println!("config    : {cfg}");
+    println!(
+        "mode      : {}",
+        if width <= 1 {
+            "scalar".to_string()
+        } else {
+            format!("lockstep width {width}")
+        }
+    );
+    println!("IPC       : {:.3}", record.result.ipc);
+    println!("cycles    : {:.4e} /10M-instr phase", m.cycles);
+    println!();
+    println!("{}", merged.pretty());
+    println!();
+    println!("stageprof-json: {}", merged.to_json());
     0
 }
 
@@ -1024,20 +1109,45 @@ fn cmd_train(args: &[String]) -> i32 {
     status
 }
 
-/// `archdse obs report <spans.jsonl>`: aggregates a span log written by
-/// `train --obs json` into a self-time flame table.
+/// `archdse obs report <spans.jsonl> [--top N]`: aggregates a span log
+/// written by `train --obs json` into a self-time flame table.
+///
+/// Robust against partial logs: unparsable lines (a process killed
+/// mid-write truncates the last line) are counted and skipped with a
+/// warning, and an empty log reports cleanly instead of erroring —
+/// a crashed run's log is exactly the one worth reading. `--top N`
+/// limits the table to the N hottest spans.
 ///
 /// Reimplements the flame aggregation over parsed (owned-name) records,
 /// since [`archdse::obs::span::flame_table`] works on live in-process
 /// spans with `&'static str` names.
 fn cmd_obs(args: &[String]) -> i32 {
+    const OBS_USAGE: &str = "usage: archdse obs report <spans.jsonl> [--top N]";
     let (Some(verb), Some(path)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: archdse obs report <spans.jsonl>");
+        eprintln!("{OBS_USAGE}");
         return 2;
     };
     if verb != "report" {
-        eprintln!("unknown obs verb '{verb}'\nusage: archdse obs report <spans.jsonl>");
+        eprintln!("unknown obs verb '{verb}'\n{OBS_USAGE}");
         return 2;
+    }
+    let mut top: Option<usize> = None;
+    let mut it = args[2..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => {
+                let parsed = it.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = parsed else {
+                    eprintln!("--top needs a positive integer\n{OBS_USAGE}");
+                    return 2;
+                };
+                top = Some(n);
+            }
+            other => {
+                eprintln!("unknown flag '{other}'\n{OBS_USAGE}");
+                return 2;
+            }
+        }
     }
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -1053,6 +1163,7 @@ fn cmd_obs(args: &[String]) -> i32 {
         dur_us: u64,
     }
     let mut recs: Vec<Rec> = Vec::new();
+    let mut skipped = 0usize;
     for (i, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -1074,14 +1185,21 @@ fn cmd_obs(args: &[String]) -> i32 {
         match parse(line) {
             Ok(rec) => recs.push(rec),
             Err(e) => {
-                eprintln!("{path}:{}: {e}", i + 1);
-                return 1;
+                eprintln!("{path}:{}: skipping unparsable line: {e}", i + 1);
+                skipped += 1;
             }
         }
     }
     if recs.is_empty() {
-        eprintln!("no spans in '{path}'");
-        return 1;
+        println!(
+            "no spans in '{path}'{}",
+            if skipped > 0 {
+                format!(" ({skipped} unparsable lines skipped)")
+            } else {
+                String::new()
+            }
+        );
+        return 0;
     }
     // Self time per span: duration minus direct children's durations,
     // clamped at zero (parallel children can overlap their parent).
@@ -1115,35 +1233,46 @@ fn cmd_obs(args: &[String]) -> i32 {
     let self_total: u64 = rows.values().map(|r| r.self_us).sum();
     let mut sorted: Vec<(&str, &Row)> = rows.iter().map(|(k, v)| (*k, v)).collect();
     sorted.sort_by(|a, b| b.1.self_us.cmp(&a.1.self_us).then(a.0.cmp(b.0)));
-    println!(
-        "{:<28} {:>8} {:>12} {:>12} {:>7}",
-        "span", "count", "total_ms", "self_ms", "self%"
-    );
-    for (name, row) in &sorted {
-        let pct = if wall_us > 0 {
-            100.0 * row.self_us as f64 / wall_us as f64
+    let shown = top.unwrap_or(sorted.len()).min(sorted.len());
+    let pct_of_wall = |us: u64| {
+        if wall_us > 0 {
+            100.0 * us as f64 / wall_us as f64
         } else {
             0.0
-        };
+        }
+    };
+    println!(
+        "{:<28} {:>8} {:>12} {:>7} {:>12} {:>7}",
+        "span", "count", "total_ms", "total%", "self_ms", "self%"
+    );
+    for (name, row) in &sorted[..shown] {
         println!(
-            "{:<28} {:>8} {:>12.3} {:>12.3} {:>6.1}%",
+            "{:<28} {:>8} {:>12.3} {:>6.1}% {:>12.3} {:>6.1}%",
             name,
             row.count,
             row.total_us as f64 / 1000.0,
+            pct_of_wall(row.total_us),
             row.self_us as f64 / 1000.0,
-            pct
+            pct_of_wall(row.self_us)
         );
     }
-    let coverage = if wall_us > 0 {
-        100.0 * self_total as f64 / wall_us as f64
-    } else {
-        0.0
-    };
+    if shown < sorted.len() {
+        println!(
+            "... {} more spans (raise --top to see them)",
+            sorted.len() - shown
+        );
+    }
     println!();
     println!(
-        "{} spans, wall {:.3} ms, self-time coverage {coverage:.1}%",
+        "{} spans, wall {:.3} ms, self-time coverage {:.1}%{}",
         recs.len(),
-        wall_us as f64 / 1000.0
+        wall_us as f64 / 1000.0,
+        pct_of_wall(self_total),
+        if skipped > 0 {
+            format!(" ({skipped} unparsable lines skipped)")
+        } else {
+            String::new()
+        }
     );
     0
 }
@@ -1224,7 +1353,7 @@ fn cmd_serve(args: &[String]) -> i32 {
 
 fn cmd_client(args: &[String]) -> i32 {
     let (Some(addr), Some(verb)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: archdse client <addr> <health|fit|predict|shutdown> [args]");
+        eprintln!("usage: archdse client <addr> <health|fit|predict|flight|shutdown> [args]");
         return 2;
     };
     let mut client = Client::new(addr.clone());
@@ -1234,6 +1363,7 @@ fn cmd_client(args: &[String]) -> i32 {
         "shutdown" => client.shutdown().map(|v| dse_util::json::to_string(&v)),
         "fit" => return client_fit(&mut client, rest),
         "predict" => return client_predict(&mut client, rest),
+        "flight" => return client_flight(&mut client, rest),
         "workloads" => return client_workloads(&mut client),
         "import" => return client_import(&mut client, rest),
         other => {
@@ -1245,6 +1375,39 @@ fn cmd_client(args: &[String]) -> i32 {
         Ok(text) => {
             println!("{text}");
             0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+/// `client <addr> flight [request-id]`: the server's flight-recorder
+/// ring as JSONL, optionally filtered to one request's event chain.
+fn client_flight(client: &mut Client, args: &[String]) -> i32 {
+    let path = match args.first() {
+        Some(id) => {
+            if id.parse::<u64>().is_err() {
+                eprintln!("bad request id '{id}'");
+                return 2;
+            }
+            format!("/v1/obs/flight?request={id}")
+        }
+        None => "/v1/obs/flight".to_string(),
+    };
+    match client.get(&path) {
+        Ok(resp) if resp.status == 200 => {
+            print!("{}", resp.text().unwrap_or("<binary>"));
+            0
+        }
+        Ok(resp) => {
+            eprintln!(
+                "server answered {}: {}",
+                resp.status,
+                resp.text().unwrap_or("<binary>")
+            );
+            1
         }
         Err(e) => {
             eprintln!("{e}");
@@ -1444,22 +1607,61 @@ fn client_predict(client: &mut Client, args: &[String]) -> i32 {
             return 2;
         }
     };
-    match client.predict(program, metric, &config) {
-        Ok((value, cached)) => {
-            let out = Json::obj([
-                ("program", program.as_str().to_json()),
-                ("metric", metric.to_json()),
-                ("value", value.to_json()),
-                ("cached", cached.to_json()),
-            ]);
-            println!("{}", dse_util::json::to_string(&out));
-            0
+    // Speak /v1/predict directly (rather than through `Client::predict`)
+    // so the response's `x-archdse-request-id` header can ride along in
+    // the output — it is the key into `client <addr> flight <id>`.
+    let body = Json::obj([
+        ("program", program.as_str().to_json()),
+        ("metric", metric.to_json()),
+        ("config", config.to_json()),
+    ]);
+    let resp = match client.post("/v1/predict", &dse_util::json::to_string(&body)) {
+        Ok(resp) if resp.status == 200 => resp,
+        Ok(resp) => {
+            eprintln!(
+                "server answered {}: {}",
+                resp.status,
+                resp.text().unwrap_or("<binary>")
+            );
+            return 1;
         }
         Err(e) => {
             eprintln!("{e}");
-            1
+            return 1;
         }
-    }
+    };
+    let request_id = resp
+        .header("x-archdse-request-id")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    let parsed = match resp.json() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let (value, cached) = match (
+        parsed.field("value").and_then(f64::from_json),
+        parsed.field("cached").and_then(bool::from_json),
+    ) {
+        (Ok(v), Ok(c)) => (v, c),
+        (v, c) => {
+            for e in [v.err(), c.err()].into_iter().flatten() {
+                eprintln!("bad /v1/predict response: {e}");
+            }
+            return 1;
+        }
+    };
+    let out = Json::obj([
+        ("program", program.as_str().to_json()),
+        ("metric", metric.to_json()),
+        ("value", value.to_json()),
+        ("cached", cached.to_json()),
+        ("request_id", request_id.to_json()),
+    ]);
+    println!("{}", dse_util::json::to_string(&out));
+    0
 }
 
 #[cfg(test)]
